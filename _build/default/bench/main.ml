@@ -1,0 +1,150 @@
+(* Benchmark harness: regenerates every experiment in DESIGN.md §4
+   (exact shared-access counts on the simulator) and then runs the
+   Bechamel wall-clock micro-benchmarks (B1–B5) on the sequential
+   store.
+
+     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe -- e4 e6    -- selected experiments
+     dune exec bench/main.exe -- wall     -- wall-clock benches only
+     dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv *)
+
+open Shared_mem
+module Split = Renaming.Split
+module Filter = Renaming.Filter
+module Ma = Renaming.Ma
+module Pipeline = Renaming.Pipeline
+
+(* ----- B1–B4: wall-clock get/release cycles (solo, sequential store) ----- *)
+
+let bench_split () =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:8 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:123_456_789 in
+  Bechamel.Test.make ~name:"B1 split k=8 get+release"
+    (Bechamel.Staged.stage (fun () ->
+         let lease = Split.get_name sp ops in
+         Split.release_name sp ops lease))
+
+let bench_filter () =
+  let layout = Layout.create () in
+  let s = 2 * 4 * 4 * 4 * 4 in
+  let f =
+    Filter.create layout { k = 4; d = 3; z = 29; s; participants = [| 17; 170; 340; 500 |] }
+  in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:17 in
+  Bechamel.Test.make ~name:"B2 filter k=4 S=512 get+release"
+    (Bechamel.Staged.stage (fun () ->
+         let lease = Filter.get_name f ops in
+         Filter.release_name f ops lease))
+
+let bench_ma () =
+  let layout = Layout.create () in
+  let m = Ma.create layout ~k:4 ~s:1024 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:512 in
+  Bechamel.Test.make ~name:"B3 ma k=4 S=1024 get+release (O(kS))"
+    (Bechamel.Staged.stage (fun () ->
+         let lease = Ma.get_name m ops in
+         Ma.release_name m ops lease))
+
+let bench_pipeline () =
+  let layout = Layout.create () in
+  let p = Pipeline.create layout ~k:4 ~s:1_000_000 ~participants:[| 271_828 |] in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:271_828 in
+  Bechamel.Test.make ~name:"B4 pipeline k=4 S=1e6 get+release"
+    (Bechamel.Staged.stage (fun () ->
+         let lease = Pipeline.get_name p ops in
+         Pipeline.release_name p ops lease))
+
+let bench_tas () =
+  let layout = Layout.create () in
+  let t = Renaming.Tas_baseline.create layout ~k:4 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:2 in
+  Bechamel.Test.make ~name:"B5 tas k=4 get+release (Test&Set)"
+    (Bechamel.Staged.stage (fun () ->
+         let lease = Renaming.Tas_baseline.get_name t ops in
+         Renaming.Tas_baseline.release_name t ops lease))
+
+let run_wall_clock () =
+  print_endline "\n=== Wall-clock micro-benchmarks (Bechamel, sequential store) ===";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"renaming"
+      [ bench_split (); bench_filter (); bench_ma (); bench_pipeline (); bench_tas () ]
+  in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] tests
+  in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
+  let tbl = Stats.table [ "benchmark"; "ns/cycle"; "r^2" ] in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         let est =
+           match Bechamel.Analyze.OLS.estimates ols with
+           | Some (e :: _) -> Printf.sprintf "%.0f" e
+           | Some [] | None -> "n/a"
+         in
+         let r2 =
+           match Bechamel.Analyze.OLS.r_square ols with
+           | Some r -> Printf.sprintf "%.4f" r
+           | None -> "n/a"
+         in
+         Stats.add_row tbl [ name; est; r2 ]);
+  Stats.print tbl
+
+(* ----- driver ----- *)
+
+let write_csvs (r : Experiments.report) =
+  (try Sys.mkdir "results" 0o755 with Sys_error _ -> ());
+  List.iteri
+    (fun i (_, tbl) ->
+      let path = Printf.sprintf "results/%s_%d.csv" r.id i in
+      let oc = open_out path in
+      output_string oc (Stats.to_csv tbl);
+      output_char oc '\n';
+      close_out oc)
+    r.tables
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let csv = List.mem "--csv" args in
+  let args = List.filter (fun a -> a <> "--csv") args in
+  let wanted = if args = [] then List.map (fun (id, _, _) -> id) Experiments.all else args in
+  let failures = ref 0 in
+  let reports = ref [] in
+  List.iter
+    (fun id ->
+      if String.equal id "wall" then run_wall_clock ()
+      else
+        match Experiments.find id with
+        | None -> Printf.eprintf "unknown experiment %S (known: e1..e12, wall)\n" id
+        | Some run ->
+            let r = run () in
+            Format.printf "%a" Experiments.pp_report r;
+            if csv then write_csvs r;
+            reports := r :: !reports;
+            if not r.ok then incr failures)
+    wanted;
+  if args = [] then run_wall_clock ();
+  (match !reports with
+  | [] -> ()
+  | rs ->
+      print_endline "\n=== Summary ===";
+      let tbl = Stats.table [ "experiment"; "title"; "result" ] in
+      List.iter
+        (fun (r : Experiments.report) ->
+          Stats.add_row tbl [ r.id; r.title; (if r.ok then "OK" else "FAILED") ])
+        (List.rev rs);
+      Stats.print tbl);
+  if !failures > 0 then exit 1

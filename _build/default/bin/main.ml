@@ -1,0 +1,339 @@
+(* renaming-cli: drive the protocols from the command line.
+
+   Subcommands:
+     simulate    acquire/release cycles under a seeded random schedule
+     modelcheck  bounded-exhaustive interleaving exploration
+     params      show chosen FILTER parameters and pipeline stages
+     experiment  run reproduction experiments (e1..e12)
+     trace       print an access-by-access execution trace
+     domains     run a protocol across real OS domains *)
+
+open Cmdliner
+open Shared_mem
+module Split = Renaming.Split
+module Filter = Renaming.Filter
+module Ma = Renaming.Ma
+module Pipeline = Renaming.Pipeline
+module Params = Renaming.Params
+
+type packed_setup =
+  | Setup : {
+      proto : (module Renaming.Protocol.S with type t = 'a);
+      inst : 'a;
+      label : string;
+    }
+      -> packed_setup
+
+(* Build the requested protocol over a fresh layout; returns the pids
+   the workload should run with. *)
+let build name layout ~k ~s ~procs =
+  let pids = Array.init procs (fun i -> ((i * (s / max 1 procs)) + (s / 7)) mod s) in
+  match name with
+  | "split" ->
+      let sp = Split.create layout ~k in
+      (Setup { proto = (module Split); inst = sp; label = "split" }, pids)
+  | "filter" ->
+      let (p : Params.filter_params) = Params.choose ~k ~s in
+      let f = Filter.create layout { k; d = p.d; z = p.z; s; participants = pids } in
+      ( Setup
+          {
+            proto = (module Filter);
+            inst = f;
+            label = Printf.sprintf "filter (d=%d z=%d)" p.d p.z;
+          },
+        pids )
+  | "ma" ->
+      let m = Ma.create layout ~k ~s in
+      (Setup { proto = (module Ma); inst = m; label = "ma" }, pids)
+  | "tas" ->
+      let t = Renaming.Tas_baseline.create layout ~k in
+      (Setup { proto = (module Renaming.Tas_baseline); inst = t; label = "tas (k names)" }, pids)
+  | "pipeline" ->
+      let p = Pipeline.create layout ~k ~s ~participants:pids in
+      let label =
+        Printf.sprintf "pipeline (%s)"
+          (String.concat "+" (List.map (fun (st : Pipeline.stage_info) -> st.kind)
+               (Pipeline.stages p)))
+      in
+      (Setup { proto = (module Pipeline); inst = p; label }, pids)
+  | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+
+(* ----- simulate ----- *)
+
+let simulate protocol k s procs cycles seed crash =
+  let layout = Layout.create () in
+  let Setup { proto = (module P); inst; label }, pids = build protocol layout ~k ~s ~procs in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let get_costs = ref [] and rel_costs = ref [] in
+  let body (ops : Store.ops) =
+    let c = Store.counter () in
+    let counted = Store.counting c ops in
+    for _ = 1 to cycles do
+      Store.reset c;
+      let lease = P.get_name inst counted in
+      get_costs := Store.accesses c :: !get_costs;
+      Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+      Store.reset c;
+      P.release_name inst counted lease;
+      rel_costs := Store.accesses c :: !rel_costs
+    done
+  in
+  let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+  let t =
+    Sim.Sched.create
+      ~monitor:(Sim.Checks.uniqueness_monitor u)
+      layout
+      (Array.map (fun pid -> (pid, body)) pids)
+  in
+  let rng = Sim.Rng.make seed in
+  let strategy st en =
+    if crash && not (Sim.Sched.finished st 0) then
+      Array.iter
+        (fun i -> if i > 0 && Sim.Sched.steps_of st i >= (4 * i) + 2 then Sim.Sched.pause st i)
+        en;
+    let en = match Sim.Sched.enabled st with [||] -> en | e -> e in
+    en.(Sim.Rng.int rng (Array.length en))
+  in
+  let outcome = Sim.Sched.run ~max_steps:50_000_000 t strategy in
+  Fmt.pr "protocol       : %s@." label;
+  Fmt.pr "source space   : %d, destination space: %d@." s (P.name_space inst);
+  Fmt.pr "registers      : %d@." (Layout.size layout);
+  Fmt.pr "processes      : %d (pids %a)%s@." procs
+    Fmt.(array ~sep:comma int)
+    pids
+    (if crash then ", all but pid[0] crashed mid-run" else "");
+  Fmt.pr "completed      : %d/%d, total accesses: %d@."
+    (Array.fold_left (fun a b -> if b then a + 1 else a) 0 outcome.completed)
+    procs outcome.total;
+  Fmt.pr "distinct names : %d (max concurrent %d, largest %d)@." (Sim.Checks.names_used u)
+    (Sim.Checks.max_concurrent u) (Sim.Checks.max_name u);
+  (match !get_costs with
+  | [] -> ()
+  | costs ->
+      let s = Stats.summarize_ints costs in
+      Fmt.pr "GetName cost   : mean %.1f, p95 %.0f, max %.0f accesses@." s.mean s.p95 s.max);
+  (match !rel_costs with
+  | [] -> ()
+  | costs ->
+      let s = Stats.summarize_ints costs in
+      Fmt.pr "ReleaseName    : mean %.1f, max %.0f accesses@." s.mean s.max);
+  Fmt.pr "uniqueness     : OK (monitor raised no violation)@.";
+  0
+
+(* ----- modelcheck ----- *)
+
+let modelcheck protocol k s procs cycles max_paths shortest =
+  let builder () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let Setup { proto = (module P); inst; _ }, pids = build protocol layout ~k ~s ~procs in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let body (ops : Store.ops) =
+      for _ = 1 to cycles do
+        let lease = P.get_name inst ops in
+        Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+        ignore (ops.read work);
+        Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+        P.release_name inst ops lease
+      done
+    in
+    let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+    {
+      layout;
+      procs = Array.map (fun pid -> (pid, body)) pids;
+      monitor = Sim.Checks.uniqueness_monitor u;
+    }
+  in
+  if shortest then begin
+    match Sim.Model_check.shortest_violation ~max_paths_per_depth:max_paths builder with
+    | None ->
+        Fmt.pr "no violation within the depth/path budget@.";
+        0
+    | Some v ->
+        Fmt.pr "MINIMAL VIOLATION (%d steps): %s@.schedule: %a@." (List.length v.schedule)
+          v.message
+          Fmt.(list ~sep:semi int)
+          v.schedule;
+        1
+  end
+  else begin
+    let r = Sim.Model_check.explore ~max_steps:50_000 ~max_paths builder in
+    Fmt.pr "explored %d interleavings (%s)@." r.paths
+      (if r.complete then "complete" else "bounded");
+    match r.violation with
+    | None ->
+        Fmt.pr "no uniqueness violation found@.";
+        0
+    | Some v ->
+        Fmt.pr "VIOLATION: %s@.schedule: %a@." v.message Fmt.(list ~sep:semi int) v.schedule;
+        1
+  end
+
+(* ----- params ----- *)
+
+let params k s =
+  let (p : Params.filter_params) = Params.choose ~k ~s in
+  Fmt.pr "single FILTER instance: d=%d z=%d -> D=%d names@." p.d p.z (Params.name_space ~k p);
+  let layout = Layout.create () in
+  let pl = Pipeline.create layout ~k ~s ~participants:[||] in
+  Fmt.pr "Theorem 11 pipeline (%d registers):@.%a" (Layout.size layout) Pipeline.pp_stages pl;
+  Fmt.pr "final name space: %d = k(k+1)/2? %b@." (Pipeline.name_space pl)
+    (Pipeline.name_space pl = k * (k + 1) / 2);
+  let plan = Params.plan ~k ~s in
+  Fmt.pr "@.predicted worst-case GetName (Params.plan):@.";
+  List.iter
+    (fun (st : Params.stage_plan) ->
+      Fmt.pr "  %-6s <= %6d accesses, <= %8d registers@." st.stage st.worst_get st.registers)
+    plan;
+  Fmt.pr "  total  <= %6d accesses@." (Params.plan_worst_get plan);
+  0
+
+(* ----- experiment ----- *)
+
+let experiment ids =
+  let ids = if ids = [] then List.map (fun (id, _, _) -> id) Experiments.all else ids in
+  let failures = ref 0 in
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | None ->
+          Fmt.epr "unknown experiment %S; known:@." id;
+          List.iter (fun (i, t, _) -> Fmt.epr "  %-4s %s@." i t) Experiments.all;
+          incr failures
+      | Some run ->
+          let r = run () in
+          Fmt.pr "%a" Experiments.pp_report r;
+          if not r.ok then incr failures)
+    ids;
+  if !failures > 0 then 1 else 0
+
+(* ----- domains ----- *)
+
+let domains protocol k s cycles =
+  let layout = Layout.create () in
+  let Setup { proto = (module P); inst; label }, pids =
+    build protocol layout ~k ~s ~procs:k
+  in
+  Fmt.pr "running %s across %d OS domains, %d cycles each...@." label k cycles;
+  let r =
+    Runtime.Domain_runner.run (module P) inst ~layout ~pids ~cycles
+      ~name_space:(P.name_space inst)
+  in
+  Fmt.pr "cycles done    : %a@." Fmt.(array ~sep:comma int) r.cycles_done;
+  Fmt.pr "violations     : %d@." r.violations;
+  Fmt.pr "max concurrent : %d@." r.max_concurrent;
+  if r.violations = 0 then 0 else 1
+
+(* ----- trace ----- *)
+
+let trace protocol k s procs cycles seed tail =
+  let layout = Layout.create () in
+  let Setup { proto = (module P); inst; label }, pids = build protocol layout ~k ~s ~procs in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let body (ops : Store.ops) =
+    for _ = 1 to cycles do
+      let lease = P.get_name inst ops in
+      Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+      P.release_name inst ops lease
+    done
+  in
+  let tr = Sim.Trace.create ~capacity:tail () in
+  let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+  let t =
+    Sim.Sched.create
+      ~monitor:(Sim.Checks.combine [ Sim.Trace.monitor tr; Sim.Checks.uniqueness_monitor u ])
+      layout
+      (Array.map (fun pid -> (pid, body)) pids)
+  in
+  let outcome = Sim.Sched.run ~max_steps:1_000_000 t (Sim.Sched.random (Sim.Rng.make seed)) in
+  Fmt.pr "%s, %d processes, seed %d: %d accesses total%s@.@." label procs seed outcome.total
+    (if Sim.Trace.dropped tr > 0 then
+       Printf.sprintf " (showing the last %d)" (Sim.Trace.length tr)
+     else "");
+  Fmt.pr "%a" Sim.Trace.pp tr;
+  Fmt.pr "@.%s@." (Sim.Trace.timeline tr);
+  0
+
+(* ----- cmdliner wiring ----- *)
+
+let protocol_arg =
+  let doc = "Protocol: split, filter, ma, tas or pipeline." in
+  Arg.(value & opt (enum [ ("split", "split"); ("filter", "filter"); ("ma", "ma");
+                           ("tas", "tas"); ("pipeline", "pipeline") ]) "pipeline"
+       & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc)
+
+let k_arg default =
+  Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc:"Max concurrent processes.")
+
+let s_arg default =
+  Arg.(value & opt int default & info [ "s" ] ~docv:"S" ~doc:"Source name-space size.")
+
+let cycles_arg default =
+  Arg.(value & opt int default
+       & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Acquire/release cycles per process.")
+
+let simulate_cmd =
+  let procs = Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N"
+                   ~doc:"Concurrent processes (default $(b,k)).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.") in
+  let crash = Arg.(value & flag & info [ "crash" ]
+                   ~doc:"Freeze all processes but the first mid-run (wait-freedom demo).") in
+  let run protocol k s procs cycles seed crash =
+    simulate protocol k s (if procs <= 0 then k else procs) cycles seed crash
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run acquire/release cycles under a seeded random schedule")
+    Term.(const run $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs $ cycles_arg 5 $ seed
+          $ crash)
+
+let modelcheck_cmd =
+  let max_paths = Arg.(value & opt int 200_000
+                       & info [ "max-paths" ] ~docv:"N" ~doc:"Interleaving budget.") in
+  let procs = Arg.(value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Processes.") in
+  let shortest = Arg.(value & flag & info [ "shortest" ]
+                      ~doc:"Iterative deepening: report a minimal-length counterexample.") in
+  Cmd.v
+    (Cmd.info "modelcheck" ~doc:"Explore interleavings exhaustively (bounded)")
+    Term.(const modelcheck $ protocol_arg $ k_arg 2 $ s_arg 4 $ procs $ cycles_arg 1
+          $ max_paths $ shortest)
+
+let params_cmd =
+  Cmd.v
+    (Cmd.info "params" ~doc:"Show FILTER parameters and the Theorem 11 pipeline for (k, S)")
+    Term.(const params $ k_arg 6 $ s_arg 1_000_000)
+
+let experiment_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID"
+                 ~doc:"Experiment ids (e1..e10); all when omitted.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run the paper-reproduction experiments")
+    Term.(const experiment $ ids)
+
+let trace_cmd =
+  let procs = Arg.(value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Processes.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.") in
+  let tail = Arg.(value & opt int 120 & info [ "tail" ] ~docv:"N"
+                  ~doc:"Show only the last $(docv) trace items.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the access-by-access execution trace of a small run")
+    Term.(const trace $ protocol_arg $ k_arg 2 $ s_arg 16 $ procs $ cycles_arg 1 $ seed
+          $ tail)
+
+let domains_cmd =
+  Cmd.v
+    (Cmd.info "domains" ~doc:"Run a protocol across real OS domains (Atomic store)")
+    Term.(const domains $ protocol_arg $ k_arg 3 $ s_arg 1024 $ cycles_arg 200)
+
+let () =
+  let info =
+    Cmd.info "renaming-cli" ~version:"1.0.0"
+      ~doc:"Fast long-lived renaming (Buhrman, Garay, Hoepman, Moir - PODC 1995)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ simulate_cmd; modelcheck_cmd; params_cmd; experiment_cmd; trace_cmd;
+            domains_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversarial.ml: Array Fmt Int Layout List Numeric Renaming Shared_mem Sim Store

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Fmt Layout Renaming Shared_mem Sim Store

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Fun Layout Renaming Shared_mem Sim Store

@@ -1,0 +1,1 @@
+examples/resilient_counter.ml: Array Cell Fmt Layout Renaming Shared_mem Store

@@ -1,0 +1,1 @@
+examples/unix_pids.ml: Array Fmt Fun Layout List Renaming Shared_mem Sim Stats Store

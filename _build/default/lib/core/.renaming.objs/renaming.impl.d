@@ -1,0 +1,1 @@
+lib/core/renaming.ml: Filter Ma Mutations One_time Params Pf_mutex Pipeline Protocol Split Splitter Tas_baseline Tournament

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Array Hashtbl List Numeric Pf_mutex Printf Shared_mem Store Tournament

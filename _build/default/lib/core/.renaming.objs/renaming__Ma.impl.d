@@ -1,0 +1,1 @@
+lib/core/ma.ml: Array Cell Layout Printf Shared_mem Store

@@ -1,0 +1,1 @@
+lib/core/ma.mli: Protocol Shared_mem

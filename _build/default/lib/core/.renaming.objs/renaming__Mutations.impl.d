@@ -1,0 +1,1 @@
+lib/core/mutations.ml: Array Cell Layout Printf Shared_mem Store

@@ -1,0 +1,1 @@
+lib/core/mutations.mli: Protocol Shared_mem

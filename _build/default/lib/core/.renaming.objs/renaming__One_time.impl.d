@@ -1,0 +1,1 @@
+lib/core/one_time.ml: Array Cell Layout Printf Shared_mem Store

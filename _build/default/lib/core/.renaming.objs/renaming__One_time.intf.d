@@ -1,0 +1,1 @@
+lib/core/one_time.mli: Shared_mem

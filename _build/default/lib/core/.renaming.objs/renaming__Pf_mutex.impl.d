@@ -1,0 +1,1 @@
+lib/core/pf_mutex.ml: Array Cell Layout Shared_mem Store

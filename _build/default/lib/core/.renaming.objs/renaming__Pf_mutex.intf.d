@@ -1,0 +1,1 @@
+lib/core/pf_mutex.mli: Shared_mem

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Filter Format Fun List Ma Numeric Params Printf Protocol Split

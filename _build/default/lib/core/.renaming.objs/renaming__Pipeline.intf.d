@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Protocol Shared_mem

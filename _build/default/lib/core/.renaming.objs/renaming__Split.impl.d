@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Numeric Splitter

@@ -1,0 +1,1 @@
+lib/core/splitter.ml: Cell Layout Shared_mem Store

@@ -1,0 +1,1 @@
+lib/core/splitter.mli: Shared_mem

@@ -1,0 +1,1 @@
+lib/core/tas_baseline.ml: Array Cell Layout Shared_mem Store

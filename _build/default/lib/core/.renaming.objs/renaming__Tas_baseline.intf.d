@@ -1,0 +1,1 @@
+lib/core/tas_baseline.mli: Protocol Shared_mem

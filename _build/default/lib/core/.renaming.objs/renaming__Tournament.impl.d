@@ -1,0 +1,1 @@
+lib/core/tournament.ml: Array Numeric Pf_mutex

@@ -1,0 +1,1 @@
+lib/core/tournament.mli: Pf_mutex Shared_mem

@@ -1,0 +1,127 @@
+open Shared_mem
+
+type config = { k : int; d : int; z : int; s : int; participants : int array }
+
+type t = {
+  cfg : config;
+  family : Numeric.Cover_free.t;
+  levels : int;
+  trees : (int, Tournament.t) Hashtbl.t; (* destination name -> tree *)
+  is_participant : (int, unit) Hashtbl.t;
+  mutable blocks : int;
+}
+
+type lease = {
+  name : int;
+  positions : (Tournament.t * Tournament.position) array;
+  winner : int; (* index into positions *)
+  lease_rounds : int;
+  lease_advances : int list; (* trees advanced per completed round, oldest first *)
+}
+
+let create ?(tight = false) layout cfg =
+  let family = Numeric.Cover_free.create ~tight ~k:cfg.k ~d:cfg.d ~z:cfg.z () in
+  if not (Numeric.Cover_free.admits_source family cfg.s) then
+    invalid_arg "Filter.create: requirement (1) violated: need S <= z^(d+1)";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= cfg.s then invalid_arg "Filter.create: participant outside [0,S)")
+    cfg.participants;
+  let levels = Numeric.Intmath.ceil_log2 (max cfg.s 2) in
+  let blocks : (int, Pf_mutex.t) Hashtbl.t = Hashtbl.create 1024 in
+  let t =
+    {
+      cfg;
+      family;
+      levels;
+      trees = Hashtbl.create 64;
+      is_participant = Hashtbl.create 16;
+      blocks = 0;
+    }
+  in
+  (* Allocate exactly the blocks on participants' root paths.  Key
+     layout: the per-tree node id [(level, node)] is [node * (levels+1)
+     + level], then offset by the tree's name. *)
+  let node_key m ~level ~node = ((m * (1 lsl levels)) + node) * (t.levels + 1) + level in
+  let ensure_block m ~level ~node =
+    let key = node_key m ~level ~node in
+    match Hashtbl.find_opt blocks key with
+    | Some b -> b
+    | None ->
+        let b = Pf_mutex.create layout in
+        Hashtbl.add blocks key b;
+        t.blocks <- t.blocks + 1;
+        b
+  in
+  let ensure_tree m =
+    if not (Hashtbl.mem t.trees m) then
+      Hashtbl.add t.trees m
+        (Tournament.create_with ~levels (fun ~level ~node ->
+             match Hashtbl.find_opt blocks (node_key m ~level ~node) with
+             | Some b -> b
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Filter: block (%d,%d) of tree %d was not allocated" level
+                      node m)))
+  in
+  Array.iter
+    (fun p ->
+      Hashtbl.replace t.is_participant p ();
+      Array.iter
+        (fun m ->
+          ensure_tree m;
+          for level = 1 to levels do
+            ignore (ensure_block m ~level ~node:(p lsr level))
+          done)
+        (Numeric.Cover_free.names family p))
+    cfg.participants;
+  t
+
+let family t = t.family
+let config t = t.cfg
+let blocks_allocated t = t.blocks
+let name_space t = Numeric.Cover_free.name_space t.family
+
+let get_name t (ops : Store.ops) =
+  let p = ops.pid in
+  if not (Hashtbl.mem t.is_participant p) then
+    invalid_arg (Printf.sprintf "Filter.get_name: %d is not a declared participant" p);
+  let names = Numeric.Cover_free.names t.family p in
+  let positions =
+    Array.map
+      (fun m ->
+        let tree = Hashtbl.find t.trees m in
+        (tree, Tournament.position tree ~input:p))
+      names
+  in
+  (* Figure 4: rounds over all trees until some root is won.  Each
+     completed (non-acquiring) round records in how many trees the
+     process climbed at least one level - the Lemma 9 quantity. *)
+  let n = Array.length positions in
+  let rec round r advances =
+    let won = ref (-1) in
+    let advanced = ref 0 in
+    let i = ref 0 in
+    while !won < 0 && !i < n do
+      let tree, pos = positions.(!i) in
+      let before = Tournament.level_of pos in
+      if Tournament.try_advance tree ops pos then won := !i
+      else if Tournament.level_of pos > before then incr advanced;
+      incr i
+    done;
+    if !won >= 0 then (!won, r, List.rev advances)
+    else round (r + 1) (!advanced :: advances)
+  in
+  let winner, lease_rounds, lease_advances = round 1 [] in
+  { name = names.(winner); positions; winner; lease_rounds; lease_advances }
+
+let name_of _ lease = lease.name
+
+let release_name _ ops lease =
+  Array.iter (fun (tree, pos) -> Tournament.release tree ops pos) lease.positions
+
+let rounds lease = lease.lease_rounds
+let advances lease = lease.lease_advances
+
+let checks lease =
+  Array.fold_left (fun acc (_, pos) -> acc + Tournament.checks pos) 0 lease.positions

@@ -1,0 +1,60 @@
+(** The FILTER protocol (§4, Theorem 10): wait-free long-lived renaming
+    to [D = 2dz(k-1)] names in [O(dk log S)] shared accesses.
+
+    One mutex tournament tree per destination name.  A process [p]
+    competes "in parallel" for every name in its cover-free set
+    [N_p = { z·x + Q_p(x) }] ({!Numeric.Cover_free}): each round it
+    visits each tree once, climbing as far as the non-blocking
+    {!Tournament.try_advance} allows; winning any root yields that
+    tree's name.  Because at most [k-1] other processes are ever in
+    the trees and [‖N_p ∩ N_q‖ ≤ d], at least [d(k-1)] of [p]'s
+    [2d(k-1)] trees are contention-free at any time, and the FIFO
+    property of the mutex blocks turns that into progress (Lemmas 7–9):
+    at most [6d(k-1)·⌈log S⌉] checks are spent before a name is won.
+
+    Space: the trees are conceptually complete binary trees over the
+    source name space, but only blocks on the paths of declared
+    {e participants} are ever touched, so only those are allocated. *)
+
+include Protocol.S
+
+type config = {
+  k : int;  (** Max concurrent processes (≥ 2). *)
+  d : int;  (** Polynomial degree (≥ 1). *)
+  z : int;  (** Prime modulus, [z ≥ 2d(k-1)]. *)
+  s : int;  (** Source name space; needs [s ≤ z^(d+1)]. *)
+  participants : int array;
+      (** The source names that may call [get_name].  Any number — only
+          [k] may be active concurrently. *)
+}
+
+val create : ?tight:bool -> Shared_mem.Layout.t -> config -> t
+(** Allocates every mutex block on a participant's path in a tree of a
+    name of its [N_p] set.  [~tight:true] selects the §4.1 remark's
+    relaxed requirement (2) — [z > d(k-1)] with a [z]-point probe set —
+    used by the E8 ablation.
+    @raise Invalid_argument if the parameters violate the paper's
+    requirements (1) [s ≤ z^(d+1)] or (2) [z ≥ 2d(k-1)], if [z] is not
+    prime, or if a participant is outside [\[0, s)]. *)
+
+val family : t -> Numeric.Cover_free.t
+val config : t -> config
+
+val blocks_allocated : t -> int
+(** Number of mutex blocks actually allocated (space instrumentation:
+    the paper's [O(zdkS)] is the complete-tree count; this is the
+    touched subset). *)
+
+(** {1 Instrumentation} (Theorem 10 / Lemma 9 experiments) *)
+
+val rounds : lease -> int
+(** Rounds of the Figure 4 loop the acquisition took. *)
+
+val checks : lease -> int
+(** Total mutex [check]s performed during the acquisition. *)
+
+val advances : lease -> int list
+(** For each {e completed} (non-acquiring) round, the number of trees
+    in which the process climbed at least one level — Lemma 9 says
+    each entry is at least [d(k-1)] (for paper-constraint instances).
+    Empty when the name was acquired in the first round. *)

@@ -1,0 +1,32 @@
+(** The Moir–Anderson read/write long-lived renaming protocol [MA94] —
+    the paper's baseline.  Renames to [k(k+1)/2] names, but is {e not}
+    fast: [GetName] costs [Θ(kS)] shared accesses because every grid
+    block scans one presence bit per {e source} name.
+
+    Reconstruction (the paper cites but does not include MA94): a
+    triangular grid of resettable splitters at positions [(r, c)] with
+    [r + c ≤ k - 1].  Block [(r, c)] has a register [X] and presence
+    bits [Y[0..S-1]].  A process writes [X := p]; if some presence bit
+    is set it moves right, otherwise it raises its own bit and stops if
+    [X] is still [p] (moving down after lowering the bit if not).  At
+    most one process at a time can be at a diagonal block, which
+    therefore stops unconditionally.  Releasing a name lowers the one
+    presence bit — which is what resets the splitter and makes the
+    protocol long-lived.  Validated by model checking and stress tests
+    (at most [k - r - c] processes concurrently use block [(r, c)]).
+
+    Used by the Theorem 11 pipeline as the final stage (with [S] already
+    reduced to [O(k^2)], its [Θ(kS)] cost is [O(k^3)]). *)
+
+include Protocol.S
+
+val create : Shared_mem.Layout.t -> k:int -> s:int -> t
+(** Grid for at most [k] concurrent processes with source names in
+    [\[0, s)].  Allocates [k(k+1)/2 · (s + 1)] registers.
+    @raise Invalid_argument if [k < 1] or [s < 1]. *)
+
+val k : t -> int
+val source_space : t -> int
+
+val grid_position : t -> lease -> int * int
+(** The [(row, column)] of the grid block where the name was claimed. *)

@@ -1,0 +1,142 @@
+open Shared_mem
+
+module Mutant_mutex = struct
+  type variant = Read_before_write | Turn_lost_on_release | No_yield
+  type t = { r : Cell.t array; variant : variant }
+  type slot = int
+
+  (* Same register encoding as Pf_mutex: bit 0 = turn, bit 1 = presence;
+     the nil of the 3-valued variants is encoded as "absent". *)
+  let turn_bit v = v land 1
+  let is_present v = v land 2 <> 0
+  let present t = 2 lor t
+
+  let create layout variant = { r = Layout.alloc_array layout ~name:"MR" 2 0; variant }
+
+  let enter t (ops : Store.ops) ~dir =
+    match t.variant with
+    | Read_before_write ->
+        (* refuted reconstruction #1: look, then leap *)
+        let opp = ops.read t.r.(1 - dir) in
+        let own = if is_present opp then dir lxor turn_bit opp else dir in
+        ops.write t.r.(dir) (present own);
+        own
+    | Turn_lost_on_release ->
+        (* publish before reading, but the turn bit does not survive
+           release (see [release]) *)
+        ops.write t.r.(dir) (present dir);
+        let opp = ops.read t.r.(1 - dir) in
+        if is_present opp then begin
+          let own = dir lxor turn_bit opp in
+          ops.write t.r.(dir) (present own);
+          own
+        end
+        else dir
+    | No_yield ->
+        (* claims the combined turn points at the opponent *)
+        let t_own = turn_bit (ops.read t.r.(dir)) in
+        ops.write t.r.(dir) (present t_own);
+        let opp = ops.read t.r.(1 - dir) in
+        let own = (1 - dir) lxor turn_bit opp in
+        ops.write t.r.(dir) (present own);
+        own
+
+  let check t (ops : Store.ops) ~dir own =
+    let opp = ops.read t.r.(1 - dir) in
+    (not (is_present opp)) || own lxor turn_bit opp <> dir
+
+  let release t (ops : Store.ops) ~dir own =
+    match t.variant with
+    | Turn_lost_on_release -> ops.write t.r.(dir) 0 (* drops the turn bit *)
+    | Read_before_write | No_yield -> ops.write t.r.(dir) (own land 1)
+end
+
+module Mutant_splitter = struct
+  type variant = No_interference_check | No_advice_flip
+  type t = { last : Cell.t; advice1 : Cell.t; advice2 : Cell.t; variant : variant }
+  type token = { advice : int; adv2 : bool; direction : int }
+
+  let bottom = 0
+
+  let create layout variant =
+    {
+      last = Layout.alloc layout ~name:"MLAST" (-1);
+      advice1 = Layout.alloc layout ~name:"MADVICE1" 1;
+      advice2 = Layout.alloc layout ~name:"MADVICE2" 1;
+      variant;
+    }
+
+  let enter t (ops : Store.ops) =
+    ops.write t.last ops.pid;
+    let a = ops.read t.advice1 in
+    let a = if a = bottom then ops.read t.advice2 else a in
+    let advice_out = match t.variant with No_advice_flip -> a | No_interference_check -> -a in
+    ops.write t.advice1 advice_out;
+    let adv2 = ops.read t.last = ops.pid in
+    if adv2 then ops.write t.advice2 advice_out;
+    let direction =
+      match t.variant with
+      | No_interference_check -> a (* line 7 dropped: never returns 0 *)
+      | No_advice_flip -> if ops.read t.last = ops.pid then a else 0
+    in
+    { advice = a; adv2; direction }
+
+  let direction tok = tok.direction
+
+  let release t (ops : Store.ops) tok =
+    if ops.read t.last = ops.pid then ops.write t.advice1 tok.advice;
+    if not tok.adv2 then ops.write t.advice1 bottom
+end
+
+module Mutant_ma = struct
+  type variant = No_recheck
+
+  type t = { k : int; s : int; x : Cell.t array; y : Cell.t array array; variant : variant }
+  type lease = { name : int; row : int; col : int }
+
+  let index ~k ~r ~c = (r * k) - (r * (r - 1) / 2) + c
+
+  let create layout variant ~k ~s =
+    let blocks = k * (k + 1) / 2 in
+    {
+      k;
+      s;
+      x = Array.init blocks (fun i -> Layout.alloc layout ~name:(Printf.sprintf "MX[%d]" i) (-1));
+      y =
+        Array.init blocks (fun i ->
+            Layout.alloc_array layout ~name:(Printf.sprintf "MY[%d]" i) s 0);
+      variant;
+    }
+
+  let name_space t = t.k * (t.k + 1) / 2
+
+  let get_name t (ops : Store.ops) =
+    let rec move r c =
+      let i = index ~k:t.k ~r ~c in
+      if r + c = t.k - 1 then begin
+        ops.write t.y.(i).(ops.pid) 1;
+        { name = i; row = r; col = c }
+      end
+      else begin
+        ops.write t.x.(i) ops.pid;
+        let occupied = ref false in
+        for q = 0 to t.s - 1 do
+          if ops.read t.y.(i).(q) = 1 then occupied := true
+        done;
+        if !occupied then move r (c + 1)
+        else begin
+          ops.write t.y.(i).(ops.pid) 1;
+          match t.variant with
+          | No_recheck ->
+              (* stop without re-reading X: racing entrants collide *)
+              { name = i; row = r; col = c }
+        end
+      end
+    in
+    move 0 0
+
+  let name_of _ lease = lease.name
+
+  let release_name t (ops : Store.ops) lease =
+    ops.write t.y.(index ~k:t.k ~r:lease.row ~c:lease.col).(ops.pid) 0
+end

@@ -1,0 +1,72 @@
+(** Deliberately faulty protocol variants — mutation testing for the
+    verification machinery.
+
+    A checker that has never caught a bug is untrustworthy.  Each value
+    here is a small, plausible-looking corruption of a real protocol —
+    including the two candidate reconstructions of Figure 3 that the
+    model checker {e refuted} during development (see DESIGN.md §7) —
+    and the test suite asserts that the model checker finds a concrete
+    violating schedule for every one of them.
+
+    Never use these outside tests. *)
+
+(** Faulty two-process mutex blocks, drop-in shaped like {!Pf_mutex}. *)
+module Mutant_mutex : sig
+  type t
+
+  type variant =
+    | Read_before_write
+        (** Enter reads the opponent before publishing anything —
+            refuted reconstruction #1: both sides can pass [check]
+            while the other is mid-enter. *)
+    | Turn_lost_on_release
+        (** The turn bit is cleared by release — refuted
+            reconstruction #2: a stale re-entrant race breaks
+            exclusion across cycles. *)
+    | No_yield
+        (** Enter never yields to the opponent: both sides claim the
+            turn for themselves. *)
+
+  val create : Shared_mem.Layout.t -> variant -> t
+
+  type slot
+
+  val enter : t -> Shared_mem.Store.ops -> dir:int -> slot
+  val check : t -> Shared_mem.Store.ops -> dir:int -> slot -> bool
+  val release : t -> Shared_mem.Store.ops -> dir:int -> slot -> unit
+end
+
+(** Faulty splitters, drop-in shaped like {!Splitter}. *)
+module Mutant_splitter : sig
+  type t
+
+  type variant =
+    | No_interference_check
+        (** Returns the advice without re-reading [LAST] (line 7
+            dropped): concurrent entrants can all join the same set. *)
+    | No_advice_flip
+        (** Line 4 writes [advice] instead of [-advice]: sequential
+            entrants pile into one set. *)
+
+  val create : Shared_mem.Layout.t -> variant -> t
+
+  type token
+
+  val enter : t -> Shared_mem.Store.ops -> token
+  val direction : token -> int
+  val release : t -> Shared_mem.Store.ops -> token -> unit
+end
+
+(** Faulty MA grid, drop-in shaped like {!Ma}. *)
+module Mutant_ma : sig
+  type t
+
+  type variant =
+    | No_recheck
+        (** The second read of [X] is dropped: two processes can stop
+            at the same block. *)
+
+  val create : Shared_mem.Layout.t -> variant -> k:int -> s:int -> t
+
+  include Protocol.S with type t := t
+end

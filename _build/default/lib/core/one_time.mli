@@ -1,0 +1,34 @@
+(** One-time renaming (the problem the paper generalizes, §1).
+
+    Each process acquires a name from [{0, …, k(k+1)/2 - 1}] {e at most
+    once}; there is no release.  This is Moir–Anderson's one-shot
+    grid of wait-free splitters — the construction whose long-lived
+    analogue (with presence bits, {!Ma}) costs [Θ(kS)], while the
+    one-shot version costs only [O(k)]:
+
+    each block has registers [X] (a pid) and [Y] (a boolean, initially
+    false); a process writes [X := p]; if [Y] is set it moves right;
+    otherwise it sets [Y] and stops if [X] is still [p], moving down
+    after detecting interference.  Of [ℓ] concurrent entrants at most
+    one stops, at most [ℓ-1] move right and at most [ℓ-1] move down,
+    so in the triangular grid of depth [k] everyone stops.
+
+    Provided for comparison with the long-lived protocols: the gap
+    between [O(k)] one-shot and the paper's fast long-lived protocols
+    is the cost of reusability. *)
+
+type t
+
+val create : Shared_mem.Layout.t -> k:int -> t
+(** Grid for at most [k] concurrent processes; allocates
+    [k(k+1)/2 · 2] registers.  @raise Invalid_argument if [k < 1]. *)
+
+val name_space : t -> int
+(** [k(k+1)/2]. *)
+
+val get_name : t -> Shared_mem.Store.ops -> int
+(** Acquire this process's (permanent) name.  Must be called at most
+    once per source name; costs at most [4k] shared accesses. *)
+
+val grid_position : t -> int -> int * int
+(** The [(row, column)] a name denotes (diagnostics). *)

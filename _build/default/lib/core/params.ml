@@ -1,0 +1,159 @@
+type filter_params = { d : int; z : int }
+
+let pow_ge = Numeric.Intmath.pow_ge
+let ceil_root = Numeric.Intmath.ceil_root
+
+let name_space ~k p = 2 * p.d * p.z * (k - 1)
+
+let satisfies ~k ~s p =
+  p.d >= 1 && Numeric.Primes.is_prime p.z && p.z >= 2 * p.d * (k - 1) && pow_ge p.z (p.d + 1) s
+
+let choose ~k ~s =
+  if k < 2 then invalid_arg "Params.choose: k must be >= 2";
+  if s < 1 then invalid_arg "Params.choose: s must be >= 1";
+  let candidate d =
+    let zmin = max (2 * d * (k - 1)) (ceil_root s (d + 1)) in
+    { d; z = Numeric.Primes.next_prime zmin }
+  in
+  let best = ref (candidate 1) in
+  for d = 2 to 12 do
+    let c = candidate d in
+    if name_space ~k c < name_space ~k !best then best := c
+  done;
+  !best
+
+type regime = {
+  label : string;
+  source : k:int -> int;
+  params : k:int -> filter_params;
+  space_bound : k:int -> int;
+  time_label : string;
+}
+
+(* The smallest prime >= zmin that also meets requirement (1) for [s]
+   at degree [d] (a bump is almost never needed; the paper's choices
+   satisfy (1) by construction). *)
+let fit ~k ~d ~zmin ~s =
+  let zmin = max zmin (max 2 (2 * d * (k - 1))) in
+  let rec go z = if pow_ge z (d + 1) s then { d; z } else go (Numeric.Primes.next_prime (z + 1)) in
+  go (Numeric.Primes.next_prime zmin)
+
+let pow_int = Numeric.Intmath.pow
+let ceil_log2 = Numeric.Intmath.ceil_log2
+
+let regimes =
+  [
+    {
+      label = "S <= c^k (c=3)";
+      source = (fun ~k -> pow_int 3 k);
+      params = (fun ~k -> fit ~k ~d:k ~zmin:((2 * k * (k - 1)) + 3) ~s:(pow_int 3 k));
+      space_bound = (fun ~k -> 4 * k * (k - 1) * ((2 * k * (k - 1)) + 3));
+      time_label = "O(k^3)";
+    };
+    {
+      label = "S <= 3^(k-1)";
+      source = (fun ~k -> pow_int 3 (k - 1));
+      params =
+        (fun ~k ->
+          let d = max 1 ((k - 2) / 2) in
+          fit ~k ~d ~zmin:(k * k) ~s:(pow_int 3 (k - 1)));
+      space_bound = (fun ~k -> 2 * k * k * k * k);
+      time_label = "O(k^3)";
+    };
+    {
+      label = "S <= k^log k";
+      source = (fun ~k -> pow_int k (ceil_log2 k));
+      params =
+        (fun ~k ->
+          let d = max 1 (ceil_log2 k) in
+          fit ~k ~d ~zmin:(2 * k * d) ~s:(pow_int k (ceil_log2 k)));
+      space_bound =
+        (fun ~k ->
+          let lg = max 1 (ceil_log2 k) in
+          8 * k * (k - 1) * lg * lg);
+      time_label = "O(k log k)";
+    };
+    {
+      label = "S <= k^c (c=4)";
+      source = (fun ~k -> pow_int k 4);
+      params = (fun ~k -> fit ~k ~d:4 ~zmin:(2 * 4 * (k - 1)) ~s:(pow_int k 4));
+      space_bound = (fun ~k -> 128 * (k - 1) * (k - 1));
+      time_label = "O(k log k)";
+    };
+    {
+      label = "S <= 2k^4";
+      source = (fun ~k -> 2 * pow_int k 4);
+      params = (fun ~k -> fit ~k ~d:3 ~zmin:(6 * k) ~s:(2 * pow_int k 4));
+      space_bound = (fun ~k -> 72 * k * k);
+      time_label = "O(k log k)";
+    };
+  ]
+
+type stage_plan = {
+  stage : string;
+  stage_source : int;
+  stage_dest : int;
+  worst_get : int;
+  registers : int;
+}
+
+(* Mirrors Pipeline.create's stage selection; keep the two in sync
+   (test_pipeline checks they agree). *)
+let plan ~k ~s =
+  if k < 2 then invalid_arg "Params.plan: k must be >= 2";
+  let pow3 = Numeric.Intmath.pow 3 in
+  let stages = ref [] in
+  let push st = stages := st :: !stages in
+  let split_dest = if k <= 12 then pow3 (k - 1) else max_int in
+  let cur_s =
+    if s > split_dest then begin
+      if k > 12 then invalid_arg "Params.plan: SPLIT needed but k > 12";
+      push
+        {
+          stage = "split";
+          stage_source = s;
+          stage_dest = split_dest;
+          worst_get = 7 * (k - 1);
+          registers = 3 * ((pow3 (k - 1) - 1) / 2);
+        };
+      split_dest
+    end
+    else s
+  in
+  let filter_plan cur_s (p : filter_params) =
+    let levels = Numeric.Intmath.ceil_log2 (max cur_s 2) in
+    let set_size = 2 * p.d * (k - 1) in
+    {
+      stage = "filter";
+      stage_source = cur_s;
+      stage_dest = name_space ~k p;
+      (* enters (4 accesses each) + the Theorem 10 check budget + releases *)
+      worst_get = (4 * set_size * levels) + (6 * p.d * (k - 1) * levels);
+      registers = 2 * cur_s * set_size * levels (* all-participants upper bound *);
+    }
+  in
+  let rec filters cur_s =
+    if cur_s <= k * (k + 1) / 2 then cur_s
+    else
+      let p = choose ~k ~s:cur_s in
+      let dest = name_space ~k p in
+      if dest >= cur_s then cur_s
+      else begin
+        push (filter_plan cur_s p);
+        filters dest
+      end
+  in
+  let cur_s = filters cur_s in
+  if k * (k + 1) / 2 < cur_s || !stages = [] then
+    push
+      {
+        stage = "ma";
+        stage_source = cur_s;
+        stage_dest = k * (k + 1) / 2;
+        worst_get = (k * (cur_s + 4)) + 1;
+        registers = k * (k + 1) / 2 * (cur_s + 1);
+      };
+  List.rev !stages
+
+let plan_worst_get stages = List.fold_left (fun a st -> a + st.worst_get) 0 stages
+let plan_registers stages = List.fold_left (fun a st -> a + st.registers) 0 stages

@@ -1,0 +1,62 @@
+(** Choosing FILTER parameters (§4.1 requirements, §4.4 regimes).
+
+    An instance of FILTER is specified by a degree [d] and a prime
+    modulus [z] subject to (1) [S ≤ z^(d+1)] and (2) [z ≥ 2d(k-1)]; the
+    destination name space is [D = 2dz(k-1)].  {!choose} optimizes [D];
+    {!regimes} reproduces the paper's §4.4 hand-picked instances. *)
+
+type filter_params = { d : int; z : int }
+
+val ceil_root : int -> int -> int
+(** [ceil_root s m]: least [r ≥ 1] with [r^m ≥ s] ([m ≥ 1]). *)
+
+val name_space : k:int -> filter_params -> int
+(** [2dz(k-1)]. *)
+
+val satisfies : k:int -> s:int -> filter_params -> bool
+(** Requirements (1), (2) and primality of [z]. *)
+
+val choose : k:int -> s:int -> filter_params
+(** Minimizes [D = 2dz(k-1)] over [d ∈ 1..12] with
+    [z = next_prime (max (2d(k-1)) (ceil_root s (d+1)))].
+    @raise Invalid_argument if [k < 2] or [s < 1]. *)
+
+(** {1 The §4.4 regimes} *)
+
+type regime = {
+  label : string;  (** e.g. ["S <= 2k^4"]. *)
+  source : k:int -> int;  (** The regime's [S] as a function of [k]. *)
+  params : k:int -> filter_params;  (** The paper's choice of [(d, z)]. *)
+  space_bound : k:int -> int;  (** The paper's bound on [D]. *)
+  time_label : string;  (** The paper's asymptotic time claim. *)
+}
+
+val regimes : regime list
+(** The five §4.4 rows: [S ≤ c^k] (with [c = 3]), [S ≤ 3^(k-1)],
+    [S ≤ k^log k], [S ≤ k^c] (with [c = 4]), [S ≤ 2k^4]. *)
+
+(** {1 Pipeline planning}
+
+    Predicts the Theorem 11 pipeline {!Pipeline.create} would build for
+    a given [(k, S)] — stages, name spaces, worst-case GetName access
+    bounds and register counts — without allocating anything.  Useful
+    for capacity planning and for choosing [k] caps. *)
+
+type stage_plan = {
+  stage : string;  (** ["split"], ["filter"] or ["ma"]. *)
+  stage_source : int;
+  stage_dest : int;
+  worst_get : int;  (** Upper bound on GetName shared accesses. *)
+  registers : int;  (** Registers the stage allocates (filter stages
+                        assume all [stage_source] names participate, as
+                        the pipeline does for non-first stages). *)
+}
+
+val plan : k:int -> s:int -> stage_plan list
+(** Mirrors the stage selection of [Pipeline.create].
+    @raise Invalid_argument under the same conditions. *)
+
+val plan_worst_get : stage_plan list -> int
+(** Sum of the stages' worst-case GetName bounds. *)
+
+val plan_registers : stage_plan list -> int

@@ -1,0 +1,57 @@
+(** Two-process mutual exclusion block, split into
+    [Enter] / [Check] / [Release] (Figure 3, after Peterson–Fischer).
+
+    The block has two {e directions} 0 (left) and 1 (right); at most
+    one process may use each direction at a time (successive processes
+    may reuse a direction — the registers are multi-writer).  Unlike a
+    classical mutex, waiting is externalized: after [enter], a process
+    calls [check] whenever it likes, and each [false] answer lets it
+    go compete elsewhere (this is what lets FILTER play many trees
+    "in parallel").
+
+    Guarantees, validated by exhaustive model checking:
+    - {e mutual exclusion}: [check] never answers [true] to both sides
+      simultaneously (while both are entered);
+    - {e FIFO} (used by Lemma 7): a process entering while the opponent
+      is present always yields — it writes the shared turn to point at
+      itself, so the opponent's next [check] succeeds;
+    - {e progress}: if only one side is entered, its [check] succeeds.
+
+    Reconstruction note: the supplied paper text lost Figure 3, so the
+    code is reconstructed from the reads/writes quoted in Lemma 7 and
+    from the stated costs.  Each direction owns one 4-valued register
+    carrying a presence bit and a Kessels-style split-turn bit; the
+    combined turn is the XOR of the two turn bits, so direction 0 wins
+    when the bits {e differ} and direction 1 when they are {e equal} —
+    exactly the paper's predicates ("β ⊕ (r_p ≠ r'_p)").  An entering
+    process writes [dir ⊕ t_opponent] — exactly the paper's
+    "(1-β) ⊕ r_p".  The turn bit persists across [release] (only the
+    presence bit drops); both this persistence and the
+    raise-presence-before-reading order are necessary — the model
+    checker exhibits mutual-exclusion violations without either.
+
+    Costs: [enter] 4 shared accesses (the paper's figure!), [check] 1,
+    [release] 1. *)
+
+type t
+
+val create : Shared_mem.Layout.t -> t
+
+type slot
+(** The turn bit written by [enter]; needed by [check] and [release]
+    (the paper keeps it in a local variable — re-reading one's own
+    register would cost an extra access). *)
+
+val dummy : slot
+(** Placeholder for pre-sizing slot arrays; never passed to {!check}. *)
+
+val enter : t -> Shared_mem.Store.ops -> dir:int -> slot
+(** Start competing from direction [dir] (0 or 1). *)
+
+val check : t -> Shared_mem.Store.ops -> dir:int -> slot -> bool
+(** [true] iff the caller is now in the block's critical section.
+    Once [true], it remains true until the caller releases. *)
+
+val release : t -> Shared_mem.Store.ops -> dir:int -> slot -> unit
+(** Leave the block (from the critical section or while waiting),
+    preserving the direction's turn bit for its next user. *)

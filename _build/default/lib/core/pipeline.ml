@@ -1,0 +1,86 @@
+type stage_info = { kind : string; source : int; dest : int; detail : string }
+type t = { stages : stage_info list; proto : Protocol.Any.t }
+type lease = Protocol.Any.lease
+
+let split_stage layout ~k ~s =
+  let sp = Split.create layout ~k in
+  let info =
+    {
+      kind = "split";
+      source = s;
+      dest = Split.name_space sp;
+      detail = Printf.sprintf "depth %d ternary tree" (k - 1);
+    }
+  in
+  (info, Protocol.Any.pack (module Split) sp)
+
+let filter_stage layout ~k ~s ~participants (p : Params.filter_params) =
+  let f = Filter.create layout { k; d = p.d; z = p.z; s; participants } in
+  let info =
+    {
+      kind = "filter";
+      source = s;
+      dest = Filter.name_space f;
+      detail = Printf.sprintf "d=%d z=%d" p.d p.z;
+    }
+  in
+  (info, Protocol.Any.pack (module Filter) f)
+
+let ma_stage layout ~k ~s =
+  let m = Ma.create layout ~k ~s in
+  let info =
+    { kind = "ma"; source = s; dest = Ma.name_space m; detail = "triangular grid" }
+  in
+  (info, Protocol.Any.pack (module Ma) m)
+
+let create layout ~k ~s ~participants =
+  if k < 2 then invalid_arg "Pipeline.create: k must be >= 2";
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= s then invalid_arg "Pipeline.create: participant outside [0,S)")
+    participants;
+  let stages = ref [] in
+  let push st = stages := st :: !stages in
+  (* Stage 1: SPLIT if the source space is beyond every FILTER regime
+     we could afford directly. *)
+  let pow3 = Numeric.Intmath.pow 3 in
+  let split_dest = if k <= 12 then pow3 (k - 1) else max_int in
+  let cur_s, cur_participants =
+    if s > split_dest then begin
+      if k > 12 then invalid_arg "Pipeline.create: SPLIT needed but k > 12";
+      push (split_stage layout ~k ~s);
+      (split_dest, Array.init split_dest Fun.id)
+    end
+    else (s, participants)
+  in
+  (* Stage 2..: FILTER while it shrinks the name space. *)
+  let rec filters cur_s cur_participants =
+    if cur_s <= k * (k + 1) / 2 then (cur_s, cur_participants)
+    else
+      let p = Params.choose ~k ~s:cur_s in
+      let dest = Params.name_space ~k p in
+      if dest >= cur_s then (cur_s, cur_participants)
+      else begin
+        push (filter_stage layout ~k ~s:cur_s ~participants:cur_participants p);
+        filters dest (Array.init dest Fun.id)
+      end
+  in
+  let cur_s, _ = filters cur_s cur_participants in
+  (* Final stage: MA, if it still shrinks the space — or as the sole
+     stage when the source space is already tiny, so the pipeline is
+     never empty. *)
+  if k * (k + 1) / 2 < cur_s || !stages = [] then push (ma_stage layout ~k ~s:cur_s);
+  let infos, protos = List.split (List.rev !stages) in
+  { stages = infos; proto = Protocol.chain_all protos }
+
+let stages t = t.stages
+let protocol t = t.proto
+let name_space t = Protocol.Any.name_space t.proto
+let get_name t ops = Protocol.Any.get_name t.proto ops
+let name_of t lease = Protocol.Any.name_of t.proto lease
+let release_name t ops lease = Protocol.Any.release_name t.proto ops lease
+
+let pp_stages ppf t =
+  List.iter
+    (fun st -> Format.fprintf ppf "%-6s %8d -> %6d  (%s)@." st.kind st.source st.dest st.detail)
+    t.stages

@@ -1,0 +1,50 @@
+(** The Theorem 11 pipeline: long-lived renaming from {e any} source
+    name space [S] to [k(k+1)/2] names.
+
+    Stages are chained with {!Protocol.Chain} semantics (a stage's
+    output name is the next stage's source name):
+
+    + SPLIT — only when [S > 3^(k-1)], to cut an exponential-or-worse
+      source space down to [3^(k-1)] in [O(k)] time;
+    + FILTER, repeatedly with {!Params.choose}-optimized [(d, z)],
+      while it shrinks the space (per Erdős et al. this plateaus at
+      [Ω(k^2)], typically after two applications — §4.4);
+    + MA — the [Θ(kS')] baseline, affordable once [S' ∈ O(k^2)],
+      landing on exactly [k(k+1)/2] names.
+
+    Overall: [O(k^3)] shared accesses per acquire/release, independent
+    of [S] and [n] — the paper's headline result. *)
+
+type t
+
+type stage_info = {
+  kind : string;  (** ["split"], ["filter"] or ["ma"]. *)
+  source : int;  (** Source name space of the stage. *)
+  dest : int;  (** Destination name space of the stage. *)
+  detail : string;  (** Parameters, e.g. ["d=2 z=13"]. *)
+}
+
+val create :
+  Shared_mem.Layout.t -> k:int -> s:int -> participants:int array -> t
+(** Builds the stage list for the given [k] and [S] and allocates all
+    shared registers.  [participants] are the source names that may
+    call [get_name] (used to size the first stage; later stages admit
+    every name the previous stage can emit).
+    @raise Invalid_argument if [k < 2], if a participant is outside
+    [\[0, s)], or if [s] is so large that SPLIT would be required with
+    [k > 12] (register count [3^k] is impractical). *)
+
+val stages : t -> stage_info list
+val protocol : t -> Protocol.Any.t
+
+(** The pipeline is itself a protocol. *)
+
+type lease
+
+val name_space : t -> int
+val get_name : t -> Shared_mem.Store.ops -> lease
+val name_of : t -> lease -> int
+val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+
+val pp_stages : Format.formatter -> t -> unit
+(** One line per stage: [kind S -> D (detail)]. *)

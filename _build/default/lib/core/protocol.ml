@@ -1,0 +1,60 @@
+module type S = sig
+  type t
+  type lease
+
+  val name_space : t -> int
+  val get_name : t -> Shared_mem.Store.ops -> lease
+  val name_of : t -> lease -> int
+  val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+module Any = struct
+  type t = packed
+  type lease = Lease : (module S with type t = 'a and type lease = 'l) * 'a * 'l -> lease
+
+  let pack (type a) (m : (module S with type t = a)) (inst : a) = Packed (m, inst)
+  let of_packed p = p
+
+  let name_space (Packed ((module P), inst)) = P.name_space inst
+
+  let get_name (Packed ((module P), inst)) ops =
+    let l = P.get_name inst ops in
+    Lease ((module P), inst, l)
+
+  let name_of _ (Lease ((module P), inst, l)) = P.name_of inst l
+
+  let release_name _ ops (Lease ((module P), inst, l)) = P.release_name inst ops l
+end
+
+module Chain (A : S) (B : S) = struct
+  type t = { a : A.t; b : B.t }
+  type lease = { la : A.lease; lb : B.lease }
+
+  let make a b = { a; b }
+  let first t = t.a
+  let second t = t.b
+  let name_space t = B.name_space t.b
+
+  let get_name t (ops : Shared_mem.Store.ops) =
+    let la = A.get_name t.a ops in
+    let inner = { ops with pid = A.name_of t.a la } in
+    let lb = B.get_name t.b inner in
+    { la; lb }
+
+  let name_of t l = B.name_of t.b l.lb
+
+  let release_name t (ops : Shared_mem.Store.ops) l =
+    let inner = { ops with pid = A.name_of t.a l.la } in
+    B.release_name t.b inner l.lb;
+    A.release_name t.a ops l.la
+end
+
+module Chain_any = Chain (Any) (Any)
+
+let chain_any a b = Any.pack (module Chain_any) (Chain_any.make a b)
+
+let chain_all = function
+  | [] -> invalid_arg "Protocol.chain_all: empty pipeline"
+  | first :: rest -> List.fold_left chain_any first rest

@@ -1,0 +1,58 @@
+(** Fast, long-lived renaming with reads and writes.
+
+    An implementation of Buhrman, Garay, Hoepman and Moir,
+    {e Long-Lived Renaming Made Fast} (PODC 1995): [k] processes with
+    identifiers from a large space [{0,…,S-1}] repeatedly acquire and
+    release unique names from a small space, wait-free, using only
+    atomic read/write registers, in time polynomial in [k] and
+    independent of [S].
+
+    Protocols implement {!Protocol.S}: create an instance over a
+    {!Shared_mem.Layout}, then call [get_name]/[release_name] with a
+    per-process {!Shared_mem.Store.ops} capability — under the
+    deterministic simulator ([Sim]), a sequential store, or [Atomic]
+    registers across domains ([Runtime]).
+
+    Start with {!Pipeline} (any [S] → [k(k+1)/2] names, Theorem 11);
+    reach for the individual stages ({!Split}, {!Filter}, {!Ma}) or the
+    building blocks ({!Splitter}, {!Pf_mutex}, {!Tournament}) when
+    composing something custom.  {!Params} picks FILTER parameters and
+    predicts pipeline costs.  {!One_time} and {!Tas_baseline} are the
+    context baselines from the paper's introduction; {!Mutations} holds
+    deliberately broken variants for checker validation. *)
+
+(** The protocol interface and the chaining combinators (§4.4). *)
+module Protocol = Protocol
+
+(** The long-lived splitter building block (Figure 2, Theorem 5). *)
+module Splitter = Splitter
+
+(** Renaming to [3^(k-1)] names in [O(k)] (Figure 1, Theorem 2). *)
+module Split = Split
+
+(** Two-process Enter/Check/Release mutex blocks (Figure 3). *)
+module Pf_mutex = Pf_mutex
+
+(** Mutual-exclusion tournament trees (§4.2, Lemma 6). *)
+module Tournament = Tournament
+
+(** Renaming to [2dz(k-1)] names in [O(dk log S)] (Figure 4, Thm 10). *)
+module Filter = Filter
+
+(** The Moir–Anderson baseline: [k(k+1)/2] names, [Θ(kS)] (MA94). *)
+module Ma = Ma
+
+(** One-shot renaming baseline (§1 context). *)
+module One_time = One_time
+
+(** Test&Set baseline: [k] names with a stronger primitive (§1). *)
+module Tas_baseline = Tas_baseline
+
+(** FILTER parameter selection (§4.1, §4.4) and pipeline planning. *)
+module Params = Params
+
+(** The Theorem 11 pipeline: any [S] → [k(k+1)/2] in [O(k^3)]. *)
+module Pipeline = Pipeline
+
+(** Deliberately faulty variants — mutation tests for the checkers. *)
+module Mutations = Mutations

@@ -1,0 +1,51 @@
+type t = {
+  k : int;
+  nodes : Splitter.t array;
+      (* complete ternary tree, heap numbering: children of [i] are
+         [3i+1], [3i+2], [3i+3]; depths 0..k-2 *)
+}
+
+type lease = { name : int; path : (Splitter.t * Splitter.token) array }
+
+let pow3 n = Numeric.Intmath.pow 3 n
+
+let create layout ~k =
+  if k < 1 then invalid_arg "Split.create: k must be >= 1";
+  if k > 12 then invalid_arg "Split.create: k > 12 needs a 3^k-node tree";
+  let interior = (pow3 (k - 1) - 1) / 2 in
+  { k; nodes = Array.init interior (fun _ -> Splitter.create layout) }
+
+let k t = t.k
+let name_space t = pow3 (t.k - 1)
+
+let get_name t ops =
+  let depth = t.k - 1 in
+  (* descend, recording the splitter and token used at each level *)
+  let acc = Array.make depth (None : (Splitter.t * Splitter.token) option) in
+  let name = ref 0 in
+  let idx = ref 0 in
+  let weight = ref 1 in
+  for h = 0 to depth - 1 do
+    let sp = t.nodes.(!idx) in
+    let tok = Splitter.enter sp ops in
+    let d = Splitter.direction tok in
+    acc.(h) <- Some (sp, tok);
+    name := !name + ((1 + d) * !weight);
+    weight := !weight * 3;
+    idx := (3 * !idx) + (1 + d) + 1
+  done;
+  let path =
+    Array.map (function Some e -> e | None -> assert false) acc
+  in
+  { name = !name; path }
+
+let name_of _ lease = lease.name
+
+let release_name _ ops lease =
+  (* deepest splitter first: Using(child) must end before Inside(parent) *)
+  for h = Array.length lease.path - 1 downto 0 do
+    let sp, tok = lease.path.(h) in
+    Splitter.release sp ops tok
+  done
+
+let path_string _ lease = Array.map (fun (_, tok) -> Splitter.direction tok) lease.path

@@ -1,0 +1,38 @@
+open Shared_mem
+
+(* ADVICE registers hold -1, 1 or "bottom", encoded as 0. *)
+let bottom = 0
+
+type t = { last : Cell.t; advice1 : Cell.t; advice2 : Cell.t }
+type token = { advice : int; adv2 : bool; direction : int }
+
+let create layout =
+  {
+    last = Layout.alloc layout ~name:"LAST" (-1);
+    advice1 = Layout.alloc layout ~name:"ADVICE1" 1;
+    advice2 = Layout.alloc layout ~name:"ADVICE2" 1;
+  }
+
+let enter t (ops : Store.ops) =
+  ops.write t.last ops.pid;
+  (* 1 *)
+  let a = ops.read t.advice1 in
+  (* 2 *)
+  let a = if a = bottom then ops.read t.advice2 else a in
+  (* 3 *)
+  ops.write t.advice1 (-a);
+  (* 4 *)
+  let adv2 = ops.read t.last = ops.pid in
+  (* 5 *)
+  if adv2 then ops.write t.advice2 (-a);
+  (* 6 *)
+  let direction = if ops.read t.last = ops.pid then a else 0 in
+  (* 7 *)
+  { advice = a; adv2; direction }
+
+let direction tok = tok.direction
+
+let release t (ops : Store.ops) tok =
+  if ops.read t.last = ops.pid then (* 9 *)
+    ops.write t.advice1 tok.advice (* 10 *);
+  if not tok.adv2 then ops.write t.advice1 bottom (* 11 *)

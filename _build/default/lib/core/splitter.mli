@@ -1,0 +1,38 @@
+(** The long-lived splitter building block (Figure 2, Theorem 5).
+
+    Accessing processes are dynamically partitioned into three output
+    sets [-1], [0], [1].  Guarantee: in any execution in which at most
+    [ℓ] processes use the splitter concurrently (with [ℓ ≥ 2]), each
+    output set contains at most [ℓ - 1] processes at any time — so a
+    tree of splitters strictly shrinks groups level by level.
+
+    Mechanism: [LAST] detects interference (a process that does not
+    read its own id back joins set [0]); [ADVICE[1]]/[ADVICE[2]] pass
+    "which non-zero set is safe" advice between processes.  The advice
+    may be wrong except in the one critical scenario — [ℓ] processes
+    entering sequentially — where it provably survives intact (§3.1).
+
+    Costs: [enter] ≤ 7 shared accesses, [release] ≤ 3.
+
+    Note on the figure: lines 3, 4, 10, 11 of the supplied paper text
+    are OCR-garbled; this implementation reconstructs them from the
+    reads and writes quoted in the Lemma 4 case analysis (see
+    DESIGN.md) and is validated by exhaustive model checking. *)
+
+type t
+
+type token
+(** Per-entry bookkeeping ([advice], [adv2]) needed by [release]. *)
+
+val create : Shared_mem.Layout.t -> t
+(** Allocates [LAST], [ADVICE[1]], [ADVICE[2]]. *)
+
+val enter : t -> Shared_mem.Store.ops -> token
+(** Join an output set; the set joined is [direction] of the token. *)
+
+val direction : token -> int
+(** The output set assigned: [-1], [0] or [1]. *)
+
+val release : t -> Shared_mem.Store.ops -> token -> unit
+(** Leave the output set.  A token must be released exactly once,
+    before the same process re-enters. *)

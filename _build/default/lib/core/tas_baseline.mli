@@ -1,0 +1,29 @@
+(** Long-lived renaming from Test&Set — the stronger-primitive baseline
+    the paper contrasts against (§1: "For systems supporting primitives
+    such as Test&Set, Moir and Anderson present renaming protocols that
+    are both fast and long-lived.  However, protocols that employ such
+    strong operations are not as widely applicable or as portable...").
+
+    One test-and-set bit per destination name, [D = k] names total —
+    optimal, and far below the [2k - 1] lower bound for read/write
+    protocols (Herlihy–Shavit, §5).  [GetName] probes the bits
+    cyclically; with at most [k] concurrent processes some bit is
+    always free, so a probe round of [k] bits finds one unless rivals
+    released-and-reacquired in between.
+
+    Progress caveat, stated honestly: unlike the paper's read/write
+    protocols this simple probing loop is {e lock-free but not
+    wait-free} — an adversarial scheduler can in principle starve one
+    requester by cycling names through the others (the system as a
+    whole always makes progress).  Under any fair schedule GetName
+    costs [O(k)] expected accesses.  It exists as a baseline to show
+    what the read/write restriction costs; it is not part of the
+    paper's contribution. *)
+
+include Protocol.S
+
+val create : Shared_mem.Layout.t -> k:int -> t
+(** [k] test-and-set bits.  @raise Invalid_argument if [k < 1]. *)
+
+val probes : lease -> int
+(** Test&set probes the acquisition performed (cost instrumentation). *)

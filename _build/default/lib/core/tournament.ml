@@ -1,0 +1,82 @@
+type t = {
+  levels : int;
+  inputs : int;
+  block : level:int -> node:int -> Pf_mutex.t;
+}
+
+let create layout ~inputs =
+  if inputs < 1 then invalid_arg "Tournament.create";
+  let levels = Numeric.Intmath.ceil_log2 (max inputs 2) in
+  let width = 1 lsl levels in
+  let blocks = Array.init (width - 1) (fun _ -> Pf_mutex.create layout) in
+  (* level l in 1..levels has width lsr l blocks, stored after all
+     blocks of lower levels: offset(l) = width - 2^(levels - l + 1) *)
+  let block ~level ~node = blocks.((width - (1 lsl (levels - level + 1))) + node) in
+  { levels; inputs = width; block }
+
+let create_with ~levels block =
+  if levels < 1 then invalid_arg "Tournament.create_with";
+  { levels; inputs = 1 lsl levels; block }
+
+let levels t = t.levels
+let inputs t = t.inputs
+
+type position = {
+  input : int;
+  slots : Pf_mutex.slot array; (* index = level, slot 0 unused *)
+  mutable level : int;
+  mutable won : bool;
+  mutable checks : int;
+}
+
+let position t ~input =
+  if input < 0 || input >= t.inputs then invalid_arg "Tournament.position";
+  {
+    input;
+    slots = Array.make (t.levels + 1) Pf_mutex.dummy;
+    level = 0;
+    won = false;
+    checks = 0;
+  }
+
+let level_of pos = pos.level
+let won _ pos = pos.won
+let checks pos = pos.checks
+let dir_at pos level = (pos.input lsr (level - 1)) land 1
+let node_at pos level = pos.input lsr level
+
+let enter_level t ops pos level =
+  let b = t.block ~level ~node:(node_at pos level) in
+  pos.slots.(level) <- Pf_mutex.enter b ops ~dir:(dir_at pos level);
+  pos.level <- level
+
+let try_advance t ops pos =
+  if pos.won then true
+  else begin
+    if pos.level = 0 then enter_level t ops pos 1;
+    let rec climb () =
+      let level = pos.level in
+      let b = t.block ~level ~node:(node_at pos level) in
+      pos.checks <- pos.checks + 1;
+      if Pf_mutex.check b ops ~dir:(dir_at pos level) pos.slots.(level) then
+        if level = t.levels then begin
+          pos.won <- true;
+          true
+        end
+        else begin
+          enter_level t ops pos (level + 1);
+          climb ()
+        end
+      else false
+    in
+    climb ()
+  end
+
+let release t ops pos =
+  (* top-down: never free a block before the blocks above it *)
+  for level = pos.level downto 1 do
+    let b = t.block ~level ~node:(node_at pos level) in
+    Pf_mutex.release b ops ~dir:(dir_at pos level) pos.slots.(level)
+  done;
+  pos.level <- 0;
+  pos.won <- false

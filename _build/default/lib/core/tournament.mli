@@ -1,0 +1,65 @@
+(** Mutual-exclusion tournament trees (§4.2).
+
+    A binary tree of {!Pf_mutex} blocks with [2^levels] {e inputs} at
+    the bottom; each input may be used by at most one process at a
+    time (FILTER maps source names one-one to inputs).  A process
+    enters at its input's leaf block and climbs: winning the critical
+    section of the block at level [ℓ] lets it enter the block at level
+    [ℓ+1] from the direction it came from; winning at the root means
+    owning the whole tree (Lemma 6: at most one process at a time).
+
+    Climbing is non-blocking: {!try_advance} pushes as far as the
+    [check]s allow and returns, so a caller can interleave attempts on
+    many trees.  Release is top-down, so a block's critical section is
+    never freed before the blocks above it — preserving the invariant
+    that at most one process per direction uses any block. *)
+
+type t
+
+val create : Shared_mem.Layout.t -> inputs:int -> t
+(** Eagerly allocates the [2^levels - 1] blocks for the least [levels]
+    with [2^levels ≥ max inputs 2].
+    @raise Invalid_argument if [inputs < 1]. *)
+
+val create_with :
+  levels:int -> (level:int -> node:int -> Pf_mutex.t) -> t
+(** Tree backed by an external block table (used by FILTER to allocate
+    only the blocks on its participants' paths).  [level] ranges over
+    [1..levels]; [node] over [0..2^(levels-level)-1].  The function
+    must be a pure lookup. *)
+
+val levels : t -> int
+
+val inputs : t -> int
+(** Usable input count, [2^(levels t)] (the requested count rounded up
+    to a power of two — the padding inputs are valid too). *)
+
+(** {1 Competing} *)
+
+type position
+(** One process's progress in one tree. *)
+
+val position : t -> input:int -> position
+(** Fresh position at [input]; nothing entered yet. *)
+
+val level_of : position -> int
+(** Levels entered so far: 0 = not started, [levels t] = at the top
+    block (possibly still waiting there). *)
+
+val won : t -> position -> bool
+(** Did this position reach the root's critical section?  (Set by
+    {!try_advance}; stable until release.) *)
+
+val try_advance : t -> Shared_mem.Store.ops -> position -> bool
+(** Enter the leaf if not yet entered, then climb while [check]
+    succeeds.  Returns [true] iff the root critical section was
+    reached (now or previously).  Never blocks; a [false] return costs
+    at most one failed [check] beyond the entries/wins performed. *)
+
+val checks : position -> int
+(** Total [check] calls performed through this position (Theorem 10
+    instrumentation). *)
+
+val release : t -> Shared_mem.Store.ops -> position -> unit
+(** Release every entered block, top-down.  The position returns to
+    its pristine state and may be reused. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Format Fun Harness Hashtbl Int Layout List Numeric Option Printf Renaming Shared_mem Sim Stats Store String

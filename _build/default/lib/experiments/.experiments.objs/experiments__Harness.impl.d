@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array List Renaming Shared_mem Sim Store

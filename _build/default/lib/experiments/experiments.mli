@@ -1,0 +1,77 @@
+(** The reproduction experiment suite.
+
+    The paper is analytical — its "evaluation" is a set of theorems and
+    the §4.4 parameter table — so each experiment measures the claim's
+    observable content on the simulator (exact shared-access counts,
+    adversarial/random schedules, bounded model checking) and reports
+    paper-vs-measured.  See DESIGN.md §4 for the index and
+    EXPERIMENTS.md for recorded results. *)
+
+type report = {
+  id : string;
+  title : string;
+  claim : string;  (** The paper statement being reproduced. *)
+  tables : (string * Stats.table) list;
+  notes : string list;
+  ok : bool;  (** Every checked bound held. *)
+}
+
+val e1_splitter_occupancy : unit -> report
+(** Theorem 5: each splitter output set holds at most [ℓ-1] of [ℓ]
+    concurrent users — exhaustive for 2 processes, sampled beyond. *)
+
+val e2_split_costs : unit -> report
+(** Theorem 2: SPLIT renames to [3^(k-1)] names in [O(k)] accesses,
+    independent of [S]. *)
+
+val e3_mutex : unit -> report
+(** Lemma 6 + Figure 3: mutual exclusion, FIFO handover, and
+    tournament-tree exclusivity. *)
+
+val e4_filter_costs : unit -> report
+(** Theorem 10: FILTER renames to [2dz(k-1)] names within
+    [6d(k-1)⌈log S⌉] checks; cost scales with [k] and [log S]. *)
+
+val e5_regimes : unit -> report
+(** The §4.4 table: for each of the five [S]-vs-[k] regimes, the
+    paper's [(d, z)] and the resulting [D] against the paper's bound,
+    plus measured costs. *)
+
+val e6_ma_vs_pipeline : unit -> report
+(** §1 + Theorem 11: the fast pipeline's cost is flat in [S] while the
+    MA baseline grows linearly — who wins, and where they cross. *)
+
+val e7_cover_free : unit -> report
+(** §4.1 / Proposition 8: [‖N_p ∩ N_q‖ ≤ d] and the [d(k-1)] free-name
+    guarantee, exhaustively for small fields. *)
+
+val e8_z_ablation : unit -> report
+(** §4.1 remark: [z ≥ 2d(k-1)] (paper) vs the tight [z > d(k-1)] —
+    name-space size against acquisition rounds. *)
+
+val e9_crash_tolerance : unit -> report
+(** Wait-freedom: with all other processes frozen mid-operation, the
+    survivor still acquires and releases names, in every protocol. *)
+
+val e10_filter_rounds : unit -> report
+(** Lemma 9: in every completed round a competing process advances in
+    at least [d(k-1)] trees. *)
+
+val e11_one_time : unit -> report
+(** Context for §1: the one-shot Moir–Anderson grid renames to
+    [k(k+1)/2] in [O(k)] — it is {e reuse} that read/write protocols
+    pay for. *)
+
+val e12_primitive_strength : unit -> report
+(** Context for §1/§5: with Test&Set, [k] names (below the read/write
+    [2k-1] lower bound) are easy; the paper's point is doing without. *)
+
+val e13_name_distribution : unit -> report
+(** Beyond the paper: which destination names each protocol actually
+    hands out under churn (locality vs. spread). *)
+
+val all : (string * string * (unit -> report)) list
+(** [(id, title, run)] for every experiment, in order. *)
+
+val find : string -> (unit -> report) option
+val pp_report : Format.formatter -> report -> unit

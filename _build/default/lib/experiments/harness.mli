@@ -1,0 +1,49 @@
+(** Shared machinery for the experiment suite (see {!Experiments}). *)
+
+type costs = {
+  get : int list;  (** Shared accesses per [GetName] execution. *)
+  release : int list;  (** Shared accesses per [ReleaseName] execution. *)
+}
+
+val measure_protocol :
+  (module Renaming.Protocol.S with type t = 'a) ->
+  'a ->
+  layout:Shared_mem.Layout.t ->
+  work:Shared_mem.Cell.t ->
+  pids:int array ->
+  cycles:int ->
+  seeds:int list ->
+  name_space:int ->
+  costs
+(** Run [cycles] acquire/release cycles per process under each seeded
+    random schedule, with the uniqueness monitor armed, collecting
+    per-operation shared-access costs across all runs.  The layout and
+    instance are reused across seeds (long-lived protocols reset
+    themselves); raises {!Sim.Model_check.Violation} on any uniqueness
+    violation. *)
+
+val imax : int list -> int
+val imean : int list -> float
+
+type filter_costs = {
+  fc : costs;
+  rounds : int list;  (** Figure 4 rounds per acquisition. *)
+  checks : int list;  (** Mutex checks per acquisition. *)
+  advances : int list list;
+      (** Per acquisition, trees advanced in each completed round
+          (Lemma 9 instrumentation). *)
+}
+
+val measure_filter :
+  Renaming.Filter.t ->
+  layout:Shared_mem.Layout.t ->
+  work:Shared_mem.Cell.t ->
+  pids:int array ->
+  cycles:int ->
+  seeds:int list ->
+  filter_costs
+(** {!measure_protocol} specialized to FILTER, additionally collecting
+    the Theorem 10 instrumentation. *)
+
+val seeds : int -> int list
+(** Deterministic seed list (same convention as the test suite). *)

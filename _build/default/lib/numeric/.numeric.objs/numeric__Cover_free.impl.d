@@ -1,0 +1,1 @@
+lib/numeric/cover_free.ml: Array Gf Intmath List

@@ -1,0 +1,1 @@
+lib/numeric/cover_free.mli:

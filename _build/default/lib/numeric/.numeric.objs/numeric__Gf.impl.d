@@ -1,0 +1,1 @@
+lib/numeric/gf.ml: Array Primes

@@ -1,0 +1,54 @@
+type t = { k : int; d : int; z : int; field : Gf.field }
+
+let create ?(tight = false) ~k ~d ~z () =
+  if k < 2 then invalid_arg "Cover_free.create: k must be >= 2";
+  if d < 1 then invalid_arg "Cover_free.create: d must be >= 1";
+  if tight then begin
+    if z <= d * (k - 1) then invalid_arg "Cover_free.create: need z > d(k-1)"
+  end
+  else if z < 2 * d * (k - 1) then invalid_arg "Cover_free.create: need z >= 2d(k-1)";
+  { k; d; z; field = Gf.field z }
+
+let k t = t.k
+let degree t = t.d
+let modulus t = t.z
+(* Probe points must be field elements (the <= d agreement bound needs
+   x < z), so the tight variant caps the set at z. *)
+let set_size t = min (2 * t.d * (t.k - 1)) t.z
+let name_space t = t.z * set_size t
+
+let admits_source t s = Intmath.pow_ge t.z (t.d + 1) s
+
+let poly t p =
+  if p < 0 then invalid_arg "Cover_free.poly";
+  Gf.digits ~base:t.z ~width:(t.d + 1) p
+
+let name t p x =
+  if x < 0 || x >= set_size t then invalid_arg "Cover_free.name";
+  (t.z * x) + Gf.eval t.field (poly t p) x
+
+let names t p =
+  let q = poly t p in
+  Array.init (set_size t) (fun x -> (t.z * x) + Gf.eval t.field q x)
+
+let intersection t p q =
+  (* n_p(x) = n_q(y) iff x = y and Q_p(x) = Q_q(x), so count agreement
+     points of the two polynomials among the probed x values. *)
+  let qp = poly t p and qq = poly t q in
+  let count = ref 0 in
+  for x = 0 to set_size t - 1 do
+    if Gf.eval t.field qp x = Gf.eval t.field qq x then incr count
+  done;
+  !count
+
+let free_names t p others =
+  let qp = poly t p in
+  let others = List.filter (fun q -> q <> p) others in
+  let polys = List.map (poly t) others in
+  let free = ref [] in
+  for x = set_size t - 1 downto 0 do
+    let vp = Gf.eval t.field qp x in
+    let taken = List.exists (fun q -> Gf.eval t.field q x = vp) polys in
+    if not taken then free := x :: !free
+  done;
+  !free

@@ -1,0 +1,59 @@
+(** Cover-free name families (§4.1 of the paper, after Erdős–Frankl–Füredi).
+
+    For parameters [d], [z] (prime) and [k], each process [p] gets the
+    name set [N_p = { z·x + Q_p(x) | 0 ≤ x < 2d(k-1) }] where [Q_p] is
+    the degree-[d] polynomial over GF(z) whose coefficients are the
+    base-[z] digits of [p].  Facts used by FILTER:
+
+    - [‖N_p‖ = 2d(k-1)] (all elements distinct);
+    - [p ≠ q ⇒ ‖N_p ∩ N_q‖ ≤ d] (Proposition 8), provided
+      [p, q < z^(d+1)] so that distinct processes get distinct
+      polynomials;
+    - hence for any set [P] of at most [k-1] other processes, at least
+      [d(k-1)] names of [N_p] are outside [⋃_{q∈P} N_q];
+    - every name is in [[0, 2dz(k-1))].
+
+    Requirements ((1) and (2) in the paper): [S ≤ z^(d+1)] and
+    [z ≥ 2d(k-1)].  {!create} enforces (2) and primality; (1) is
+    checked against a given [S] by {!admits_source}. *)
+
+type t
+
+val create : ?tight:bool -> k:int -> d:int -> z:int -> unit -> t
+(** @raise Invalid_argument if [k < 2], [d < 1], [z] is not prime, or
+    [z < 2d(k-1)] (with [~tight:true], the §4.1 remark's relaxation:
+    only [z > d(k-1)] is required, the probe set shrinks to [z] points
+    and merely {e one} free name — rather than [d(k-1)] — is
+    guaranteed, trading acquisition speed for a smaller name space). *)
+
+val k : t -> int
+val degree : t -> int
+val modulus : t -> int
+
+val set_size : t -> int
+(** [min (2d(k-1)) z] — the number of names each process competes for
+    (the cap at [z] only binds for [~tight:true] instances). *)
+
+val name_space : t -> int
+(** [z · set_size] — every [n_p(x)] lies below this bound
+    ([2dz(k-1)] for paper-constraint instances). *)
+
+val admits_source : t -> int -> bool
+(** [admits_source t s]: does requirement (1), [s ≤ z^(d+1)], hold?
+    Overflow-safe. *)
+
+val poly : t -> int -> int array
+(** [poly t p] — the [d+1] coefficients of [Q_p] (little-endian). *)
+
+val name : t -> int -> int -> int
+(** [name t p x] is [n_p(x) = z·x + Q_p(x)].  [0 ≤ x < set_size]. *)
+
+val names : t -> int -> int array
+(** [names t p = [| name t p 0; …; name t p (set_size-1) |]]. *)
+
+val intersection : t -> int -> int -> int
+(** [intersection t p q] is [‖N_p ∩ N_q‖]. *)
+
+val free_names : t -> int -> int list -> int list
+(** [free_names t p others]: the [x] indices of names in [N_p] not
+    belonging to any [N_q] for [q ∈ others, q ≠ p]. *)

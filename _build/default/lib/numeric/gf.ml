@@ -1,0 +1,40 @@
+type field = { z : int }
+
+let field z = if Primes.is_prime z then { z } else invalid_arg "Gf.field: modulus must be prime"
+let order f = f.z
+let add f a b = (a + b) mod f.z
+let sub f a b = ((a - b) mod f.z + f.z) mod f.z
+let mul f a b = a * b mod f.z
+
+let pow f x e =
+  if e < 0 then invalid_arg "Gf.pow";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul f acc base else acc in
+      go acc (mul f base base) (e lsr 1)
+  in
+  go 1 (x mod f.z) e
+
+let inv f x =
+  if x mod f.z = 0 then raise Division_by_zero;
+  (* Fermat: x^(z-2) since z is prime. *)
+  pow f x (f.z - 2)
+
+let eval f coeffs x =
+  let n = Array.length coeffs in
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := add f (mul f !acc x) coeffs.(i)
+  done;
+  !acc
+
+let digits ~base ~width n =
+  if base < 2 || width < 1 || n < 0 then invalid_arg "Gf.digits";
+  let a = Array.make width 0 in
+  let rest = ref n in
+  for i = 0 to width - 1 do
+    a.(i) <- !rest mod base;
+    rest := !rest / base
+  done;
+  a

@@ -1,0 +1,32 @@
+(** Arithmetic in the prime field GF(z).
+
+    FILTER assigns each process a distinct polynomial over GF(z); two
+    distinct degree-[d] polynomials agree on at most [d] points
+    (a polynomial of degree ≤ d has ≤ d roots), which is the
+    combinatorial engine behind the cover-free name families. *)
+
+type field
+(** The field GF(z) for a prime [z]. *)
+
+val field : int -> field
+(** @raise Invalid_argument if the argument is not prime. *)
+
+val order : field -> int
+val add : field -> int -> int -> int
+val sub : field -> int -> int -> int
+val mul : field -> int -> int -> int
+val pow : field -> int -> int -> int
+(** [pow f x e] for [e ≥ 0]. *)
+
+val inv : field -> int -> int
+(** Multiplicative inverse.  @raise Division_by_zero on 0. *)
+
+val eval : field -> int array -> int -> int
+(** [eval f coeffs x] evaluates [Σ coeffs.(i) · x^i] by Horner's rule.
+    Coefficients and [x] must lie in [\[0, z)]. *)
+
+val digits : base:int -> width:int -> int -> int array
+(** [digits ~base ~width n] is the little-endian base-[base] expansion
+    of [n], padded/truncated to [width] digits.  Distinct
+    [n < base^width] give distinct digit vectors — this is how distinct
+    processes get distinct polynomials (§4.1: [a_i = (p div z^i) mod z]). *)

@@ -1,0 +1,29 @@
+let pow b e =
+  if e < 0 then invalid_arg "Intmath.pow";
+  let rec go acc i = if i = 0 then acc else go (acc * b) (i - 1) in
+  go 1 e
+
+let pow_ge r m s =
+  let rec go acc i =
+    if acc >= s then true
+    else if i = 0 then false
+    else if r > 1 && acc > max_int / r then true
+    else go (acc * r) (i - 1)
+  in
+  go 1 m
+
+let ceil_log2 n =
+  let rec go l c = if c >= n then l else go (l + 1) (c * 2) in
+  go 0 1
+
+let ceil_root s m =
+  if m < 1 || s < 1 then invalid_arg "Intmath.ceil_root";
+  if s = 1 then 1
+  else begin
+    let guess = int_of_float (Float.of_int s ** (1.0 /. Float.of_int m)) in
+    let r = ref (max 1 (guess - 2)) in
+    while not (pow_ge !r m s) do
+      incr r
+    done;
+    !r
+  end

@@ -1,0 +1,13 @@
+(** Small integer helpers shared across the libraries. *)
+
+val pow : int -> int -> int
+(** [pow b e] for [e ≥ 0]; caller must ensure no overflow. *)
+
+val pow_ge : int -> int -> int -> bool
+(** [pow_ge r m s] decides [r^m ≥ s] without overflowing. *)
+
+val ceil_log2 : int -> int
+(** Least [l] with [2^l ≥ n] (0 for [n ≤ 1]). *)
+
+val ceil_root : int -> int -> int
+(** [ceil_root s m]: least [r ≥ 1] with [r^m ≥ s] ([s, m ≥ 1]). *)

@@ -1,0 +1,40 @@
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else
+    let rec trial d = d * d > n || (n mod d <> 0 && trial (d + 2)) in
+    trial 3
+
+let next_prime n =
+  if n < 0 then invalid_arg "Primes.next_prime";
+  let rec search m = if is_prime m then m else search (m + 1) in
+  search (max n 2)
+
+let prime_in lo hi =
+  let p = next_prime (max lo 2) in
+  if p <= hi then Some p else None
+
+let primes_upto n =
+  if n < 2 then []
+  else begin
+    let sieve = Array.make (n + 1) true in
+    sieve.(0) <- false;
+    sieve.(1) <- false;
+    let i = ref 2 in
+    while !i * !i <= n do
+      if sieve.(!i) then begin
+        let j = ref (!i * !i) in
+        while !j <= n do
+          sieve.(!j) <- false;
+          j := !j + !i
+        done
+      end;
+      incr i
+    done;
+    let acc = ref [] in
+    for p = n downto 2 do
+      if sieve.(p) then acc := p :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,19 @@
+(** Primality and prime search.
+
+    FILTER needs a prime modulus [z] in a Bertrand-style range (for any
+    [a ≥ 1] there is a prime in [\[a, 2a\]]); the moduli involved are
+    small (polynomial in [k]), so deterministic trial division is
+    ample. *)
+
+val is_prime : int -> bool
+(** Deterministic; correct for all [n ≥ 0] representable in an [int]
+    (trial division up to [√n]). *)
+
+val next_prime : int -> int
+(** Smallest prime [≥ n].  @raise Invalid_argument if [n < 0]. *)
+
+val prime_in : int -> int -> int option
+(** [prime_in lo hi] is the smallest prime in [\[lo, hi\]], if any. *)
+
+val primes_upto : int -> int list
+(** All primes [≤ n], ascending (sieve of Eratosthenes). *)

@@ -1,0 +1,1 @@
+lib/runtime/atomic_store.ml: Array Atomic Cell Layout Shared_mem Store

@@ -1,0 +1,1 @@
+lib/runtime/atomic_store.mli: Shared_mem

@@ -1,0 +1,1 @@
+lib/runtime/domain_runner.ml: Array Atomic Atomic_store Domain Renaming

@@ -1,0 +1,1 @@
+lib/runtime/domain_runner.mli: Renaming Shared_mem

@@ -1,0 +1,41 @@
+type result = { cycles_done : int array; violations : int; max_concurrent : int }
+
+let run (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a) ~layout ~pids
+    ~cycles ~name_space =
+  let store = Atomic_store.create layout in
+  let holders = Array.init name_space (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let concurrent = Atomic.make 0 in
+  let max_concurrent = Atomic.make 0 in
+  let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
+  let bump_max c =
+    (* monotone CAS loop *)
+    let rec go () =
+      let m = Atomic.get max_concurrent in
+      if c > m && not (Atomic.compare_and_set max_concurrent m c) then go ()
+    in
+    go ()
+  in
+  let worker i pid () =
+    let ops = Atomic_store.ops store ~pid in
+    for _ = 1 to cycles do
+      let lease = P.get_name inst ops in
+      let n = P.name_of inst lease in
+      if n < 0 || n >= name_space then Atomic.incr violations
+      else if Atomic.fetch_and_add holders.(n) 1 <> 0 then Atomic.incr violations;
+      bump_max (1 + Atomic.fetch_and_add concurrent 1);
+      (* hold the name briefly so overlaps actually occur *)
+      Domain.cpu_relax ();
+      Atomic.decr concurrent;
+      if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
+      P.release_name inst ops lease;
+      Atomic.incr cycles_done.(i)
+    done
+  in
+  let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
+  Array.iter Domain.join domains;
+  {
+    cycles_done = Array.map Atomic.get cycles_done;
+    violations = Atomic.get violations;
+    max_concurrent = Atomic.get max_concurrent;
+  }

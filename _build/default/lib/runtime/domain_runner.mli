@@ -1,0 +1,31 @@
+(** Running a renaming protocol across real OS domains.
+
+    Spawns one domain per source name, each performing acquire/release
+    cycles against an {!Atomic_store}, with an on-line uniqueness
+    monitor: a per-name atomic holder counter that must never exceed 1
+    (incremented after [get_name], decremented before [release_name]).
+
+    Useful bounds: run at most [Domain.recommended_domain_count]
+    workers for true parallelism; more still works (domains are
+    preemptively scheduled) and the protocols are wait-free, so
+    stragglers cannot deadlock the run. *)
+
+type result = {
+  cycles_done : int array;  (** Per worker; equals [cycles] on success. *)
+  violations : int;
+      (** Times a name was observed held by two workers at once, or a
+          name fell outside [\[0, name_space)]. *)
+  max_concurrent : int;  (** High-water mark of names held at once. *)
+}
+
+val run :
+  (module Renaming.Protocol.S with type t = 'a) ->
+  'a ->
+  layout:Shared_mem.Layout.t ->
+  pids:int array ->
+  cycles:int ->
+  name_space:int ->
+  result
+(** [run (module P) inst ~layout ~pids ~cycles ~name_space] spawns
+    [Array.length pids] domains.  The instance must have been created
+    from [layout] with every pid a legal source name. *)

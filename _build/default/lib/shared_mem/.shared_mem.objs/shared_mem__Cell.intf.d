@@ -1,0 +1,1 @@
+lib/shared_mem/cell.mli: Format

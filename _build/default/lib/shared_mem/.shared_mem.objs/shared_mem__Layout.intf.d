@@ -1,0 +1,1 @@
+lib/shared_mem/layout.mli: Cell

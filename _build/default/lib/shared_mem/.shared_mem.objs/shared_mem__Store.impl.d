@@ -1,0 +1,1 @@
+lib/shared_mem/store.ml: Array Cell Layout

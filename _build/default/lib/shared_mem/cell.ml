@@ -1,0 +1,8 @@
+type t = { id : int; name : string; init : int }
+
+let make ~id ~name ~init = { id; name; init }
+let id c = c.id
+let name c = c.name
+let init c = c.init
+let equal a b = a.id = b.id
+let pp ppf c = Format.fprintf ppf "%s#%d" c.name c.id

@@ -1,0 +1,29 @@
+(** Handles for shared atomic registers.
+
+    A [Cell.t] identifies one shared multi-reader/multi-writer register
+    holding an [int].  Cells are created by {!Layout.alloc}; the handle
+    itself carries no storage — a store (sequential array, simulator
+    memory, [Atomic.t] array, …) interprets it. *)
+
+type t
+(** Handle for a single shared register. *)
+
+val make : id:int -> name:string -> init:int -> t
+(** [make ~id ~name ~init] builds a handle.  Intended for {!Layout};
+    user code should obtain cells from an allocator so that ids are
+    dense and unique. *)
+
+val id : t -> int
+(** Dense index of the register within its layout. *)
+
+val name : t -> string
+(** Human-readable register name (for traces and debugging). *)
+
+val init : t -> int
+(** Initial value of the register. *)
+
+val equal : t -> t -> bool
+(** Handle equality ([id] equality). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["name#id"]. *)

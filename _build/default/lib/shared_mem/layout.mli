@@ -1,0 +1,31 @@
+(** Allocation of shared registers.
+
+    A [Layout.t] is a growing collection of register declarations.
+    Protocol constructors allocate all the registers they need from a
+    layout; afterwards a store of the right size is instantiated from
+    it.  Layouts are single-threaded builder objects: allocate
+    everything before any process starts running. *)
+
+type t
+
+val create : unit -> t
+(** Fresh, empty layout. *)
+
+val alloc : t -> ?name:string -> int -> Cell.t
+(** [alloc t ~name init] declares a new register with initial value
+    [init] and returns its handle.  [name] defaults to ["r"]. *)
+
+val alloc_array : t -> ?name:string -> int -> int -> Cell.t array
+(** [alloc_array t ~name len init] declares [len] registers named
+    ["name[i]"], all initialised to [init]. *)
+
+val size : t -> int
+(** Number of registers allocated so far. *)
+
+val initial_values : t -> int array
+(** Snapshot of the initial value of every register, indexed by
+    {!Cell.id}.  Fresh array on every call. *)
+
+val cell_name : t -> int -> string
+(** [cell_name t id] is the name of the register with index [id].
+    @raise Invalid_argument if [id] is out of range. *)

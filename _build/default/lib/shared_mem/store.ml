@@ -1,0 +1,53 @@
+type ops = {
+  pid : int;
+  read : Cell.t -> int;
+  write : Cell.t -> int -> unit;
+  rmw : Cell.t -> (int -> int) -> int;
+}
+
+type seq = int array
+
+let seq_create layout = Layout.initial_values layout
+
+let seq_ops mem ~pid =
+  {
+    pid;
+    read = (fun c -> mem.(Cell.id c));
+    write = (fun c v -> mem.(Cell.id c) <- v);
+    rmw =
+      (fun c f ->
+        let v = mem.(Cell.id c) in
+        mem.(Cell.id c) <- f v;
+        v);
+  }
+
+let seq_get mem c = mem.(Cell.id c)
+let seq_set mem c v = mem.(Cell.id c) <- v
+
+type counter = { mutable reads : int; mutable writes : int }
+
+let counter () = { reads = 0; writes = 0 }
+
+let counting c ops =
+  {
+    pid = ops.pid;
+    read =
+      (fun cell ->
+        c.reads <- c.reads + 1;
+        ops.read cell);
+    write =
+      (fun cell v ->
+        c.writes <- c.writes + 1;
+        ops.write cell v);
+    rmw =
+      (fun cell f ->
+        (* one atomic access; tally it as a write *)
+        c.writes <- c.writes + 1;
+        ops.rmw cell f);
+  }
+
+let accesses c = c.reads + c.writes
+
+let reset c =
+  c.reads <- 0;
+  c.writes <- 0

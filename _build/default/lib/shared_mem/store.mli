@@ -1,0 +1,57 @@
+(** Process-side access to shared registers.
+
+    An {!ops} record is the capability a single process uses to touch
+    shared memory.  Protocol code is written purely against [ops], so
+    the same code runs under the deterministic simulator, a plain
+    sequential array (for single-threaded tests), or an [Atomic.t]
+    array across OS domains (see the [runtime] library).
+
+    The [pid] field is the process's {e source name} — the identity in
+    [{0, …, S-1}] that the renaming protocols reduce. *)
+
+type ops = {
+  pid : int;  (** Source name of the executing process. *)
+  read : Cell.t -> int;  (** Atomic read of a register. *)
+  write : Cell.t -> int -> unit;  (** Atomic write of a register. *)
+  rmw : Cell.t -> (int -> int) -> int;
+      (** [rmw c f] atomically replaces the contents [v] of [c] by
+          [f v] and returns [v].  This is a {e stronger} primitive than
+          the paper's read/write registers (consensus number > 1); the
+          core protocols never use it — it exists for the Test&Set
+          baseline ({!Renaming.Tas_baseline}) that the paper contrasts
+          against, and costs one shared access. *)
+}
+
+(** {1 Sequential store}
+
+    Backing for single-threaded tests: a plain array.  All processes
+    share the same array; no interleaving happens (calls run to
+    completion), so it exercises protocol logic, not concurrency. *)
+
+type seq
+
+val seq_create : Layout.t -> seq
+(** Instantiate register storage from a layout's initial values. *)
+
+val seq_ops : seq -> pid:int -> ops
+(** Capability for process [pid] over the sequential store. *)
+
+val seq_get : seq -> Cell.t -> int
+(** Direct inspection of a register (test helper, not a protocol step). *)
+
+val seq_set : seq -> Cell.t -> int -> unit
+(** Direct mutation of a register (test helper, not a protocol step). *)
+
+(** {1 Access counting} *)
+
+type counter = { mutable reads : int; mutable writes : int }
+
+val counter : unit -> counter
+
+val counting : counter -> ops -> ops
+(** [counting c ops] forwards to [ops] and tallies accesses in [c]. *)
+
+val accesses : counter -> int
+(** [reads + writes] — the paper's complexity measure. *)
+
+val reset : counter -> unit

@@ -1,0 +1,1 @@
+lib/sim/checks.ml: Event Hashtbl List Model_check Option Printf Sched String Trace

@@ -1,0 +1,1 @@
+lib/sim/checks.mli: Sched Trace

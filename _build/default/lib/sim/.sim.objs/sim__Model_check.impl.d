@@ -1,0 +1,1 @@
+lib/sim/model_check.ml: Array List Printf Rng Sched Shared_mem

@@ -1,0 +1,1 @@
+lib/sim/model_check.mli: Result Sched Shared_mem

@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Cell Effect Event Int Layout Rng Shared_mem Store

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Bytes Char Event Format Hashtbl List Printf Queue Sched Shared_mem String

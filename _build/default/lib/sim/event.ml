@@ -1,0 +1,12 @@
+type t = Acquired of int | Released of int | Note of string * int
+
+let pp ppf = function
+  | Acquired n -> Format.fprintf ppf "acquired %d" n
+  | Released n -> Format.fprintf ppf "released %d" n
+  | Note (s, v) -> Format.fprintf ppf "%s %d" s v
+
+let equal a b =
+  match (a, b) with
+  | Acquired x, Acquired y | Released x, Released y -> x = y
+  | Note (s, x), Note (t, y) -> String.equal s t && x = y
+  | (Acquired _ | Released _ | Note _), _ -> false

@@ -1,0 +1,15 @@
+(** Events emitted by simulated processes.
+
+    Events mark high-level protocol transitions (name acquired /
+    released) so that monitors can check invariants such as "no two
+    processes concurrently hold the same name".  Emitting an event is
+    not a shared-memory access and does not consume a scheduler step:
+    it happens atomically with the access that precedes it. *)
+
+type t =
+  | Acquired of int  (** Process completed [GetName], obtaining this name. *)
+  | Released of int  (** Process completed [ReleaseName] of this name. *)
+  | Note of string * int  (** Free-form instrumentation. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,97 @@
+exception Violation of string
+
+type config = {
+  layout : Shared_mem.Layout.t;
+  procs : (int * (Shared_mem.Store.ops -> unit)) array;
+  monitor : Sched.monitor;
+}
+
+type builder = unit -> config
+type violation = { message : string; schedule : int list }
+type result = { paths : int; complete : bool; violation : violation option }
+
+(* Run one path.  [prefix] is the list of (choice, _) pairs to replay in
+   order; once exhausted, choice 0 is taken at every further decision.
+   Returns the decision list in reverse order (for backtracking), or the
+   violation. *)
+let run_path builder max_steps prefix =
+  let cfg = builder () in
+  let taken = ref [] in
+  try
+    let t = Sched.create ~monitor:cfg.monitor cfg.layout cfg.procs in
+    let prefix = ref prefix in
+    let running = ref true in
+    while !running do
+      let en = Sched.enabled t in
+      let n = Array.length en in
+      if n = 0 || Sched.total_steps t >= max_steps then running := false
+      else begin
+        let c =
+          match !prefix with
+          | (c, _) :: rest ->
+              prefix := rest;
+              c
+          | [] -> 0
+        in
+        taken := (c, n) :: !taken;
+        Sched.step t en.(c)
+      end
+    done;
+    Ok !taken
+  with Violation message ->
+    Error { message; schedule = List.rev_map fst !taken }
+
+(* Next depth-first prefix after a completed path (path in reverse
+   order): drop maxed-out tail decisions, bump the deepest bumpable. *)
+let rec next_prefix = function
+  | [] -> None
+  | (c, n) :: rest -> if c + 1 < n then Some ((c + 1, n) :: rest) else next_prefix rest
+
+let explore ?(max_steps = 10_000) ?(max_paths = 2_000_000) builder =
+  let rec loop paths prefix =
+    match run_path builder max_steps prefix with
+    | Error v -> { paths; complete = false; violation = Some v }
+    | Ok taken_rev -> (
+        let paths = paths + 1 in
+        match next_prefix taken_rev with
+        | None -> { paths; complete = true; violation = None }
+        | Some p ->
+            if paths >= max_paths then { paths; complete = false; violation = None }
+            else loop paths (List.rev p))
+  in
+  loop 0 []
+
+let sample ?(max_steps = 100_000) ~seeds builder =
+  let run_seed seed =
+    let cfg = builder () in
+    try
+      let t = Sched.create ~monitor:cfg.monitor cfg.layout cfg.procs in
+      let _ = Sched.run ~max_steps t (Sched.random (Rng.make seed)) in
+      None
+    with Violation message ->
+      Some { message = Printf.sprintf "[seed %d] %s" seed message; schedule = [] }
+  in
+  let rec loop n = function
+    | [] -> { paths = n; complete = true; violation = None }
+    | seed :: rest -> (
+        match run_seed seed with
+        | Some v -> { paths = n; complete = false; violation = Some v }
+        | None -> loop (n + 1) rest)
+  in
+  loop 0 seeds
+
+let replay ?(max_steps = 10_000) builder schedule =
+  match run_path builder max_steps (List.map (fun c -> (c, max_int)) schedule) with
+  | Ok _ -> Ok ()
+  | Error v -> Error v
+
+let shortest_violation ?(max_steps = 200) ?(max_paths_per_depth = 500_000) builder =
+  let rec deepen d =
+    if d > max_steps then None
+    else
+      let r = explore ~max_steps:d ~max_paths:max_paths_per_depth builder in
+      match r.violation with
+      | Some v -> Some v
+      | None -> if r.complete then deepen (d + 1) else None
+  in
+  deepen 1

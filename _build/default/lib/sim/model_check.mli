@@ -1,0 +1,68 @@
+(** Bounded schedule exploration.
+
+    OCaml continuations are one-shot, so the checker is re-execution
+    based (in the style of stateless model checkers such as dscheck):
+    each explored interleaving rebuilds the whole configuration from
+    scratch via a user-supplied builder and replays a prefix of
+    scheduling choices, then extends it depth-first.
+
+    Exhaustive exploration is feasible for the paper's small "special
+    cases" (2–3 processes, one or two acquire/release cycles); beyond
+    that, {!sample} draws seeded-random schedules.
+
+    Design note — why no partial-order reduction: sleep sets and DPOR
+    prune interleavings that are Mazurkiewicz-equivalent under an
+    independence relation on {e memory accesses}, but the monitors here
+    check properties of {e event overlap} (two processes holding the
+    same name simultaneously).  In a buggy protocol such an overlap
+    need not be witnessed by any access conflict, so trace-equivalence
+    pruning could explore only the non-overlapping representative and
+    miss the bug.  The mutation suite (test_mutations.ml) is the
+    regression net that keeps the checker honest. *)
+
+exception Violation of string
+(** Raised by monitors to signal an invariant violation; the checker
+    catches it and reports the offending schedule. *)
+
+type config = {
+  layout : Shared_mem.Layout.t;
+  procs : (int * (Shared_mem.Store.ops -> unit)) array;
+  monitor : Sched.monitor;
+}
+
+type builder = unit -> config
+(** Must build a {e fresh} configuration — fresh layout, fresh cells,
+    fresh monitor state — so that replayed schedules are reproducible. *)
+
+type violation = {
+  message : string;
+  schedule : int list;
+      (** The choice at each decision point: index into the enabled
+          array, in execution order.  Replayable via {!replay}. *)
+}
+
+type result = {
+  paths : int;  (** Interleavings fully explored. *)
+  complete : bool;  (** False if [max_paths] stopped the search. *)
+  violation : violation option;  (** First violation found, if any. *)
+}
+
+val explore : ?max_steps:int -> ?max_paths:int -> builder -> result
+(** Depth-first exhaustive exploration.  [max_steps] (default [10_000])
+    truncates each path (invariants are still checked along truncated
+    paths); [max_paths] (default [2_000_000]) bounds the search. *)
+
+val sample : ?max_steps:int -> seeds:int list -> builder -> result
+(** One seeded-random schedule per seed; [paths] counts runs. *)
+
+val replay : ?max_steps:int -> builder -> int list -> (unit, violation) Result.t
+(** Re-run a single schedule (as reported in {!violation.schedule}). *)
+
+val shortest_violation :
+  ?max_steps:int -> ?max_paths_per_depth:int -> builder -> violation option
+(** Iterative-deepening search for a minimal-length counterexample:
+    explores all schedules of length [d] for growing [d] (up to
+    [max_steps], default [200]) and returns the first violation found
+    at the smallest depth.  Much shorter counterexamples than
+    {!explore}'s depth-first order, at the price of re-exploration;
+    meant for debugging small configurations. *)

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The simulator and the tests never use [Stdlib.Random]: every random
+    schedule is reproducible from an explicit seed, so a failing
+    interleaving can be replayed exactly. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a generator; equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Child generator with an independent-looking stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

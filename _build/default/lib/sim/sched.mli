@@ -1,0 +1,117 @@
+(** Deterministic simulator of asynchronous shared memory.
+
+    Processes are plain OCaml functions over a {!Shared_mem.Store.ops}
+    capability.  Under simulation each [read]/[write] performs an
+    OCaml 5 effect; the scheduler resumes exactly one process per step
+    and applies exactly one shared access per step.  This matches the
+    paper's execution model verbatim: each labelled statement is atomic
+    and contains at most one shared-variable access, and an adversary
+    chooses the interleaving.
+
+    Local computation between two shared accesses runs atomically with
+    the step that performed the first access (local steps of distinct
+    processes commute, so this does not restrict the adversary).
+
+    Crashes and slow processes are modelled by {!pause}: a paused
+    process takes no further steps until {!resume}; wait-freedom means
+    the others still make progress. *)
+
+type t
+(** A running simulation. *)
+
+type access =
+  | Read of Shared_mem.Cell.t * int  (** Register and the value read. *)
+  | Write of Shared_mem.Cell.t * int  (** Register and the value written. *)
+  | Update of Shared_mem.Cell.t * int * int
+      (** Atomic read-modify-write: old and new value. *)
+
+type monitor = {
+  on_event : t -> int -> Event.t -> unit;
+      (** Called when a process emits an event (atomic with the
+          enclosing step). *)
+  on_access : t -> int -> access -> unit;
+      (** Called right after the access is applied to memory. *)
+  on_step : t -> int -> unit;
+      (** Called after the step's local continuation has run. *)
+}
+
+val no_monitor : monitor
+
+val monitor :
+  ?on_event:(t -> int -> Event.t -> unit) ->
+  ?on_access:(t -> int -> access -> unit) ->
+  ?on_step:(t -> int -> unit) ->
+  unit ->
+  monitor
+(** Monitor with the given hooks; missing hooks are no-ops. *)
+
+(** {1 Construction and stepping} *)
+
+val create :
+  ?monitor:monitor ->
+  Shared_mem.Layout.t ->
+  (int * (Shared_mem.Store.ops -> unit)) array ->
+  t
+(** [create layout procs] initialises memory from [layout] and spawns
+    one process per [(pid, body)] pair.  [pid] is the process's source
+    name (it may exceed the number of processes; the paper's processes
+    are sparse in [{0,…,S-1}]).  Each body runs up to its first shared
+    access during [create]. *)
+
+val enabled : t -> int array
+(** Indices (into the [procs] array, {e not} pids) of processes that
+    are unfinished and not paused, in increasing order. *)
+
+val step : t -> int -> unit
+(** [step t i] performs process [i]'s pending shared access and runs
+    its local continuation up to the next access or completion.
+    @raise Invalid_argument if [i] is not enabled. *)
+
+val finished : t -> int -> bool
+val pause : t -> int -> unit
+val resume : t -> int -> unit
+val pid_of : t -> int -> int
+(** Source name of process index [i]. *)
+
+val steps_of : t -> int -> int
+(** Shared accesses performed so far by process [i]. *)
+
+val total_steps : t -> int
+val peek : t -> Shared_mem.Cell.t -> int
+(** Read a register without consuming a step (monitor/test helper). *)
+
+val n_procs : t -> int
+
+(** {1 Whole-run driving} *)
+
+type strategy = t -> int array -> int
+(** Given the simulation and the enabled process indices (non-empty),
+    return the index to step next. *)
+
+val round_robin : strategy
+val random : Rng.t -> strategy
+
+val pick : (t -> int array -> int option) -> strategy
+(** Adversary helper: [pick f] follows [f] when it returns [Some i]
+    with [i] enabled, and falls back to the first enabled process. *)
+
+type outcome = {
+  completed : bool array;  (** Per process: did its body return? *)
+  steps : int array;  (** Per process: shared accesses performed. *)
+  total : int;  (** Total shared accesses. *)
+  truncated : bool;  (** True iff the step budget ran out. *)
+}
+
+val run : ?max_steps:int -> t -> strategy -> outcome
+(** Drive [t] until no process is enabled or [max_steps] (default
+    [1_000_000]) steps have been taken. *)
+
+(** {1 Used by process bodies} *)
+
+val ops_for : t -> int -> Shared_mem.Store.ops
+(** The capability handed to process index [i]; exposed for
+    combinators that re-wrap it. *)
+
+val emit : Event.t -> unit
+(** Emit an event from inside a simulated process.  Must only be
+    called from a process body running under this scheduler. *)

@@ -1,0 +1,126 @@
+type item =
+  | Access of { step : int; proc : int; pid : int; access : Sched.access }
+  | Emitted of { proc : int; pid : int; event : Event.t }
+
+type t = {
+  capacity : int;
+  ring : item Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity < 1 then invalid_arg "Trace.create";
+  { capacity; ring = Queue.create (); dropped = 0 }
+
+let push t item =
+  if Queue.length t.ring >= t.capacity then begin
+    ignore (Queue.pop t.ring);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.push item t.ring
+
+let monitor t =
+  Sched.monitor
+    ~on_access:(fun sched proc access ->
+      push t
+        (Access
+           { step = Sched.total_steps sched; proc; pid = Sched.pid_of sched proc; access }))
+    ~on_event:(fun sched proc event ->
+      push t (Emitted { proc; pid = Sched.pid_of sched proc; event }))
+    ()
+
+let items t = List.of_seq (Queue.to_seq t.ring)
+let length t = Queue.length t.ring
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.ring;
+  t.dropped <- 0
+
+let pp_item ppf = function
+  | Access { step; proc; pid; access } -> (
+      match access with
+      | Sched.Read (c, v) ->
+          Format.fprintf ppf "%4d p%d(pid %d) R %a = %d" step proc pid Shared_mem.Cell.pp c v
+      | Sched.Write (c, v) ->
+          Format.fprintf ppf "%4d p%d(pid %d) W %a := %d" step proc pid Shared_mem.Cell.pp c v
+      | Sched.Update (c, old, v) ->
+          Format.fprintf ppf "%4d p%d(pid %d) U %a : %d -> %d" step proc pid Shared_mem.Cell.pp
+            c old v)
+  | Emitted { proc; pid; event } ->
+      Format.fprintf ppf "     p%d(pid %d) ! %a" proc pid Event.pp event
+
+let pp ppf t =
+  Queue.iter (fun item -> Format.fprintf ppf "%a@." pp_item item) t.ring
+
+let name_glyph n =
+  if n < 0 then '?'
+  else if n < 10 then Char.chr (Char.code '0' + n)
+  else if n < 36 then Char.chr (Char.code 'a' + n - 10)
+  else '*'
+
+let timeline ?(width = 72) t =
+  (* Reconstruct per-process state at every step: the step clock is the
+     running access count; events adopt the current clock. *)
+  let items = items t in
+  let last_step =
+    List.fold_left
+      (fun acc -> function Access { step; _ } -> max acc step | Emitted _ -> acc)
+      1 items
+  in
+  let procs = Hashtbl.create 8 in
+  List.iter
+    (fun item ->
+      let proc, pid =
+        match item with
+        | Access { proc; pid; _ } | Emitted { proc; pid; _ } -> (proc, pid)
+      in
+      if not (Hashtbl.mem procs proc) then Hashtbl.add procs proc pid)
+    items;
+  let lanes =
+    Hashtbl.fold (fun proc pid acc -> (proc, pid) :: acc) procs [] |> List.sort compare
+  in
+  let buckets = max 1 (min width last_step) in
+  let bucket_of step = min (buckets - 1) ((step - 1) * buckets / last_step) in
+  let grid = Hashtbl.create 8 in
+  List.iter (fun (proc, _) -> Hashtbl.add grid proc (Bytes.make buckets ' ')) lanes;
+  (* walk items, tracking clock and per-proc holding state *)
+  let clock = ref 1 in
+  let holding = Hashtbl.create 8 in
+  let active = Hashtbl.create 8 in
+  let paint proc ch =
+    let lane = Hashtbl.find grid proc in
+    let b = bucket_of !clock in
+    (* holding marks overwrite competing marks, never the reverse *)
+    if ch <> '.' || Bytes.get lane b = ' ' then Bytes.set lane b ch
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Access { step; proc; _ } ->
+          clock := step;
+          (match Hashtbl.find_opt holding proc with
+          | Some n -> paint proc (name_glyph n)
+          | None -> if Hashtbl.mem active proc then paint proc '.')
+      | Emitted { proc; event; _ } -> (
+          match event with
+          | Event.Acquired n ->
+              Hashtbl.replace holding proc n;
+              Hashtbl.replace active proc ();
+              paint proc (name_glyph n)
+          | Event.Released n ->
+              paint proc (name_glyph n);
+              Hashtbl.remove holding proc
+          | Event.Note _ -> Hashtbl.replace active proc ()))
+    items;
+  let header =
+    Printf.sprintf "steps 1..%d  (digit/letter = name held, . = competing, space = idle)"
+      last_step
+  in
+  let lines =
+    List.map
+      (fun (proc, pid) ->
+        Printf.sprintf "p%d (pid %6d) |%s|" proc pid (Bytes.to_string (Hashtbl.find grid proc)))
+      lanes
+  in
+  String.concat "\n" (header :: lines)

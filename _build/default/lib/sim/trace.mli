@@ -1,0 +1,47 @@
+(** Execution-trace recording.
+
+    A trace monitor records every shared access and every event, in
+    order, into a bounded ring (oldest entries are dropped first).
+    Invaluable when a model-checker violation needs a post-mortem: wire
+    a trace into the same run and print the tail.
+
+    Combine with other monitors via {!Checks.combine}. *)
+
+type item =
+  | Access of { step : int; proc : int; pid : int; access : Sched.access }
+      (** The [step]-th shared access of the run, by process index
+          [proc] (source name [pid]). *)
+  | Emitted of { proc : int; pid : int; event : Event.t }
+      (** An event, atomic with the access recorded just before it. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep the last [capacity] (default [10_000]) items. *)
+
+val monitor : t -> Sched.monitor
+
+val items : t -> item list
+(** Recorded items, oldest first. *)
+
+val length : t -> int
+(** Items currently held. *)
+
+val dropped : t -> int
+(** Items discarded because the ring was full. *)
+
+val clear : t -> unit
+
+val pp_item : Format.formatter -> item -> unit
+(** One line, e.g. ["  47 p1(pid 19) W ADVICE1#4 := -1"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** All held items, one per line. *)
+
+val timeline : ?width:int -> t -> string
+(** ASCII timeline of name-holding intervals: one lane per process,
+    time flowing right (bucketed to [width] columns, default 72); a
+    digit/letter marks the name held ([0-9a-z], [*] beyond 35), [.]
+    marks competing (between the cycle's first access and the
+    acquisition), space marks idle.  Derived from [Acquired]/[Released]
+    events against the access-step clock. *)

@@ -1,0 +1,52 @@
+type spec = { cycles : int; hold : int -> int; delay : int -> int }
+
+let churn ?(hold = 1) ~cycles () = { cycles; hold = (fun _ -> hold); delay = (fun _ -> 0) }
+
+let staggered ?(hold = 1) ~cycles ~stride ~index () =
+  {
+    cycles;
+    hold = (fun _ -> hold);
+    delay = (fun i -> if i = 0 then index * stride else 0);
+  }
+
+let bursty ~cycles ~seed =
+  (* Hold/delay patterns must be a pure function of the cycle index so
+     that model-checker re-executions replay identically; derive both
+     from a stateless hash of (seed, i). *)
+  let mix i salt =
+    let h = ref (seed lxor (i * 0x9E3779B9) lxor salt) in
+    h := !h lxor (!h lsr 16);
+    h := !h * 0x45D9F3B land max_int;
+    h := !h lxor (!h lsr 16);
+    !h
+  in
+  { cycles; hold = (fun i -> mix i 1 mod 8); delay = (fun i -> mix i 2 mod 16) }
+
+let idle (ops : Shared_mem.Store.ops) ~work n =
+  for _ = 1 to n do
+    ignore (ops.read work)
+  done
+
+let run_cycle (type a l)
+    (module P : Renaming.Protocol.S with type t = a and type lease = l) (inst : a) ~work spec
+    i (ops : Shared_mem.Store.ops) =
+  Sim.Sched.emit (Sim.Event.Note ("cycle", i));
+  idle ops ~work (spec.delay i);
+  let lease = P.get_name inst ops in
+  Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+  idle ops ~work (spec.hold i);
+  Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+  P.release_name inst ops lease
+
+let body (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a) ~work spec ops =
+  for i = 0 to spec.cycles - 1 do
+    run_cycle (module P) inst ~work spec i ops
+  done
+
+let rotating_body (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a) ~work
+    ~pids spec (ops : Shared_mem.Store.ops) =
+  let n = Array.length pids in
+  if n = 0 then invalid_arg "Workload.rotating_body: no pids";
+  for i = 0 to spec.cycles - 1 do
+    run_cycle (module P) inst ~work spec i { ops with pid = pids.(i mod n) }
+  done

@@ -1,0 +1,54 @@
+(** Acquire/release workload generators for simulator processes.
+
+    Each generator returns a process body usable with {!Sim.Sched} (or
+    the model checker).  Bodies emit [Acquired]/[Released] events so
+    the standard uniqueness monitors apply, and emit
+    [Note ("cycle", i)] at the start of each cycle for tracing.
+
+    The hold duration is expressed in {e shared reads of [work]}, i.e.
+    in scheduler steps, because simulated time only advances with
+    shared accesses. *)
+
+type spec = {
+  cycles : int;  (** Acquire/release cycles to perform. *)
+  hold : int -> int;  (** Steps to hold the name on cycle [i] (≥ 0). *)
+  delay : int -> int;
+      (** Steps to idle before re-acquiring on cycle [i] (≥ 0); cycle 0's
+          delay staggers the process's arrival. *)
+}
+
+val churn : ?hold:int -> cycles:int -> unit -> spec
+(** Back-to-back cycles, constant hold (default 1), no delays — maximum
+    contention on the protocol. *)
+
+val staggered : ?hold:int -> cycles:int -> stride:int -> index:int -> unit -> spec
+(** Like {!churn} but process [index] starts after [index · stride]
+    idle steps — models processes arriving over time. *)
+
+val bursty : cycles:int -> seed:int -> spec
+(** Random holds (0–7) and random delays (0–15) from a seeded
+    generator — models irregular request patterns. *)
+
+val body :
+  (module Renaming.Protocol.S with type t = 'a) ->
+  'a ->
+  work:Shared_mem.Cell.t ->
+  spec ->
+  Shared_mem.Store.ops ->
+  unit
+(** Run the spec against the protocol. *)
+
+val rotating_body :
+  (module Renaming.Protocol.S with type t = 'a) ->
+  'a ->
+  work:Shared_mem.Cell.t ->
+  pids:int array ->
+  spec ->
+  Shared_mem.Store.ops ->
+  unit
+(** Like {!body}, but cycle [i] is performed under source name
+    [pids.(i mod length)] — models a pool of [n ≫ k] client identities
+    multiplexed over one execution slot, the long-lived scenario from
+    the paper's introduction (at most [k] concurrent, unboundedly many
+    over time).  All pids must be legal source names for the
+    protocol. *)

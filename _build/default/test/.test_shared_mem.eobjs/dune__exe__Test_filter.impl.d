@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Array Fun Int Layout List Numeric Printf QCheck2 Renaming Shared_mem Sim Store Test_util

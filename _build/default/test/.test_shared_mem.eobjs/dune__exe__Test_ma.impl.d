@@ -1,0 +1,1 @@
+test/test_ma.ml: Alcotest Array Layout List Printf QCheck2 Renaming Shared_mem Sim Store Test_util

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Fun List Numeric Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_one_time.ml: Alcotest Array Layout List Printf Renaming Shared_mem Sim Store Test_util

@@ -1,0 +1,1 @@
+test/test_pf_mutex.ml: Alcotest Array Cell Layout List Renaming Shared_mem Sim Store String Test_util

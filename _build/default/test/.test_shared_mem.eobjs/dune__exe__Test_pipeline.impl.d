@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cell Fun Layout List Numeric Printf QCheck2 Renaming Shared_mem Sim Store Test_util

@@ -1,0 +1,1 @@
+test/test_protocol_laws.ml: Alcotest Array Layout List Printf Renaming Shared_mem Sim Store Test_util Workload

@@ -1,0 +1,1 @@
+test/test_shared_mem.ml: Alcotest Array Cell Layout List QCheck2 Shared_mem Store Test_util

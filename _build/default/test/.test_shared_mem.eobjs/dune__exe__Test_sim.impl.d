@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fmt Fun Hashtbl Layout List QCheck2 Shared_mem Sim Store String Test_util

@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Array Fun Layout List Printf QCheck2 Renaming Shared_mem Sim Store String Test_util

@@ -1,0 +1,1 @@
+test/test_tas.ml: Alcotest Array Layout List Printf Renaming Runtime Shared_mem Sim Store Test_util

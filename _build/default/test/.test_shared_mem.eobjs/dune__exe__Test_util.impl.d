@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List QCheck2 QCheck_alcotest Renaming Shared_mem Sim String

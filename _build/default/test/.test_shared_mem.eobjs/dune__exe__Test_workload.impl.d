@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Layout List Renaming Shared_mem Sim Store Test_util Workload

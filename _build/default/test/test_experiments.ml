@@ -1,0 +1,45 @@
+(* Smoke tests for the experiment harness: registry integrity plus the
+   cheap experiments end-to-end (the full suite runs in bench/). *)
+
+let test_registry () =
+  let ids = List.map (fun (id, _, _) -> id) Experiments.all in
+  Alcotest.(check int) "thirteen experiments" 13 (List.length ids);
+  Alcotest.(check (list string)) "ids unique" ids (List.sort_uniq compare ids |> List.sort
+      (fun a b ->
+        let num s = int_of_string (String.sub s 1 (String.length s - 1)) in
+        compare (num a) (num b)));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " findable") true (Option.is_some (Experiments.find id)))
+    ids;
+  Alcotest.(check bool) "unknown id" true (Option.is_none (Experiments.find "e99"))
+
+let run_experiment id =
+  match Experiments.find id with
+  | None -> Alcotest.failf "experiment %s not registered" id
+  | Some run ->
+      let r = run () in
+      Alcotest.(check string) "id matches" id r.id;
+      Alcotest.(check bool) (id ^ " has tables") true (r.tables <> []);
+      Alcotest.(check bool) (id ^ " passes") true r.ok;
+      (* the report must render *)
+      let rendered = Format.asprintf "%a" Experiments.pp_report r in
+      Alcotest.(check bool) "render non-empty" true (String.length rendered > 100)
+
+let test_e7 () = run_experiment "e7"
+let test_e8 () = run_experiment "e8"
+let test_e2 () = run_experiment "e2"
+let test_e9 () = run_experiment "e9"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ("registry", [ Alcotest.test_case "ids and lookup" `Quick test_registry ]);
+      ( "smoke",
+        [
+          Alcotest.test_case "e2 split costs" `Slow test_e2;
+          Alcotest.test_case "e7 cover-free" `Slow test_e7;
+          Alcotest.test_case "e8 ablation" `Slow test_e8;
+          Alcotest.test_case "e9 crash tolerance" `Slow test_e9;
+        ] );
+    ]

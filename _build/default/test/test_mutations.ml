@@ -1,0 +1,274 @@
+(* Mutation testing: the model checker must find a concrete violating
+   schedule for every deliberately broken protocol variant — otherwise
+   all the green "no violation" results elsewhere mean little. *)
+
+open Shared_mem
+module Mm = Renaming.Mutations.Mutant_mutex
+module Msp = Renaming.Mutations.Mutant_splitter
+module Mma = Renaming.Mutations.Mutant_ma
+
+let expect_violation name (r : Sim.Model_check.result) =
+  match r.violation with
+  | Some _ -> ()
+  | None ->
+      Alcotest.failf "%s: checker failed to catch the mutation (%d paths%s)" name r.paths
+        (if r.complete then ", complete" else "")
+
+(* ----- mutant mutexes: exclusion must break ----- *)
+
+let mutex_builder variant ~cycles () : Sim.Model_check.config =
+  let layout = Layout.create () in
+  let b = Mm.create layout variant in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let in_cs = ref 0 in
+  let body dir (ops : Store.ops) =
+    for _ = 1 to cycles do
+      let slot = Mm.enter b ops ~dir in
+      let rec spin n =
+        if Mm.check b ops ~dir slot then begin
+          Sim.Sched.emit (Sim.Event.Note ("cs", dir));
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Note ("cs_exit", dir))
+        end
+        else if n > 0 then spin (n - 1)
+      in
+      spin 6;
+      Mm.release b ops ~dir slot
+    done
+  in
+  {
+    layout;
+    procs = [| (0, body 0); (1, body 1) |];
+    monitor =
+      Sim.Sched.monitor
+        ~on_event:(fun _ _ ev ->
+          match ev with
+          | Sim.Event.Note ("cs", _) ->
+              incr in_cs;
+              if !in_cs > 1 then raise (Sim.Model_check.Violation "double CS")
+          | Sim.Event.Note ("cs_exit", _) -> decr in_cs
+          | _ -> ())
+        ();
+  }
+
+let test_mutex_read_before_write () =
+  expect_violation "read-before-write"
+    (Sim.Model_check.explore ~max_paths:500_000 (mutex_builder Mm.Read_before_write ~cycles:1))
+
+let test_mutex_turn_lost () =
+  (* the stale-turn race needs many re-entries and a lucky interleaving:
+     random sampling finds it where a bounded DFS corner does not (this
+     is also how the bug was originally discovered during development) *)
+  expect_violation "turn-lost-on-release"
+    (Sim.Model_check.sample ~seeds:(Test_util.seeds 4000)
+       (mutex_builder Mm.Turn_lost_on_release ~cycles:15))
+
+let test_mutex_no_yield () =
+  expect_violation "no-yield"
+    (Sim.Model_check.explore ~max_paths:500_000 (mutex_builder Mm.No_yield ~cycles:1))
+
+(* The violating schedule must replay. *)
+let test_violation_replays () =
+  let builder = mutex_builder Mm.Read_before_write ~cycles:1 in
+  match (Sim.Model_check.explore ~max_paths:500_000 builder).violation with
+  | None -> Alcotest.fail "expected a violation"
+  | Some v -> (
+      match Sim.Model_check.replay builder v.schedule with
+      | Error v' -> Alcotest.(check string) "same message" v.message v'.message
+      | Ok () -> Alcotest.fail "replay lost the violation")
+
+(* ----- mutant splitters: the occupancy invariant must break ----- *)
+
+let splitter_builder variant ~procs ~cycles () : Sim.Model_check.config =
+  let layout = Layout.create () in
+  let sp = Msp.create layout variant in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let o = Sim.Checks.occupancy () in
+  let body (ops : Store.ops) =
+    for _ = 1 to cycles do
+      Sim.Sched.emit (Sim.Event.Note ("begin", 0));
+      let tok = Msp.enter sp ops in
+      Sim.Sched.emit (Sim.Event.Note ("in", Msp.direction tok));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Note ("out", Msp.direction tok));
+      Msp.release sp ops tok;
+      Sim.Sched.emit (Sim.Event.Note ("end", 0))
+    done
+  in
+  {
+    layout;
+    procs = Array.init procs (fun p -> (p + 1, body));
+    monitor = Sim.Checks.occupancy_monitor o;
+  }
+
+let test_splitter_no_interference_check () =
+  expect_violation "no-interference-check"
+    (Sim.Model_check.explore ~max_paths:500_000
+       (splitter_builder Msp.No_interference_check ~procs:2 ~cycles:1))
+
+let test_splitter_no_advice_flip () =
+  (* two strictly sequential entrants join the same set; concurrency is
+     needed only to have both inside simultaneously *)
+  expect_violation "no-advice-flip"
+    (Sim.Model_check.explore ~max_paths:2_000_000
+       (splitter_builder Msp.No_advice_flip ~procs:2 ~cycles:2))
+
+(* ----- mutant MA: name uniqueness must break ----- *)
+
+let test_ma_no_recheck () =
+  let builder () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let m = Mma.create layout Mma.No_recheck ~k:2 ~s:3 in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let u = Sim.Checks.uniqueness ~name_space:(Mma.name_space m) () in
+    let body (ops : Store.ops) =
+      let lease = Mma.get_name m ops in
+      Sim.Sched.emit (Sim.Event.Acquired (Mma.name_of m lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (Mma.name_of m lease));
+      Mma.release_name m ops lease
+    in
+    {
+      layout;
+      procs = [| (0, body); (2, body) |];
+      monitor = Sim.Checks.uniqueness_monitor u;
+    }
+  in
+  expect_violation "ma-no-recheck" (Sim.Model_check.explore ~max_paths:500_000 builder)
+
+(* Iterative deepening yields a minimal counterexample. *)
+let test_shortest_counterexample () =
+  match
+    Sim.Model_check.shortest_violation ~max_steps:20
+      (mutex_builder Mm.Read_before_write ~cycles:1)
+  with
+  | None -> Alcotest.fail "expected a violation"
+  | Some v ->
+      (* the race needs both enters (3+3 accesses incl. the failed one);
+         6 scheduling choices suffice *)
+      Alcotest.(check int) "minimal schedule length" 6 (List.length v.schedule)
+
+(* The post-hoc trace revalidator independently catches what the
+   on-line monitor would: run the broken MA with ONLY a trace attached,
+   then check the recorded intervals. *)
+let test_trace_revalidation_catches () =
+  let tr = Sim.Trace.create () in
+  let layout = Layout.create () in
+  let m = Mma.create layout Mma.No_recheck ~k:2 ~s:3 in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let body (ops : Store.ops) =
+    let lease = Mma.get_name m ops in
+    Sim.Sched.emit (Sim.Event.Acquired (Mma.name_of m lease));
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Released (Mma.name_of m lease));
+    Mma.release_name m ops lease
+  in
+  (* find a violating seed by brute force over random schedules *)
+  let rec hunt seed =
+    if seed > 5_000 then Alcotest.fail "no violating schedule found"
+    else begin
+      Sim.Trace.clear tr;
+      let t =
+        Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout [| (0, body); (2, body) |]
+      in
+      let (_ : Sim.Sched.outcome) = Sim.Sched.run t (Sim.Sched.random (Sim.Rng.make seed)) in
+      match Sim.Checks.revalidate_intervals (Sim.Trace.items tr) with
+      | Error _ -> () (* caught post-hoc, as intended *)
+      | Ok _ -> hunt (seed + 1)
+    end
+  in
+  hunt 0
+
+let test_trace_revalidation_passes_correct () =
+  let tr = Sim.Trace.create () in
+  let layout = Layout.create () in
+  let m = Renaming.Ma.create layout ~k:3 ~s:9 in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let body (ops : Store.ops) =
+    for _ = 1 to 4 do
+      let lease = Renaming.Ma.get_name m ops in
+      Sim.Sched.emit (Sim.Event.Acquired (Renaming.Ma.name_of m lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (Renaming.Ma.name_of m lease));
+      Renaming.Ma.release_name m ops lease
+    done
+  in
+  let t =
+    Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout
+      [| (0, body); (4, body); (8, body) |]
+  in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t (Sim.Sched.random (Sim.Rng.make 77)) in
+  match Sim.Checks.revalidate_intervals (Sim.Trace.items tr) with
+  | Ok n -> Alcotest.(check int) "all acquisitions checked" 12 n
+  | Error msg -> Alcotest.fail msg
+
+(* ----- and the real protocols still pass the very same harnesses ----- *)
+
+let test_real_mutex_still_passes () =
+  let builder () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let b = Renaming.Pf_mutex.create layout in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let in_cs = ref 0 in
+    let body dir (ops : Store.ops) =
+      for _ = 1 to 2 do
+        let slot = Renaming.Pf_mutex.enter b ops ~dir in
+        let rec spin n =
+          if Renaming.Pf_mutex.check b ops ~dir slot then begin
+            Sim.Sched.emit (Sim.Event.Note ("cs", dir));
+            ignore (ops.read work);
+            Sim.Sched.emit (Sim.Event.Note ("cs_exit", dir))
+          end
+          else if n > 0 then spin (n - 1)
+        in
+        spin 6;
+        Renaming.Pf_mutex.release b ops ~dir slot
+      done
+    in
+    {
+      layout;
+      procs = [| (0, body 0); (1, body 1) |];
+      monitor =
+        Sim.Sched.monitor
+          ~on_event:(fun _ _ ev ->
+            match ev with
+            | Sim.Event.Note ("cs", _) ->
+                incr in_cs;
+                if !in_cs > 1 then raise (Sim.Model_check.Violation "double CS")
+            | Sim.Event.Note ("cs_exit", _) -> decr in_cs
+            | _ -> ())
+          ();
+    }
+  in
+  let r = Sim.Model_check.explore ~max_paths:2_000_000 builder in
+  Test_util.check_no_violation "real mutex under the mutation harness" r
+
+let () =
+  Alcotest.run "mutations"
+    [
+      ( "mutex",
+        [
+          Alcotest.test_case "read-before-write caught" `Slow test_mutex_read_before_write;
+          Alcotest.test_case "turn-lost-on-release caught" `Slow test_mutex_turn_lost;
+          Alcotest.test_case "no-yield caught" `Slow test_mutex_no_yield;
+          Alcotest.test_case "violations replay" `Slow test_violation_replays;
+        ] );
+      ( "splitter",
+        [
+          Alcotest.test_case "no-interference-check caught" `Slow
+            test_splitter_no_interference_check;
+          Alcotest.test_case "no-advice-flip caught" `Slow test_splitter_no_advice_flip;
+        ] );
+      ("ma", [ Alcotest.test_case "no-recheck caught" `Slow test_ma_no_recheck ]);
+      ( "tooling",
+        [
+          Alcotest.test_case "shortest counterexample" `Slow test_shortest_counterexample;
+          Alcotest.test_case "post-hoc revalidation catches" `Slow
+            test_trace_revalidation_catches;
+          Alcotest.test_case "post-hoc revalidation passes correct" `Quick
+            test_trace_revalidation_passes_correct;
+        ] );
+      ( "control",
+        [ Alcotest.test_case "real mutex passes same harness" `Slow test_real_mutex_still_passes ]
+      );
+    ]

@@ -1,0 +1,198 @@
+module P = Numeric.Primes
+module Gf = Numeric.Gf
+module Cf = Numeric.Cover_free
+
+let test_small_primes () =
+  let expected = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47 ] in
+  Alcotest.(check (list int)) "sieve" expected (P.primes_upto 50);
+  List.iter (fun p -> Alcotest.(check bool) (string_of_int p) true (P.is_prime p)) expected;
+  List.iter
+    (fun n -> Alcotest.(check bool) (string_of_int n) false (P.is_prime n))
+    [ -7; 0; 1; 4; 9; 25; 49; 91; 1001 ]
+
+let test_next_prime () =
+  Alcotest.(check int) "from 0" 2 (P.next_prime 0);
+  Alcotest.(check int) "from 14" 17 (P.next_prime 14);
+  Alcotest.(check int) "fixed point" 17 (P.next_prime 17);
+  Alcotest.(check (option int)) "window" (Some 101) (P.prime_in 98 150);
+  Alcotest.(check (option int)) "empty window" None (P.prime_in 24 28)
+
+let prop_sieve_agrees =
+  Test_util.qtest ~count:50 "sieve agrees with trial division"
+    QCheck2.Gen.(int_range 2 2000)
+    (fun n ->
+      let sieved = P.primes_upto n in
+      let trial = List.filter P.is_prime (List.init (n + 1) Fun.id) in
+      sieved = trial)
+
+let prop_bertrand =
+  (* Bertrand's postulate, which §4.4 uses to pick z: a prime in [a, 2a]. *)
+  Test_util.qtest "prime in [a, 2a]"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun a -> match P.prime_in a (2 * a) with Some _ -> true | None -> false)
+
+let field_gen =
+  QCheck2.Gen.(
+    let* z = oneofl [ 2; 3; 5; 7; 11; 13; 101; 499 ] in
+    let* a = int_range 0 (z - 1) in
+    let* b = int_range 0 (z - 1) in
+    return (z, a, b))
+
+let prop_field_axioms =
+  Test_util.qtest "GF(z) ring identities" field_gen (fun (z, a, b) ->
+      let f = Gf.field z in
+      Gf.add f a b = Gf.add f b a
+      && Gf.mul f a b = Gf.mul f b a
+      && Gf.add f (Gf.sub f a b) b = a
+      && Gf.mul f a (Gf.add f b 1) = Gf.add f (Gf.mul f a b) a
+      && Gf.pow f a 3 = Gf.mul f a (Gf.mul f a a))
+
+let prop_field_inverse =
+  Test_util.qtest "GF(z) multiplicative inverse" field_gen (fun (z, a, _) ->
+      let f = Gf.field z in
+      if a = 0 then
+        match Gf.inv f a with exception Division_by_zero -> true | _ -> false
+      else Gf.mul f a (Gf.inv f a) = 1)
+
+let test_field_requires_prime () =
+  Alcotest.check_raises "composite modulus"
+    (Invalid_argument "Gf.field: modulus must be prime") (fun () -> ignore (Gf.field 6))
+
+let prop_eval_matches_naive =
+  Test_util.qtest "Horner evaluation"
+    QCheck2.Gen.(
+      let* z = oneofl [ 5; 7; 11; 101 ] in
+      let* coeffs = array_size (int_range 1 6) (int_range 0 (z - 1)) in
+      let* x = int_range 0 (z - 1) in
+      return (z, coeffs, x))
+    (fun (z, coeffs, x) ->
+      let f = Gf.field z in
+      let naive =
+        Array.to_list coeffs
+        |> List.mapi (fun i c -> Gf.mul f c (Gf.pow f x i))
+        |> List.fold_left (Gf.add f) 0
+      in
+      Gf.eval f coeffs x = naive)
+
+let prop_digits_roundtrip =
+  Test_util.qtest "digits round-trip"
+    QCheck2.Gen.(
+      let* base = int_range 2 50 in
+      let* width = int_range 1 6 in
+      let* n = int_range 0 10_000 in
+      return (base, width, n))
+    (fun (base, width, n) ->
+      let ds = Gf.digits ~base ~width n in
+      let back = Array.fold_right (fun d acc -> (acc * base) + d) ds 0 in
+      Array.length ds = width
+      && Array.for_all (fun d -> d >= 0 && d < base) ds
+      &&
+      let limit = int_of_float (float_of_int base ** float_of_int width) in
+      if n < limit then back = n else back = n mod limit)
+
+(* ----- cover-free families (§4.1) ----- *)
+
+let cf_gen =
+  QCheck2.Gen.(
+    let* k = int_range 2 6 in
+    let* d = int_range 1 3 in
+    let z = P.next_prime (2 * d * (k - 1)) in
+    return (k, d, z))
+
+let prop_names_distinct_and_bounded =
+  Test_util.qtest "N_p has 2d(k-1) distinct names, all < 2dz(k-1)"
+    QCheck2.Gen.(pair cf_gen (int_range 0 100_000))
+    (fun ((k, d, z), p) ->
+      let t = Cf.create ~k ~d ~z () in
+      let names = Array.to_list (Cf.names t p) in
+      let sorted = List.sort_uniq compare names in
+      List.length sorted = Cf.set_size t
+      && Cf.set_size t = 2 * d * (k - 1)
+      && List.for_all (fun n -> n >= 0 && n < Cf.name_space t) names
+      && Cf.name_space t = 2 * d * z * (k - 1))
+
+let prop_intersection_bound =
+  (* Proposition 8: distinct processes (with distinct polynomials,
+     i.e. p, q < z^(d+1)) share at most d names. *)
+  Test_util.qtest "intersection bound ||N_p ∩ N_q|| <= d"
+    QCheck2.Gen.(pair cf_gen (pair (int_range 0 1_000_000) (int_range 0 1_000_000)))
+    (fun ((k, d, z), (p0, q0)) ->
+      let t = Cf.create ~k ~d ~z () in
+      (* clamp into the distinct-polynomial range *)
+      let bound =
+        let rec pow acc i = if i = 0 then acc else pow (acc * z) (i - 1) in
+        pow 1 (d + 1)
+      in
+      let p = p0 mod bound and q = q0 mod bound in
+      if p = q then true else Cf.intersection t p q <= d)
+
+let prop_free_names =
+  (* The wait-freedom engine: against any k-1 other processes, at least
+     d(k-1) of p's names are uncontended. *)
+  Test_util.qtest "at least d(k-1) free names vs any k-1 adversaries"
+    QCheck2.Gen.(pair cf_gen (pair (int_range 0 100_000) (int_range 0 1_000)))
+    (fun ((k, d, z), (p0, salt)) ->
+      let t = Cf.create ~k ~d ~z () in
+      let rec pow acc i = if i = 0 then acc else pow (acc * z) (i - 1) in
+      let bound = pow 1 (d + 1) in
+      let p = p0 mod bound in
+      let others =
+        List.init (k - 1) (fun i -> (p + 1 + (salt * (i + 1))) mod bound)
+        |> List.filter (fun q -> q <> p)
+      in
+      List.length (Cf.free_names t p others) >= d * (k - 1))
+
+let test_cf_validation () =
+  Alcotest.check_raises "k too small" (Invalid_argument "Cover_free.create: k must be >= 2")
+    (fun () -> ignore (Cf.create ~k:1 ~d:1 ~z:5 ()));
+  Alcotest.check_raises "z too small" (Invalid_argument "Cover_free.create: need z >= 2d(k-1)")
+    (fun () -> ignore (Cf.create ~k:4 ~d:2 ~z:11 ()));
+  let t = Cf.create ~k:4 ~d:2 ~z:13 () in
+  Alcotest.(check bool) "admits small S" true (Cf.admits_source t 100);
+  Alcotest.(check bool) "admits z^(d+1)" true (Cf.admits_source t (13 * 13 * 13));
+  Alcotest.(check bool) "rejects bigger S" false (Cf.admits_source t ((13 * 13 * 13) + 1))
+
+let test_paper_example_s_2k4 () =
+  (* §4.4, last regime: S <= 2k^4, d = 3, z prime in [6k, 12k] gives
+     D <= 72k^2. *)
+  List.iter
+    (fun k ->
+      let s = 2 * k * k * k * k in
+      let z =
+        match P.prime_in (6 * k) (12 * k) with Some z -> z | None -> Alcotest.fail "no prime"
+      in
+      let t = Cf.create ~k ~d:3 ~z () in
+      Alcotest.(check bool) (Printf.sprintf "admits S=2k^4 (k=%d)" k) true (Cf.admits_source t s);
+      Alcotest.(check bool)
+        (Printf.sprintf "D <= 72k^2 (k=%d)" k)
+        true
+        (Cf.name_space t <= 72 * k * k))
+    [ 2; 3; 4; 6; 8; 12; 16 ]
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "primes",
+        [
+          Alcotest.test_case "small primes" `Quick test_small_primes;
+          Alcotest.test_case "next prime / windows" `Quick test_next_prime;
+        ] );
+      ("gf", [ Alcotest.test_case "prime modulus required" `Quick test_field_requires_prime ]);
+      ( "cover-free",
+        [
+          Alcotest.test_case "parameter validation" `Quick test_cf_validation;
+          Alcotest.test_case "paper regime S<=2k^4" `Quick test_paper_example_s_2k4;
+        ] );
+      ( "property",
+        [
+          prop_sieve_agrees;
+          prop_bertrand;
+          prop_field_axioms;
+          prop_field_inverse;
+          prop_eval_matches_naive;
+          prop_digits_roundtrip;
+          prop_names_distinct_and_bounded;
+          prop_intersection_bound;
+          prop_free_names;
+        ] );
+    ]

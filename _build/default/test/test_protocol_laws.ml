@@ -1,0 +1,168 @@
+(* Uniform laws every long-lived renaming protocol must satisfy,
+   checked through the dynamic Protocol.Any interface so the same
+   test body covers split, filter, ma, tas and the pipeline. *)
+
+open Shared_mem
+module P = Renaming.Protocol
+
+type subject = {
+  label : string;
+  build : unit -> Layout.t * P.Any.t * int array; (* layout, protocol, legal pids *)
+  k : int;
+}
+
+let subjects =
+  [
+    {
+      label = "split k=4";
+      k = 4;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let sp = Renaming.Split.create layout ~k:4 in
+          (layout, P.Any.pack (module Renaming.Split) sp, Array.init 4 (fun i -> (i * 7919) + 1)));
+    };
+    {
+      label = "filter k=3 d=1 z=5 s=25";
+      k = 3;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let participants = [| 3; 11; 19 |] in
+          let f =
+            Renaming.Filter.create layout { k = 3; d = 1; z = 5; s = 25; participants }
+          in
+          (layout, P.Any.pack (module Renaming.Filter) f, participants));
+    };
+    {
+      label = "filter tight-z k=3 d=2 z=5 s=25";
+      k = 3;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let participants = [| 1; 9; 23 |] in
+          let f =
+            Renaming.Filter.create ~tight:true layout
+              { k = 3; d = 2; z = 5; s = 25; participants }
+          in
+          (layout, P.Any.pack (module Renaming.Filter) f, participants));
+    };
+    {
+      label = "ma k=3 s=30";
+      k = 3;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let m = Renaming.Ma.create layout ~k:3 ~s:30 in
+          (layout, P.Any.pack (module Renaming.Ma) m, [| 2; 15; 28 |]));
+    };
+    {
+      label = "tas k=4";
+      k = 4;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let t = Renaming.Tas_baseline.create layout ~k:4 in
+          (layout, P.Any.pack (module Renaming.Tas_baseline) t, [| 0; 7; 13; 21 |]));
+    };
+    {
+      label = "pipeline k=3 s=50000";
+      k = 3;
+      build =
+        (fun () ->
+          let layout = Layout.create () in
+          let pids = [| 17; 25_000; 49_999 |] in
+          let p = Renaming.Pipeline.create layout ~k:3 ~s:50_000 ~participants:pids in
+          (layout, P.Any.pack (module Renaming.Pipeline) p, pids));
+    };
+  ]
+
+(* Law 1+2: sequential acquire/release cycles always give in-range
+   names and the protocol stays usable (long-lived). *)
+let law_sequential_reuse s =
+  let layout, proto, pids = s.build () in
+  let mem = Store.seq_create layout in
+  let d = P.Any.name_space proto in
+  for round = 1 to 4 do
+    Array.iter
+      (fun pid ->
+        let ops = Store.seq_ops mem ~pid in
+        let lease = P.Any.get_name proto ops in
+        let name = P.Any.name_of proto lease in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: round %d name %d within [0,%d)" s.label round name d)
+          true
+          (name >= 0 && name < d);
+        P.Any.release_name proto ops lease)
+      pids
+  done
+
+(* Law 3: k processes holding simultaneously (no release in between)
+   get k distinct names, sequentially. *)
+let law_simultaneous_distinct s =
+  let layout, proto, pids = s.build () in
+  let mem = Store.seq_create layout in
+  let leases =
+    Array.map
+      (fun pid ->
+        let ops = Store.seq_ops mem ~pid in
+        (ops, P.Any.get_name proto ops))
+      pids
+  in
+  let names = Array.map (fun (_, l) -> P.Any.name_of proto l) leases in
+  let sorted = List.sort_uniq compare (Array.to_list names) in
+  Alcotest.(check int) (s.label ^ ": simultaneous names distinct") s.k (List.length sorted);
+  Array.iter (fun (ops, l) -> P.Any.release_name proto ops l) leases
+
+(* Law 4: uniqueness under concurrent random workloads. *)
+let law_concurrent_uniqueness s =
+  let _, proto0, _ = s.build () in
+  let d = P.Any.name_space proto0 in
+  List.iter
+    (fun seed ->
+      let layout, proto, pids = s.build () in
+      let work = Layout.alloc layout ~name:"work" 0 in
+      let procs =
+        Array.mapi
+          (fun i pid ->
+            ( pid,
+              Workload.body (module P.Any) proto ~work
+                (Workload.bursty ~cycles:4 ~seed:(seed + i)) ))
+          pids
+      in
+      let outcome, u = Test_util.run_random ~seed ~name_space:d layout procs in
+      Alcotest.(check bool) (s.label ^ ": completes") true (Test_util.all_completed outcome);
+      Alcotest.(check bool)
+        (s.label ^ ": concurrency bound")
+        true
+        (Sim.Checks.max_concurrent u <= s.k))
+    (Test_util.seeds 15)
+
+(* Law 5: determinism — identical seeds give identical access totals. *)
+let law_deterministic s =
+  let run seed =
+    let layout, proto, pids = s.build () in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let procs =
+      Array.map
+        (fun pid -> (pid, Workload.body (module P.Any) proto ~work (Workload.churn ~cycles:3 ())))
+        pids
+    in
+    let outcome, _ = Test_util.run_random ~seed ~name_space:(P.Any.name_space proto) layout procs in
+    outcome.total
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check int) (s.label ^ ": deterministic replay") (run seed) (run seed))
+    (Test_util.seeds 5)
+
+let cases law = List.map (fun s -> Alcotest.test_case s.label `Slow (fun () -> law s)) subjects
+
+let () =
+  Alcotest.run "protocol_laws"
+    [
+      ("sequential reuse", cases law_sequential_reuse);
+      ("simultaneous holders distinct", cases law_simultaneous_distinct);
+      ("concurrent uniqueness", cases law_concurrent_uniqueness);
+      ("deterministic", cases law_deterministic);
+    ]

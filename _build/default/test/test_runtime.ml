@@ -1,0 +1,79 @@
+(* Domains + Atomic store: the same protocol code under real
+   parallelism, with the on-line uniqueness monitor. *)
+
+open Shared_mem
+module Split = Renaming.Split
+module Filter = Renaming.Filter
+module Ma = Renaming.Ma
+module Pipeline = Renaming.Pipeline
+
+let test_atomic_store () =
+  let layout = Layout.create () in
+  let a = Layout.alloc layout ~name:"a" 42 in
+  let store = Runtime.Atomic_store.create layout in
+  let ops = Runtime.Atomic_store.ops store ~pid:3 in
+  Alcotest.(check int) "initial" 42 (ops.read a);
+  ops.write a 7;
+  Alcotest.(check int) "written" 7 (Runtime.Atomic_store.get store a)
+
+let test_split_domains () =
+  let k = 4 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let pids = Array.init k (fun i -> (i * 100_003) + 1 ) in
+  let r =
+    Runtime.Domain_runner.run (module Split) sp ~layout ~pids ~cycles:200
+      ~name_space:(Split.name_space sp)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Array.iter (fun c -> Alcotest.(check int) "all cycles" 200 c) r.cycles_done;
+  Alcotest.(check bool) "some overlap plausible" true (r.max_concurrent >= 1)
+
+let test_filter_domains () =
+  let k = 3 and d = 1 and z = 5 and s = 25 in
+  let participants = [| 4; 12; 21 |] in
+  let layout = Layout.create () in
+  let f = Filter.create layout { k; d; z; s; participants } in
+  let r =
+    Runtime.Domain_runner.run (module Filter) f ~layout ~pids:participants ~cycles:150
+      ~name_space:(Filter.name_space f)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Array.iter (fun c -> Alcotest.(check int) "all cycles" 150 c) r.cycles_done
+
+let test_ma_domains () =
+  let k = 4 and s = 32 in
+  let layout = Layout.create () in
+  let m = Ma.create layout ~k ~s in
+  let pids = Array.init k (fun i -> i * 8) in
+  let r =
+    Runtime.Domain_runner.run (module Ma) m ~layout ~pids ~cycles:150
+      ~name_space:(Ma.name_space m)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Array.iter (fun c -> Alcotest.(check int) "all cycles" 150 c) r.cycles_done
+
+let test_pipeline_domains () =
+  let k = 3 and s = 100_000 in
+  let participants = Array.init k (fun i -> (i * 30_000) + 7 ) in
+  let layout = Layout.create () in
+  let p = Pipeline.create layout ~k ~s ~participants in
+  let r =
+    Runtime.Domain_runner.run (module Pipeline) p ~layout ~pids:participants ~cycles:100
+      ~name_space:(Pipeline.name_space p)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Array.iter (fun c -> Alcotest.(check int) "all cycles" 100 c) r.cycles_done
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("store", [ Alcotest.test_case "atomic store" `Quick test_atomic_store ]);
+      ( "domains",
+        [
+          Alcotest.test_case "split across domains" `Slow test_split_domains;
+          Alcotest.test_case "filter across domains" `Slow test_filter_domains;
+          Alcotest.test_case "ma across domains" `Slow test_ma_domains;
+          Alcotest.test_case "pipeline across domains" `Slow test_pipeline_domains;
+        ] );
+    ]

@@ -1,0 +1,335 @@
+open Shared_mem
+
+(* Two processes incrementing a shared counter with separate read and
+   write steps: the classic lost-update interleaving.  Checks that the
+   scheduler really interleaves at single-access granularity and that
+   the model checker can find both outcomes. *)
+let incr_body cell (ops : Store.ops) =
+  let v = ops.read cell in
+  ops.write cell (v + 1)
+
+let test_round_robin_interleaves () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let t =
+    Sim.Sched.create layout [| (0, incr_body c); (1, incr_body c) |]
+  in
+  let outcome = Sim.Sched.run t Sim.Sched.round_robin in
+  (* Round-robin: both read 0 before either writes -> lost update. *)
+  Alcotest.(check int) "lost update" 1 (Sim.Sched.peek t c);
+  Alcotest.(check bool) "all completed" true (Array.for_all Fun.id outcome.completed);
+  Alcotest.(check int) "four accesses" 4 outcome.total
+
+let test_model_check_finds_both_outcomes () =
+  let seen = Hashtbl.create 4 in
+  let builder () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let c = Layout.alloc layout ~name:"c" 0 in
+    let final (ops : Store.ops) =
+      incr_body c ops;
+      (* record the value this process observes at the end *)
+      Sim.Sched.emit (Sim.Event.Note ("final", ops.read c))
+    in
+    {
+      layout;
+      procs = [| (0, final); (1, final) |];
+      monitor =
+        Sim.Sched.monitor
+          ~on_event:(fun _ _ ev ->
+            match ev with
+            | Sim.Event.Note ("final", v) -> Hashtbl.replace seen v ()
+            | _ -> ())
+          ();
+    }
+  in
+  let r = Sim.Model_check.explore builder in
+  Alcotest.(check bool) "complete" true r.complete;
+  (* 2 procs x 3 steps each -> C(6,3) = 20 interleavings *)
+  Alcotest.(check int) "paths" 20 r.paths;
+  Alcotest.(check bool) "saw lost update (1)" true (Hashtbl.mem seen 1);
+  Alcotest.(check bool) "saw serialization (2)" true (Hashtbl.mem seen 2)
+
+let test_pause_resume () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let t = Sim.Sched.create layout [| (0, incr_body c); (7, incr_body c) |] in
+  Sim.Sched.pause t 0;
+  Alcotest.(check int) "pid of paused" 0 (Sim.Sched.pid_of t 0);
+  Alcotest.(check int) "pid of other" 7 (Sim.Sched.pid_of t 1);
+  let o1 = Sim.Sched.run t Sim.Sched.round_robin in
+  Alcotest.(check bool) "paused not done" false o1.completed.(0);
+  Alcotest.(check bool) "other done" true o1.completed.(1);
+  Alcotest.(check bool) "not truncated" false o1.truncated;
+  Sim.Sched.resume t 0;
+  let o2 = Sim.Sched.run t Sim.Sched.round_robin in
+  Alcotest.(check bool) "resumed finishes" true o2.completed.(0);
+  Alcotest.(check int) "serialized result" 2 (Sim.Sched.peek t c)
+
+let test_truncation () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let spin (ops : Store.ops) =
+    while ops.read c = 0 do
+      ()
+    done
+  in
+  let t = Sim.Sched.create layout [| (0, spin) |] in
+  let o = Sim.Sched.run ~max_steps:50 t Sim.Sched.round_robin in
+  Alcotest.(check bool) "truncated" true o.truncated;
+  Alcotest.(check int) "steps" 50 o.total
+
+let test_event_atomicity () =
+  (* Events fire atomically with the access they follow. *)
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let log = ref [] in
+  let body (ops : Store.ops) =
+    ops.write c ops.pid;
+    Sim.Sched.emit (Sim.Event.Note ("wrote", ops.pid))
+  in
+  let monitor =
+    Sim.Sched.monitor
+      ~on_event:(fun t _ ev ->
+        match ev with
+        | Sim.Event.Note ("wrote", p) ->
+            (* the write this event announces must still be visible *)
+            log := (p, Sim.Sched.peek t c) :: !log
+        | _ -> ())
+      ()
+  in
+  let t = Sim.Sched.create ~monitor layout [| (1, body); (2, body) |] in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+  List.iter (fun (p, v) -> Alcotest.(check int) "event sees own write" p v) !log
+
+let test_steps_accounting () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body n (ops : Store.ops) =
+    for _ = 1 to n do
+      ignore (ops.read c)
+    done
+  in
+  let t = Sim.Sched.create layout [| (0, body 3); (1, body 5) |] in
+  let o = Sim.Sched.run t (Sim.Sched.random (Sim.Rng.make 11)) in
+  Alcotest.(check int) "proc 0 steps" 3 o.steps.(0);
+  Alcotest.(check int) "proc 1 steps" 5 o.steps.(1);
+  Alcotest.(check int) "total" 8 o.total
+
+let prop_rng_deterministic =
+  Test_util.qtest "rng: equal seeds, equal streams" QCheck2.Gen.int (fun seed ->
+      let a = Sim.Rng.make seed and b = Sim.Rng.make seed in
+      List.init 50 (fun _ -> Sim.Rng.int a 1000) = List.init 50 (fun _ -> Sim.Rng.int b 1000))
+
+let prop_rng_bounds =
+  Test_util.qtest "rng: int within bounds"
+    QCheck2.Gen.(pair int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Sim.Rng.make seed in
+      List.init 100 (fun _ -> Sim.Rng.int r bound) |> List.for_all (fun v -> v >= 0 && v < bound))
+
+let prop_shuffle_permutes =
+  Test_util.qtest "rng: shuffle permutes"
+    QCheck2.Gen.(pair int (list_size (int_range 0 50) small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Sim.Rng.shuffle (Sim.Rng.make seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_replay_deterministic =
+  Test_util.qtest ~count:100 "scheduler: same random seed, same outcome" QCheck2.Gen.int
+    (fun seed ->
+      let run () =
+        let layout = Layout.create () in
+        let c = Layout.alloc layout ~name:"c" 0 in
+        let body (ops : Store.ops) =
+          for _ = 1 to 5 do
+            let v = ops.read c in
+            ops.write c (v + ops.pid)
+          done
+        in
+        let t = Sim.Sched.create layout [| (1, body); (2, body); (3, body) |] in
+        let (_ : Sim.Sched.outcome) = Sim.Sched.run t (Sim.Sched.random (Sim.Rng.make seed)) in
+        Sim.Sched.peek t c
+      in
+      run () = run ())
+
+
+(* ----- gauges ----- *)
+
+let test_gauge () =
+  let g = Sim.Checks.gauge ~enter:"grab" ~leave:"drop" in
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body key (ops : Store.ops) =
+    Sim.Sched.emit (Sim.Event.Note ("grab", key));
+    ignore (ops.read c);
+    ignore (ops.read c);
+    Sim.Sched.emit (Sim.Event.Note ("drop", key))
+  in
+  let t =
+    Sim.Sched.create
+      ~monitor:(Sim.Checks.gauge_monitor g)
+      layout
+      [| (0, body 7); (1, body 7); (2, body 9) |]
+  in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+  (* all three grab before anyone drops under round-robin *)
+  Alcotest.(check int) "key 7 peak" 2 (Sim.Checks.gauge_max g 7);
+  Alcotest.(check int) "key 9 peak" 1 (Sim.Checks.gauge_max g 9);
+  Alcotest.(check int) "key 7 drained" 0 (Sim.Checks.gauge_current g 7);
+  Alcotest.(check int) "unseen key" 0 (Sim.Checks.gauge_max g 42);
+  Alcotest.(check (list int)) "keys" [ 7; 9 ]
+    (List.sort compare (Sim.Checks.gauge_keys g))
+
+let test_gauge_underrun () =
+  let g = Sim.Checks.gauge ~enter:"grab" ~leave:"drop" in
+  let layout = Layout.create () in
+  let body (_ : Store.ops) = Sim.Sched.emit (Sim.Event.Note ("drop", 1)) in
+  Alcotest.check_raises "under-run detected"
+    (Sim.Model_check.Violation "gauge grab/drop under-run on key 1") (fun () ->
+      let t = Sim.Sched.create ~monitor:(Sim.Checks.gauge_monitor g) layout [| (0, body) |] in
+      let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+      ())
+
+(* ----- trace recording ----- *)
+
+let test_trace_records () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body (ops : Store.ops) =
+    ops.write c ops.pid;
+    Sim.Sched.emit (Sim.Event.Note ("did", ops.pid));
+    ignore (ops.rmw c (fun v -> v + 1))
+  in
+  let tr = Sim.Trace.create () in
+  let t = Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout [| (5, body) |] in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+  Alcotest.(check int) "three items: write, note, rmw" 3 (Sim.Trace.length tr);
+  Alcotest.(check int) "nothing dropped" 0 (Sim.Trace.dropped tr);
+  match Sim.Trace.items tr with
+  | [ Sim.Trace.Access { access = Sim.Sched.Write (_, 5); pid = 5; _ };
+      Sim.Trace.Emitted { event = Sim.Event.Note ("did", 5); _ };
+      Sim.Trace.Access { access = Sim.Sched.Update (_, 5, 6); _ } ] ->
+      ()
+  | items ->
+      Alcotest.failf "unexpected trace:@.%a"
+        (Fmt.list ~sep:Fmt.cut Sim.Trace.pp_item)
+        items
+
+let test_trace_ring () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body (ops : Store.ops) =
+    for i = 1 to 10 do
+      ops.write c i
+    done
+  in
+  let tr = Sim.Trace.create ~capacity:4 () in
+  let t = Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout [| (0, body) |] in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+  Alcotest.(check int) "capacity respected" 4 (Sim.Trace.length tr);
+  Alcotest.(check int) "dropped" 6 (Sim.Trace.dropped tr);
+  (match Sim.Trace.items tr with
+  | Sim.Trace.Access { access = Sim.Sched.Write (_, 7); _ } :: _ -> ()
+  | _ -> Alcotest.fail "oldest kept item should be the 7th write");
+  Sim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.length tr)
+
+(* rmw under single-step atomicity: concurrent increments never lose
+   updates (contrast with test_round_robin_interleaves above). *)
+let test_rmw_atomic () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body (ops : Store.ops) =
+    for _ = 1 to 50 do
+      ignore (ops.rmw c (fun v -> v + 1))
+    done
+  in
+  let t = Sim.Sched.create layout [| (0, body); (1, body); (2, body) |] in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t (Sim.Sched.random (Sim.Rng.make 3)) in
+  Alcotest.(check int) "no lost updates" 150 (Sim.Sched.peek t c)
+
+let test_timeline () =
+  let layout = Layout.create () in
+  let work = Layout.alloc layout ~name:"w" 0 in
+  let body name hold (ops : Store.ops) =
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Acquired name);
+    for _ = 1 to hold do
+      ignore (ops.read work)
+    done;
+    Sim.Sched.emit (Sim.Event.Released name);
+    ignore (ops.read work)
+  in
+  let tr = Sim.Trace.create () in
+  let t =
+    Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout
+      [| (10, body 3 4); (20, body 12 2) |]
+  in
+  let (_ : Sim.Sched.outcome) = Sim.Sched.run t Sim.Sched.round_robin in
+  let tl = Sim.Trace.timeline ~width:40 tr in
+  let lines = String.split_on_char '\n' tl in
+  Alcotest.(check int) "header + 2 lanes" 3 (List.length lines);
+  Alcotest.(check bool) "lane for pid 10 holds name 3" true
+    (List.exists (fun l -> String.length l > 0 && String.contains l '3') lines);
+  Alcotest.(check bool) "lane for pid 20 holds name 12 = 'c'" true
+    (List.exists (fun l -> String.contains l 'c') lines)
+
+let test_replay_api () =
+  (* Model_check.replay re-runs a schedule; a violating schedule must
+     still violate. *)
+  let builder () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let c = Layout.alloc layout ~name:"c" 0 in
+    let body (ops : Store.ops) =
+      let v = ops.read c in
+      ops.write c (v + 1);
+      if ops.read c = 1 then
+        (* both processes saw a lost update *)
+        raise (Sim.Model_check.Violation "lost update")
+    in
+    { layout; procs = [| (0, body); (1, body) |]; monitor = Sim.Sched.no_monitor }
+  in
+  match (Sim.Model_check.explore builder).violation with
+  | None -> Alcotest.fail "expected a violating schedule"
+  | Some v -> (
+      match Sim.Model_check.replay builder v.schedule with
+      | Error v' -> Alcotest.(check string) "same violation" v.message v'.message
+      | Ok () -> Alcotest.fail "replay did not reproduce the violation")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "round-robin interleaving" `Quick test_round_robin_interleaves;
+          Alcotest.test_case "pause/resume" `Quick test_pause_resume;
+          Alcotest.test_case "step budget truncation" `Quick test_truncation;
+          Alcotest.test_case "event atomicity" `Quick test_event_atomicity;
+          Alcotest.test_case "per-process step accounting" `Quick test_steps_accounting;
+        ] );
+      ( "model-check",
+        [
+          Alcotest.test_case "finds both outcomes" `Quick test_model_check_finds_both_outcomes;
+          Alcotest.test_case "replay reproduces violations" `Quick test_replay_api;
+        ] );
+      ( "gauge",
+        [
+          Alcotest.test_case "peaks per key" `Quick test_gauge;
+          Alcotest.test_case "under-run detection" `Quick test_gauge_underrun;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records accesses and events" `Quick test_trace_records;
+          Alcotest.test_case "bounded ring" `Quick test_trace_ring;
+          Alcotest.test_case "rmw is atomic" `Quick test_rmw_atomic;
+          Alcotest.test_case "timeline rendering" `Quick test_timeline;
+        ] );
+      ( "property",
+        [
+          prop_rng_deterministic;
+          prop_rng_bounds;
+          prop_shuffle_permutes;
+          prop_replay_deterministic;
+        ] );
+    ]

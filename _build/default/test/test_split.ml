@@ -1,0 +1,210 @@
+(* Theorem 2 / Figure 1: the SPLIT protocol. *)
+
+open Shared_mem
+module Split = Renaming.Split
+
+let pow3 n = Numeric.Intmath.pow 3 n
+
+let make ~k =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  (layout, sp, work)
+
+let test_name_space () =
+  List.iter
+    (fun k ->
+      let _, sp, _ = make ~k in
+      Alcotest.(check int) (Printf.sprintf "3^(k-1) for k=%d" k) (pow3 (k - 1))
+        (Split.name_space sp))
+    [ 1; 2; 3; 4; 5; 8 ];
+  Alcotest.check_raises "k = 0" (Invalid_argument "Split.create: k must be >= 1") (fun () ->
+      ignore (make ~k:0));
+  Alcotest.check_raises "k = 13" (Invalid_argument "Split.create: k > 12 needs a 3^k-node tree")
+    (fun () -> ignore (make ~k:13))
+
+let test_register_count () =
+  (* (3^(k-1) - 1)/2 interior splitters, 3 registers each, +1 work. *)
+  let layout, _, _ = make ~k:4 in
+  Alcotest.(check int) "k=4 registers" ((13 * 3) + 1) (Layout.size layout)
+
+let test_solo () =
+  let layout, sp, _ = make ~k:4 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:123456789 in
+  let lease = Split.get_name sp ops in
+  let name = Split.name_of sp lease in
+  Alcotest.(check bool) "name in range" true (name >= 0 && name < 27);
+  (* path encodes the name, least-significant symbol first *)
+  let path = Split.path_string sp lease in
+  Alcotest.(check int) "path length" 3 (Array.length path);
+  let encoded = ref 0 and weight = ref 1 in
+  Array.iter
+    (fun d ->
+      encoded := !encoded + ((1 + d) * !weight);
+      weight := !weight * 3)
+    path;
+  Alcotest.(check int) "path encodes name" name !encoded;
+  Split.release_name sp ops lease;
+  (* long-lived: acquire again *)
+  let lease2 = Split.get_name sp ops in
+  Alcotest.(check bool) "again in range" true (Split.name_of sp lease2 < 27)
+
+let test_k1_trivial () =
+  let layout, sp, _ = make ~k:1 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:7 in
+  let lease = Split.get_name sp ops in
+  Alcotest.(check int) "single name" 0 (Split.name_of sp lease);
+  Alcotest.(check int) "no registers but work" 1 (Layout.size layout);
+  Split.release_name sp ops lease
+
+(* Uniqueness + termination under random schedules, k processes with
+   huge sparse pids (S-independence). *)
+let uniqueness_run ~k ~cycles ~seed =
+  let layout, sp, work = make ~k in
+  let procs =
+    Array.init k (fun i ->
+        ((i * 1_000_003) + 17, Test_util.protocol_cycles (module Split) sp ~work ~cycles))
+  in
+  Test_util.run_random ~seed ~name_space:(Split.name_space sp) layout procs
+
+let test_uniqueness_random () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun seed ->
+          let outcome, _ = uniqueness_run ~k ~cycles:4 ~seed in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d seed=%d completes" k seed)
+            true
+            (Test_util.all_completed outcome))
+        (Test_util.seeds 30))
+    [ 2; 3; 4; 5 ]
+
+(* Theorem 2 cost bound: GetName <= 7(k-1), ReleaseName <= 2(k-1),
+   independent of pid magnitude. *)
+let test_access_bounds () =
+  List.iter
+    (fun k ->
+      let layout, sp, work = make ~k in
+      let get_costs = ref [] and rel_costs = ref [] in
+      let procs =
+        Array.init k (fun i ->
+            ( (i * 999_999_937) + 3,
+              Test_util.protocol_cycles_counted (module Split) sp ~work ~cycles:5 ~get_costs
+                ~rel_costs ))
+      in
+      List.iter
+        (fun seed ->
+          let _ =
+            Test_util.run_random ~seed ~name_space:(Split.name_space sp) layout procs
+          in
+          ())
+        (Test_util.seeds 5);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "get cost %d <= 7(k-1), k=%d" c k)
+            true
+            (c <= 7 * (k - 1)))
+        !get_costs;
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "release cost %d <= 2(k-1), k=%d" c k)
+            true
+            (c <= 2 * (k - 1)))
+        !rel_costs)
+    [ 2; 3; 5; 7 ]
+
+(* Exhaustive model check at k=2 (one splitter), 2 processes. *)
+let test_exhaustive_k2 () =
+  let builder () : Sim.Model_check.config =
+    let layout, sp, work = make ~k:2 in
+    let u = Sim.Checks.uniqueness ~name_space:(Split.name_space sp) () in
+    {
+      layout;
+      procs =
+        Array.init 2 (fun i ->
+            (i + 100, Test_util.protocol_cycles (module Split) sp ~work ~cycles:1));
+      monitor = Sim.Checks.uniqueness_monitor u;
+    }
+  in
+  let r = Sim.Model_check.explore ~max_paths:3_000_000 builder in
+  Test_util.check_no_violation "split k=2" r;
+  Alcotest.(check bool) "complete" true r.complete
+
+(* Bounded exhaustive at k=3 with 3 processes (deep corner). *)
+let test_bounded_k3 () =
+  let builder () : Sim.Model_check.config =
+    let layout, sp, work = make ~k:3 in
+    let u = Sim.Checks.uniqueness ~name_space:(Split.name_space sp) () in
+    {
+      layout;
+      procs =
+        Array.init 3 (fun i ->
+            (i * 7, Test_util.protocol_cycles (module Split) sp ~work ~cycles:1));
+      monitor = Sim.Checks.uniqueness_monitor u;
+    }
+  in
+  let r = Sim.Model_check.explore ~max_paths:150_000 builder in
+  Test_util.check_no_violation "split k=3 bounded" r
+
+(* Wait-freedom: crash processes mid-acquisition; the survivor still
+   completes its cycles. *)
+let test_crash_tolerance () =
+  let k = 4 in
+  let layout, sp, work = make ~k in
+  let procs =
+    Array.init k (fun i -> (i, Test_util.protocol_cycles (module Split) sp ~work ~cycles:3))
+  in
+  let u = Sim.Checks.uniqueness ~name_space:(Split.name_space sp) () in
+  let t = Sim.Sched.create ~monitor:(Sim.Checks.uniqueness_monitor u) layout procs in
+  let rng = Sim.Rng.make 42 in
+  let strategy st en =
+    (* freeze processes 1, 2, 3 after a few of their steps — but only
+       while the survivor is still running, so someone stays enabled *)
+    if not (Sim.Sched.finished st 0) then
+      Array.iter
+        (fun i -> if i > 0 && Sim.Sched.steps_of st i >= 2 + i then Sim.Sched.pause st i)
+        en;
+    let en = match Sim.Sched.enabled st with [||] -> en | e -> e in
+    en.(Sim.Rng.int rng (Array.length en))
+  in
+  let outcome = Sim.Sched.run t strategy in
+  Alcotest.(check bool) "survivor done" true outcome.completed.(0);
+  Alcotest.(check bool) "crashed not done" false outcome.completed.(1)
+
+(* qcheck: across random seeds and k, max simultaneous distinct holders
+   never exceeds k and names stay unique (monitor enforces). *)
+let prop_random_schedules =
+  Test_util.qtest ~count:80 "uniqueness across random configs"
+    QCheck2.Gen.(pair (int_range 2 5) int)
+    (fun (k, seed) ->
+      let outcome, u = uniqueness_run ~k ~cycles:3 ~seed in
+      Test_util.all_completed outcome && Sim.Checks.max_concurrent u <= k)
+
+let () =
+  Alcotest.run "split"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "name space" `Quick test_name_space;
+          Alcotest.test_case "register count" `Quick test_register_count;
+          Alcotest.test_case "solo acquire/release" `Quick test_solo;
+          Alcotest.test_case "k=1 trivial" `Quick test_k1_trivial;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "uniqueness, random schedules" `Slow test_uniqueness_random;
+          Alcotest.test_case "access bounds (Thm 2)" `Slow test_access_bounds;
+          Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+        ] );
+      ( "model-check",
+        [
+          Alcotest.test_case "exhaustive k=2" `Slow test_exhaustive_k2;
+          Alcotest.test_case "bounded k=3" `Slow test_bounded_k3;
+        ] );
+      ("property", [ prop_random_schedules ]);
+    ]

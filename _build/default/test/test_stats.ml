@@ -1,0 +1,80 @@
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_summarize () =
+  let s = Stats.summarize_ints [ 4; 1; 3; 2; 5 ] in
+  Alcotest.(check int) "n" 5 s.n;
+  Alcotest.(check bool) "mean" true (feq s.mean 3.0);
+  Alcotest.(check bool) "min" true (feq s.min 1.0);
+  Alcotest.(check bool) "max" true (feq s.max 5.0);
+  Alcotest.(check bool) "median" true (feq s.p50 3.0);
+  Alcotest.(check bool) "stddev" true (feq s.stddev (sqrt 2.0));
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Stats.summarize []))
+
+let test_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check bool) "p0" true (feq (Stats.percentile a 0.0) 10.0);
+  Alcotest.(check bool) "p100" true (feq (Stats.percentile a 1.0) 40.0);
+  Alcotest.(check bool) "p50 nearest rank" true (feq (Stats.percentile a 0.5) 30.0)
+
+let test_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check bool) "slope 2" true (feq slope 2.0);
+  Alcotest.(check bool) "intercept 1" true (feq intercept 1.0);
+  Alcotest.check_raises "single point" (Invalid_argument "Stats.linear_fit: need at least 2 points")
+    (fun () -> ignore (Stats.linear_fit [ (1.0, 1.0) ]))
+
+let test_growth_exponent () =
+  let pts = List.map (fun x -> (float_of_int x, float_of_int (x * x))) [ 1; 2; 4; 8; 16 ] in
+  Alcotest.(check bool) "quadratic" true (feq ~eps:1e-6 (Stats.growth_exponent pts) 2.0);
+  let lin = List.map (fun x -> (float_of_int x, 7.0 *. float_of_int x)) [ 1; 3; 9; 27 ] in
+  Alcotest.(check bool) "linear" true (feq ~eps:1e-6 (Stats.growth_exponent lin) 1.0)
+
+let test_table () =
+  let t = Stats.table [ "k"; "cost" ] in
+  Stats.add_row t [ "2"; "14" ];
+  Stats.add_row t [ "10"; "63" ];
+  Alcotest.(check string) "render"
+    "k  | cost\n---+-----\n2  | 14  \n10 | 63  " (Stats.render t);
+  Alcotest.check_raises "bad row" (Invalid_argument "Stats.add_row: column count mismatch")
+    (fun () -> Stats.add_row t [ "1" ])
+
+let test_csv () =
+  let t = Stats.table [ "name"; "value" ] in
+  Stats.add_row t [ "plain"; "1" ];
+  Stats.add_row t [ "with,comma"; "quote\"inside" ];
+  Alcotest.(check string) "csv escaping"
+    "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"" (Stats.to_csv t)
+
+let prop_linear_fit_recovers =
+  Test_util.qtest "linear_fit recovers exact lines"
+    QCheck2.Gen.(
+      let* a = int_range (-50) 50 in
+      let* b = int_range (-50) 50 in
+      return (float_of_int a /. 4.0, float_of_int b /. 4.0))
+    (fun (a, b) ->
+      let pts = List.map (fun x -> (float_of_int x, (a *. float_of_int x) +. b)) [ 0; 1; 5; 9 ] in
+      let slope, intercept = Stats.linear_fit pts in
+      feq ~eps:1e-6 slope a && feq ~eps:1e-6 intercept b)
+
+let prop_summary_bounds =
+  Test_util.qtest "summary invariants"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range (-1000) 1000))
+    (fun xs ->
+      let s = Stats.summarize_ints xs in
+      s.min <= s.mean && s.mean <= s.max && s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "growth exponent" `Quick test_growth_exponent;
+          Alcotest.test_case "table rendering" `Quick test_table;
+          Alcotest.test_case "csv export" `Quick test_csv;
+        ] );
+      ("property", [ prop_linear_fit_recovers; prop_summary_bounds ]);
+    ]

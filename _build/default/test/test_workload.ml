@@ -1,0 +1,118 @@
+open Shared_mem
+module Split = Renaming.Split
+module Filter = Renaming.Filter
+
+let test_specs () =
+  let c = Workload.churn ~cycles:5 () in
+  Alcotest.(check int) "churn cycles" 5 c.cycles;
+  Alcotest.(check int) "churn hold" 1 (c.hold 3);
+  Alcotest.(check int) "churn delay" 0 (c.delay 0);
+  let st = Workload.staggered ~cycles:4 ~stride:10 ~index:3 () in
+  Alcotest.(check int) "stagger first delay" 30 (st.delay 0);
+  Alcotest.(check int) "stagger later delay" 0 (st.delay 1);
+  let b1 = Workload.bursty ~cycles:6 ~seed:11 in
+  let b2 = Workload.bursty ~cycles:6 ~seed:11 in
+  List.iter
+    (fun i ->
+      Alcotest.(check int) "bursty deterministic hold" (b1.hold i) (b2.hold i);
+      Alcotest.(check int) "bursty deterministic delay" (b1.delay i) (b2.delay i);
+      Alcotest.(check bool) "hold range" true (b1.hold i >= 0 && b1.hold i < 8);
+      Alcotest.(check bool) "delay range" true (b1.delay i >= 0 && b1.delay i < 16))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let split_setup ~k =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  (layout, sp, work)
+
+let test_body_under_sim () =
+  let layout, sp, work = split_setup ~k:3 in
+  let procs =
+    Array.init 3 (fun i ->
+        ( i * 1000,
+          Workload.body (module Split) sp ~work (Workload.bursty ~cycles:4 ~seed:i) ))
+  in
+  List.iter
+    (fun seed ->
+      let outcome, _ = Test_util.run_random ~seed ~name_space:9 layout procs in
+      Alcotest.(check bool) "completes" true (Test_util.all_completed outcome))
+    (Test_util.seeds 20)
+
+let test_staggered_under_sim () =
+  let layout, sp, work = split_setup ~k:4 in
+  let procs =
+    Array.init 4 (fun i ->
+        ( i,
+          Workload.body (module Split) sp ~work
+            (Workload.staggered ~cycles:3 ~stride:8 ~index:i ()) ))
+  in
+  let outcome, u = Test_util.run_random ~seed:99 ~name_space:27 layout procs in
+  Alcotest.(check bool) "completes" true (Test_util.all_completed outcome);
+  Alcotest.(check bool) "used some names" true (Sim.Checks.names_used u > 0)
+
+(* The long-lived scenario from the introduction: a pool of 12 client
+   identities multiplexed over 3 execution slots (at most 3 concurrent,
+   12 over time).  FILTER must declare all 12 as participants. *)
+let test_rotating_pool_filter () =
+  let k = 3 and d = 1 and z = 5 and s = 25 in
+  let pool = Array.init 12 (fun i -> i * 2) in
+  let layout = Layout.create () in
+  let f = Filter.create layout { k; d; z; s; participants = pool } in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let slot i =
+    let pids = Array.init 4 (fun j -> pool.(((j * 3) + i) mod 12)) in
+    Workload.rotating_body (module Filter) f ~work ~pids (Workload.churn ~cycles:8 ())
+  in
+  List.iter
+    (fun seed ->
+      let procs = Array.init 3 (fun i -> (pool.(i), slot i)) in
+      let outcome, u =
+        Test_util.run_random ~seed ~name_space:(Filter.name_space f) layout procs
+      in
+      Alcotest.(check bool) "completes" true (Test_util.all_completed outcome);
+      Alcotest.(check bool) "max 3 concurrent" true (Sim.Checks.max_concurrent u <= 3))
+    (Test_util.seeds 25)
+
+let test_rotating_requires_pids () =
+  let layout, sp, work = split_setup ~k:2 in
+  let mem = Store.seq_create layout in
+  let ops = Store.seq_ops mem ~pid:0 in
+  Alcotest.check_raises "empty pool" (Invalid_argument "Workload.rotating_body: no pids")
+    (fun () ->
+      Workload.rotating_body (module Split) sp ~work ~pids:[||] (Workload.churn ~cycles:1 ())
+        ops)
+
+(* Bursty bodies must be replayable: the model checker re-executes
+   paths, so two runs with the same schedule must behave identically. *)
+let test_bursty_model_check_safe () =
+  let builder () : Sim.Model_check.config =
+    let layout, sp, work = split_setup ~k:2 in
+    let u = Sim.Checks.uniqueness ~name_space:3 () in
+    {
+      layout;
+      procs =
+        Array.init 2 (fun i ->
+            (i, Workload.body (module Split) sp ~work (Workload.bursty ~cycles:1 ~seed:5)));
+      monitor = Sim.Checks.uniqueness_monitor u;
+    }
+  in
+  let r = Sim.Model_check.explore ~max_paths:100_000 builder in
+  Test_util.check_no_violation "bursty under model checker" r
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "generators" `Quick test_specs;
+          Alcotest.test_case "empty pool rejected" `Quick test_rotating_requires_pids;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "bursty bodies" `Slow test_body_under_sim;
+          Alcotest.test_case "staggered arrivals" `Quick test_staggered_under_sim;
+          Alcotest.test_case "rotating pool over FILTER" `Slow test_rotating_pool_filter;
+          Alcotest.test_case "bursty is model-check safe" `Slow test_bursty_model_check_safe;
+        ] );
+    ]
