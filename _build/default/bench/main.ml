@@ -6,7 +6,12 @@
      dune exec bench/main.exe             -- everything
      dune exec bench/main.exe -- e4 e6    -- selected experiments
      dune exec bench/main.exe -- wall     -- wall-clock benches only
-     dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv *)
+     dune exec bench/main.exe -- modelcheck -- model-checker throughput only
+     dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv
+
+   The modelcheck bench additionally writes BENCH_modelcheck.json (one
+   JSON line per configuration: paths, states, pruning counters,
+   paths/sec). *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -103,6 +108,100 @@ let run_wall_clock () =
          Stats.add_row tbl [ name; est; r2 ]);
   Stats.print tbl
 
+(* ----- model-checker throughput (sleep sets + state cache) ----- *)
+
+let splitter_builder ~procs ~cycles () : Sim.Model_check.config =
+  let layout = Layout.create () in
+  let sp = Renaming.Splitter.create layout in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let o = Sim.Checks.occupancy () in
+  let body (ops : Store.ops) =
+    for _ = 1 to cycles do
+      Sim.Sched.emit (Sim.Event.Note ("begin", 0));
+      let tok = Renaming.Splitter.enter sp ops in
+      let d = Renaming.Splitter.direction tok in
+      Sim.Sched.emit (Sim.Event.Note ("in", d));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Note ("out", d));
+      Renaming.Splitter.release sp ops tok;
+      Sim.Sched.emit (Sim.Event.Note ("end", 0))
+    done
+  in
+  {
+    layout;
+    procs = Array.init procs (fun p -> (p + 1, body));
+    monitor = Sim.Checks.occupancy_monitor o;
+  }
+
+let pf_mutex_builder ~cycles () : Sim.Model_check.config =
+  let layout = Layout.create () in
+  let b = Renaming.Pf_mutex.create layout in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let in_cs = ref 0 in
+  let body dir (ops : Store.ops) =
+    for _ = 1 to cycles do
+      let slot = Renaming.Pf_mutex.enter b ops ~dir in
+      let rec spin n =
+        if Renaming.Pf_mutex.check b ops ~dir slot then begin
+          Sim.Sched.emit (Sim.Event.Note ("cs", dir));
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Note ("cs_exit", dir))
+        end
+        else if n > 0 then spin (n - 1)
+      in
+      spin 6;
+      Renaming.Pf_mutex.release b ops ~dir slot
+    done
+  in
+  {
+    layout;
+    procs = [| (0, body 0); (1, body 1) |];
+    monitor =
+      Sim.Sched.monitor
+        ~on_event:(fun _ _ ev ->
+          match ev with
+          | Sim.Event.Note ("cs", _) ->
+              incr in_cs;
+              if !in_cs > 1 then raise (Sim.Model_check.Violation "double CS")
+          | Sim.Event.Note ("cs_exit", _) -> decr in_cs
+          | _ -> ())
+        ();
+  }
+
+let run_modelcheck_bench () =
+  print_endline "\n=== Model checker (sleep-set POR + state cache) ===";
+  let oc = open_out "BENCH_modelcheck.json" in
+  let tbl =
+    Stats.table
+      [ "config"; "paths"; "states"; "sleep-pruned"; "cache-pruned"; "complete"; "paths/s" ]
+  in
+  let run label options builder =
+    let rep = Sim.Model_check.check ~options builder in
+    output_string oc (Sim.Model_check.report_json ~label rep);
+    output_char oc '\n';
+    let o = rep.outcome and s = rep.stats in
+    Stats.add_row tbl
+      [
+        label;
+        string_of_int o.paths;
+        string_of_int s.states;
+        string_of_int s.pruned_by_sleep;
+        string_of_int s.pruned_by_cache;
+        string_of_bool o.complete;
+        Printf.sprintf "%.0f"
+          (if s.elapsed_s > 0. then float_of_int o.paths /. s.elapsed_s else 0.);
+      ]
+  in
+  let reduced = Sim.Model_check.default_options in
+  let plain = { reduced with Sim.Model_check.por = false; cache_bound = 0 } in
+  run "splitter_l2_plain" plain (splitter_builder ~procs:2 ~cycles:1);
+  run "splitter_l2_reduced" reduced (splitter_builder ~procs:2 ~cycles:1);
+  run "splitter_l3_reduced" reduced (splitter_builder ~procs:3 ~cycles:1);
+  run "pf_mutex_reduced" reduced (pf_mutex_builder ~cycles:2);
+  close_out oc;
+  Stats.print tbl;
+  print_endline "wrote BENCH_modelcheck.json"
+
 (* ----- driver ----- *)
 
 let write_csvs (r : Experiments.report) =
@@ -126,9 +225,10 @@ let () =
   List.iter
     (fun id ->
       if String.equal id "wall" then run_wall_clock ()
+      else if String.equal id "modelcheck" then run_modelcheck_bench ()
       else
         match Experiments.find id with
-        | None -> Printf.eprintf "unknown experiment %S (known: e1..e12, wall)\n" id
+        | None -> Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck)\n" id
         | Some run ->
             let r = run () in
             Format.printf "%a" Experiments.pp_report r;
@@ -136,7 +236,10 @@ let () =
             reports := r :: !reports;
             if not r.ok then incr failures)
     wanted;
-  if args = [] then run_wall_clock ();
+  if args = [] then begin
+    run_wall_clock ();
+    run_modelcheck_bench ()
+  end;
   (match !reports with
   | [] -> ()
   | rs ->

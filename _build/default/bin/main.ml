@@ -124,7 +124,7 @@ let simulate protocol k s procs cycles seed crash =
 
 (* ----- modelcheck ----- *)
 
-let modelcheck protocol k s procs cycles max_paths shortest =
+let modelcheck protocol k s procs cycles max_paths shortest por cache_bound stats json =
   let builder () : Sim.Model_check.config =
     let layout = Layout.create () in
     let Setup { proto = (module P); inst; _ }, pids = build protocol layout ~k ~s ~procs in
@@ -158,9 +158,26 @@ let modelcheck protocol k s procs cycles max_paths shortest =
         1
   end
   else begin
-    let r = Sim.Model_check.explore ~max_steps:50_000 ~max_paths builder in
+    let options =
+      { Sim.Model_check.por; cache_bound; max_steps = 50_000; max_paths }
+    in
+    let rep = Sim.Model_check.check ~options builder in
+    let r = rep.outcome in
     Fmt.pr "explored %d interleavings (%s)@." r.paths
       (if r.complete then "complete" else "bounded");
+    if stats then begin
+      let st = rep.stats in
+      Fmt.pr "states %d, cache hits %d, pruned: %d by sleep sets, %d by cache@."
+        st.states st.cache_hits st.pruned_by_sleep st.pruned_by_cache;
+      Fmt.pr "max depth %d, truncated paths %d, %.2fs (%.0f paths/s)@." st.max_depth
+        st.truncated_paths st.elapsed_s
+        (if st.elapsed_s > 0. then float_of_int r.paths /. st.elapsed_s else 0.)
+    end;
+    if json then
+      print_endline
+        (Sim.Model_check.report_json
+           ~label:(Printf.sprintf "%s_k%d_p%d_c%d" protocol k procs cycles)
+           rep);
     match r.violation with
     | None ->
         Fmt.pr "no uniqueness violation found@.";
@@ -294,11 +311,23 @@ let modelcheck_cmd =
                        & info [ "max-paths" ] ~docv:"N" ~doc:"Interleaving budget.") in
   let procs = Arg.(value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Processes.") in
   let shortest = Arg.(value & flag & info [ "shortest" ]
-                      ~doc:"Iterative deepening: report a minimal-length counterexample.") in
+                      ~doc:"Iterative deepening: report a minimal-length counterexample \
+                            (plain search, no reductions).") in
+  let por = Arg.(value & vflag true
+                 [ (true, info [ "por" ] ~doc:"Sleep-set partial-order reduction (default).");
+                   (false, info [ "no-por" ] ~doc:"Disable partial-order reduction.") ]) in
+  let cache_bound = Arg.(value & opt int 1_000_000
+                         & info [ "cache-bound" ] ~docv:"N"
+                           ~doc:"Max states remembered by the state cache; 0 disables \
+                                 caching.") in
+  let stats = Arg.(value & flag & info [ "stats" ]
+                   ~doc:"Print exploration statistics (states, pruning, paths/sec).") in
+  let json = Arg.(value & flag & info [ "json" ]
+                  ~doc:"Also print a machine-readable JSON report line.") in
   Cmd.v
     (Cmd.info "modelcheck" ~doc:"Explore interleavings exhaustively (bounded)")
     Term.(const modelcheck $ protocol_arg $ k_arg 2 $ s_arg 4 $ procs $ cycles_arg 1
-          $ max_paths $ shortest)
+          $ max_paths $ shortest $ por $ cache_bound $ stats $ json)
 
 let params_cmd =
   Cmd.v

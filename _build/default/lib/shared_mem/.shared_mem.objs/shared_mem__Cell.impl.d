@@ -1,1 +1,1 @@
-lib/shared_mem/cell.ml: Format
+lib/shared_mem/cell.ml: Format Int

@@ -5,4 +5,5 @@ let id c = c.id
 let name c = c.name
 let init c = c.init
 let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
 let pp ppf c = Format.fprintf ppf "%s#%d" c.name c.id

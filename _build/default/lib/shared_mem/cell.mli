@@ -25,5 +25,9 @@ val init : t -> int
 val equal : t -> t -> bool
 (** Handle equality ([id] equality). *)
 
+val compare : t -> t -> int
+(** Total order on handles by [id]; cells from one layout sort in
+    allocation order. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints ["name#id"]. *)

@@ -22,6 +22,11 @@ val alloc_array : t -> ?name:string -> int -> int -> Cell.t array
 val size : t -> int
 (** Number of registers allocated so far. *)
 
+val cells : t -> Cell.t list
+(** All registers allocated so far, in allocation ([Cell.id]) order.
+    Introspection for tooling (state hashing, independence analysis,
+    register dumps); fresh list on every call. *)
+
 val initial_values : t -> int array
 (** Snapshot of the initial value of every register, indexed by
     {!Cell.id}.  Fresh array on every call. *)

@@ -1,1 +1,1 @@
-lib/sim/model_check.ml: Array List Printf Rng Sched Shared_mem
+lib/sim/model_check.ml: Array Hashtbl List Option Printf Rng Sched Shared_mem State_hash Sys

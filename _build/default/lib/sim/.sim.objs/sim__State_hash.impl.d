@@ -1,0 +1,1 @@
+lib/sim/state_hash.ml: Array Cell Event Hashtbl Layout Sched Shared_mem

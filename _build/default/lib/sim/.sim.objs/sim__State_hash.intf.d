@@ -1,0 +1,1 @@
+lib/sim/state_hash.mli: Event Sched Shared_mem

@@ -6,19 +6,46 @@
     scratch via a user-supplied builder and replays a prefix of
     scheduling choices, then extends it depth-first.
 
-    Exhaustive exploration is feasible for the paper's small "special
-    cases" (2–3 processes, one or two acquire/release cycles); beyond
-    that, {!sample} draws seeded-random schedules.
+    {!check} is the engine: depth-first search with two orthogonal
+    reductions, both on by default and both switchable.
 
-    Design note — why no partial-order reduction: sleep sets and DPOR
-    prune interleavings that are Mazurkiewicz-equivalent under an
-    independence relation on {e memory accesses}, but the monitors here
-    check properties of {e event overlap} (two processes holding the
-    same name simultaneously).  In a buggy protocol such an overlap
-    need not be witnessed by any access conflict, so trace-equivalence
-    pruning could explore only the non-overlapping representative and
-    miss the bug.  The mutation suite (test_mutations.ml) is the
-    regression net that keeps the checker honest. *)
+    {b Sleep-set partial-order reduction.}  Two pending steps are
+    independent when they involve distinct processes, do not conflict
+    on a register (distinct cells, or both plain reads of the same
+    cell), {e and} at most one of them emits an event.  The last clause
+    is what makes the reduction sound for this checker's monitors: they
+    check properties of the {e event sequence} (two processes holding
+    the same name simultaneously), so two event-emitting steps never
+    commute from the monitors' point of view even when their memory
+    accesses do.  An earlier revision of this module skipped POR
+    entirely for that reason; making the dependence relation
+    event-aware restores soundness while still pruning the (vastly more
+    numerous) commuting memory-access interleavings.  Whether a step
+    emits is known from the execution that first explored it, and
+    independence guarantees sleeping steps replay identically.
+
+    {b State caching.}  After each step the state fingerprint
+    ({!State_hash}: shared memory, per-process access histories, the
+    ordered event sequence) is looked up in a bounded cache.  A revisit
+    is pruned only when a previous visit covered it: its sleep set was
+    a subset of the current one (it explored at least as many
+    successors) and its remaining step budget was at least as large (it
+    explored at least as deep).  Including the ordered event sequence
+    in the fingerprint keeps caching sound for history-dependent
+    monitors (e.g. an occupancy high-water mark).
+
+    Exhaustive exploration with both reductions handles the paper's
+    "special cases" (2–3 processes, a few acquire/release cycles well
+    beyond what plain DFS reaches); beyond that, {!sample} draws
+    seeded-random schedules.  The mutation suite (test_mutations.ml,
+    test_model_check.ml) is the regression net that keeps the
+    reductions honest: reduced and unreduced search must agree on every
+    verdict.
+
+    The engine assumes {!Sched.pause} is not used while checking
+    (pausing changes enabledness in ways the independence relation does
+    not see) and that process bodies' cleanup handlers do not perform
+    shared accesses after an abort. *)
 
 exception Violation of string
 (** Raised by monitors to signal an invariant violation; the checker
@@ -47,16 +74,62 @@ type result = {
   violation : violation option;  (** First violation found, if any. *)
 }
 
+(** {1 The engine} *)
+
+type options = {
+  por : bool;  (** Sleep-set partial-order reduction. *)
+  cache_bound : int;
+      (** Maximum number of distinct states remembered by the state
+          cache; [0] disables caching entirely. *)
+  max_steps : int;  (** Per-path step budget (checked along the way). *)
+  max_paths : int;  (** Total path budget. *)
+}
+
+val default_options : options
+(** [por = true], [cache_bound = 1_000_000], [max_steps = 10_000],
+    [max_paths = 2_000_000]. *)
+
+type stats = {
+  states : int;  (** Interior states expanded (not terminals). *)
+  cache_hits : int;  (** Lookups that found the fingerprint cached. *)
+  pruned_by_sleep : int;  (** Enabled transitions skipped while asleep. *)
+  pruned_by_cache : int;  (** Paths cut at a covered cached state. *)
+  max_depth : int;  (** Deepest path, in steps. *)
+  truncated_paths : int;  (** Paths cut by [max_steps]. *)
+  elapsed_s : float;
+      (** Processor time spent exploring ([Sys.time]; the search is
+          single-threaded and compute-bound, so ≈ wall-clock). *)
+}
+
+type report = { outcome : result; stats : stats }
+
+val check : ?options:options -> builder -> report
+(** Depth-first exploration with the selected reductions.  With
+    [por = false] and [cache_bound = 0] this is exactly {!explore}
+    (same DFS order, same path count, same verdict). *)
+
+val report_json : ?label:string -> report -> string
+(** One machine-readable JSON line summarising a report (paths, states,
+    pruning counters, paths/sec). *)
+
+(** {1 Classic interface} *)
+
 val explore : ?max_steps:int -> ?max_paths:int -> builder -> result
-(** Depth-first exhaustive exploration.  [max_steps] (default [10_000])
-    truncates each path (invariants are still checked along truncated
-    paths); [max_paths] (default [2_000_000]) bounds the search. *)
+(** Plain depth-first exhaustive exploration — {!check} with both
+    reductions off.  [max_steps] (default [10_000]) truncates each path
+    (invariants are still checked along truncated paths); [max_paths]
+    (default [2_000_000]) bounds the search. *)
 
 val sample : ?max_steps:int -> seeds:int list -> builder -> result
-(** One seeded-random schedule per seed; [paths] counts runs. *)
+(** One seeded-random schedule per seed; [paths] counts runs,
+    including the violating run if any.  A reported violation carries
+    the actual schedule taken (replayable via {!replay}); its message
+    is prefixed with ["[seed N] "]. *)
 
 val replay : ?max_steps:int -> builder -> int list -> (unit, violation) Result.t
-(** Re-run a single schedule (as reported in {!violation.schedule}). *)
+(** Re-run a single schedule (as reported in {!violation.schedule});
+    once the schedule is exhausted, the first enabled process is
+    stepped until completion or [max_steps]. *)
 
 val shortest_violation :
   ?max_steps:int -> ?max_paths_per_depth:int -> builder -> violation option

@@ -11,6 +11,11 @@ type access =
   | Write of Cell.t * int
   | Update of Cell.t * int * int  (** read-modify-write: old, new *)
 
+type access_kind = ARead | AWrite | ARmw
+type access_sig = { proc : int; cell : int; kind : access_kind }
+
+exception Aborted
+
 type t = {
   mem : int array;
   pids : int array;
@@ -69,7 +74,13 @@ let spawn t i body =
   match_with body (ops_for t i)
     {
       retc = (fun () -> t.state.(i) <- Pdone);
-      exnc = raise;
+      exnc =
+        (fun e ->
+          (* The fiber is gone (the exception unwound it); mark the
+             process finished so [abort] does not try to resume a
+             one-shot continuation that was already consumed. *)
+          t.state.(i) <- Pdone;
+          raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -83,10 +94,40 @@ let spawn t i body =
           | Semit ev ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  t.monitor.on_event t i ev;
-                  continue k ())
+                  (* If the monitor raises (e.g. a checker violation),
+                     unwind the emitting fiber through [discontinue] so
+                     its cleanup handlers run and no suspended
+                     continuation is abandoned; [exnc] re-raises. *)
+                  match t.monitor.on_event t i ev with
+                  | () -> continue k ()
+                  | exception e -> discontinue k e)
           | _ -> None);
     }
+
+let abort t =
+  (* Unwind every suspended fiber so [Fun.protect]-style finalizers run
+     instead of being dropped with the abandoned continuation.  A
+     finalizer may perform further shared accesses, re-suspending the
+     fiber, so loop with a budget; a fiber still suspended after that
+     is abandoned (leaked) rather than looping forever. *)
+  let budget = ref (64 * Array.length t.state) in
+  let live () = Array.exists (function Pdone -> false | _ -> true) t.state in
+  while !budget > 0 && live () do
+    Array.iteri
+      (fun i st ->
+        let kill : type a. (a, unit) Effect.Deep.continuation -> unit =
+         fun k ->
+          decr budget;
+          t.state.(i) <- Pdone;
+          try Effect.Deep.discontinue k Aborted with _ -> ()
+        in
+        match st with
+        | Pdone -> ()
+        | Pread (_, k) -> kill k
+        | Pwrite (_, _, k) -> kill k
+        | Prmw (_, _, k) -> kill k)
+      t.state
+  done
 
 let create ?(monitor = no_monitor) layout procs =
   let n = Array.length procs in
@@ -102,7 +143,11 @@ let create ?(monitor = no_monitor) layout procs =
       monitor;
     }
   in
-  Array.iteri (fun i (_, body) -> spawn t i body) procs;
+  (* If a body (or a monitor hook fired from one) raises while running
+     up to its first suspension, discontinue the already-spawned fibers
+     before propagating, so their cleanup code runs. *)
+  (try Array.iteri (fun i (_, body) -> spawn t i body) procs
+   with e -> abort t; raise e);
   t
 
 let n_procs t = Array.length t.state
@@ -126,6 +171,13 @@ let enabled t =
     end
   done;
   Array.sub buf 0 !count
+
+let pending_access t i =
+  match t.state.(i) with
+  | Pdone -> invalid_arg "Sched.pending_access: finished process"
+  | Pread (c, _) -> { proc = i; cell = Cell.id c; kind = ARead }
+  | Pwrite (c, _, _) -> { proc = i; cell = Cell.id c; kind = AWrite }
+  | Prmw (c, _, _) -> { proc = i; cell = Cell.id c; kind = ARmw }
 
 let step t i =
   if t.paused.(i) then invalid_arg "Sched.step: paused process";

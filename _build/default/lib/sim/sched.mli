@@ -25,6 +25,17 @@ type access =
   | Update of Shared_mem.Cell.t * int * int
       (** Atomic read-modify-write: old and new value. *)
 
+type access_kind = ARead | AWrite | ARmw
+
+type access_sig = { proc : int; cell : int; kind : access_kind }
+(** Static signature of a process's {e next} shared access: the
+    process {e index} (into the [procs] array, not its source pid),
+    the register ({!Shared_mem.Cell.id}), and whether it reads, writes,
+    or read-modify-writes.  Two pending accesses of distinct processes
+    commute (are independent, in the partial-order reduction sense)
+    when they touch different registers or are both plain reads of the
+    same register. *)
+
 type monitor = {
   on_event : t -> int -> Event.t -> unit;
       (** Called when a process emits an event (atomic with the
@@ -56,7 +67,9 @@ val create :
     one process per [(pid, body)] pair.  [pid] is the process's source
     name (it may exceed the number of processes; the paper's processes
     are sparse in [{0,…,S-1}]).  Each body runs up to its first shared
-    access during [create]. *)
+    access during [create].  If a body (or a monitor hook it triggers)
+    raises during this initial run, already-suspended siblings are
+    {!abort}ed before the exception propagates. *)
 
 val enabled : t -> int array
 (** Indices (into the [procs] array, {e not} pids) of processes that
@@ -66,6 +79,26 @@ val step : t -> int -> unit
 (** [step t i] performs process [i]'s pending shared access and runs
     its local continuation up to the next access or completion.
     @raise Invalid_argument if [i] is not enabled. *)
+
+val pending_access : t -> int -> access_sig
+(** Signature of the access that [step t i] would perform, without
+    performing it.  Drives the model checker's independence analysis.
+    @raise Invalid_argument if process [i] is finished. *)
+
+exception Aborted
+(** Raised {e inside} suspended process bodies by {!abort} to unwind
+    them. *)
+
+val abort : t -> unit
+(** Discontinue every suspended process with {!Aborted} so that
+    cleanup code ([Fun.protect] finalizers, [try ... with] handlers)
+    runs instead of being dropped along with the abandoned fiber.
+    Anything the unwinding raises (including {!Aborted} itself) is
+    swallowed.  Finalizers may perform further shared accesses — those
+    fibers are aborted again, up to a fixed budget — but must not rely
+    on such accesses for correctness: a run that has been aborted makes
+    no fairness or atomicity promises.  After [abort] every process is
+    finished and the simulation is inert. *)
 
 val finished : t -> int -> bool
 val pause : t -> int -> unit

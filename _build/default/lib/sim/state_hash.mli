@@ -1,0 +1,38 @@
+(** Incremental state fingerprints for the model checker's state cache.
+
+    A [State_hash.t] shadows one simulation and folds everything that
+    determines its future behaviour into a single 63-bit key:
+
+    - the shared-memory contents (maintained from the access stream);
+    - per-process rolling hashes of each process's access history —
+      process bodies are deterministic functions of the values their
+      reads return, so the history hash pins down the continuation;
+    - a rolling hash of the {e ordered} event sequence, which pins down
+      the state of history-dependent monitors (e.g. an occupancy
+      checker's high-water mark).
+
+    Two simulation states with equal keys are treated as equal by the
+    cache (hash compaction, as in murphi/SPIN): collisions are possible
+    in principle but at 63 bits are negligible next to the path budgets
+    involved.  Soundness additionally assumes monitor state is a
+    function of the emitted event sequence; monitors that merely assert
+    on each access without carrying state (domain checks) are also
+    fine, since an access replayed from a cached state was already
+    checked the first time. *)
+
+type t
+
+val create : Shared_mem.Layout.t -> nprocs:int -> t
+(** Fingerprint for a fresh simulation over [layout] with [nprocs]
+    processes: shadow memory holds the initial register values. *)
+
+val record_access : t -> int -> Sched.access -> unit
+(** Fold process [i]'s access into its history hash and apply any
+    write to the shadow memory.  Call once per {!Sched.step}, e.g.
+    from a monitor's [on_access] hook. *)
+
+val record_event : t -> int -> Event.t -> unit
+(** Fold an event emitted by process [i] into the ordered event hash. *)
+
+val key : t -> int
+(** Non-negative fingerprint of the current state. *)

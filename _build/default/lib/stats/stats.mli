@@ -10,10 +10,17 @@ type summary = {
   p50 : float;
   p95 : float;
   stddev : float;
+      (** {e Population} standard deviation (divisor [n], not [n-1]):
+          the experiment harness reports on the full set of runs it
+          performed, not a sample of a larger population.  With [n = 1]
+          this is [0.], never nan. *)
 }
 
 val summarize : float list -> summary
-(** @raise Invalid_argument on the empty list. *)
+(** Values are ordered with [Float.compare], so nans sort first and
+    would surface in [min]/percentiles rather than corrupting the
+    order.
+    @raise Invalid_argument on the empty list. *)
 
 val summarize_ints : int list -> summary
 

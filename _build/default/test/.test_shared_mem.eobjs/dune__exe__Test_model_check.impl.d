@@ -1,0 +1,1 @@
+test/test_model_check.ml: Alcotest Array Fun Layout List Printf Renaming Shared_mem Sim Store String Test_util

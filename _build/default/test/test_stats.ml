@@ -7,9 +7,21 @@ let test_summarize () =
   Alcotest.(check bool) "min" true (feq s.min 1.0);
   Alcotest.(check bool) "max" true (feq s.max 5.0);
   Alcotest.(check bool) "median" true (feq s.p50 3.0);
-  Alcotest.(check bool) "stddev" true (feq s.stddev (sqrt 2.0));
+  (* population stddev: divisor n=5 gives sqrt(10/5); the sample
+     (n-1) convention would give sqrt(10/4) ~ 1.58 instead *)
+  Alcotest.(check bool) "population stddev" true (feq s.stddev (sqrt 2.0));
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty") (fun () ->
       ignore (Stats.summarize []))
+
+let test_summarize_population_convention () =
+  (* [1;2]: population variance ((0.5)^2+(0.5)^2)/2 = 0.25 -> 0.5;
+     sample variance would be 0.5 -> ~0.707 *)
+  let s = Stats.summarize [ 1.0; 2.0 ] in
+  Alcotest.(check bool) "two-point stddev" true (feq s.stddev 0.5);
+  (* a single observation has zero spread under the population
+     convention; the sample convention would divide by zero *)
+  let s1 = Stats.summarize [ 42.0 ] in
+  Alcotest.(check bool) "singleton stddev" true (feq s1.stddev 0.0)
 
 let test_percentile () =
   let a = [| 10.0; 20.0; 30.0; 40.0 |] in
@@ -70,6 +82,8 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "population stddev convention" `Quick
+            test_summarize_population_convention;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "linear fit" `Quick test_linear_fit;
           Alcotest.test_case "growth exponent" `Quick test_growth_exponent;

@@ -1,0 +1,52 @@
+open Shared_mem
+
+type t = {
+  mem : int array;  (* shadow of shared memory, maintained from accesses *)
+  local : int array;  (* per-process rolling hash of its access history *)
+  mutable events : int;  (* rolling hash of the ordered event sequence *)
+}
+
+(* 63-bit FNV-style mixer; multiplication wraps on native ints and
+   [land max_int] keeps keys non-negative. *)
+let mix h v = ((h lxor (v * 0x9E3779B97F4A7C1)) * 0x100000001B3) land max_int
+
+let seed = 0x2BF29CE484222325
+
+let create layout ~nprocs =
+  {
+    mem = Layout.initial_values layout;
+    local = Array.make nprocs seed;
+    events = seed;
+  }
+
+let kind_tag = function
+  | Sched.Read _ -> 1
+  | Sched.Write _ -> 2
+  | Sched.Update _ -> 3
+
+let record_access t i acc =
+  (match acc with
+  | Sched.Read _ -> ()
+  | Sched.Write (c, v) -> t.mem.(Cell.id c) <- v
+  | Sched.Update (c, _, v') -> t.mem.(Cell.id c) <- v');
+  let cell, value =
+    match acc with
+    | Sched.Read (c, v) | Sched.Write (c, v) -> (Cell.id c, v)
+    | Sched.Update (c, old, _) -> (Cell.id c, old)
+  in
+  t.local.(i) <- mix (mix (mix t.local.(i) (kind_tag acc)) cell) value
+
+let record_event t i ev =
+  let tag, payload =
+    match ev with
+    | Event.Acquired name -> (1, name)
+    | Event.Released name -> (2, name)
+    | Event.Note (s, v) -> (3, mix (Hashtbl.hash s) v)
+  in
+  t.events <- mix (mix (mix t.events i) tag) payload
+
+let key t =
+  let h = ref (mix seed t.events) in
+  Array.iter (fun v -> h := mix !h v) t.mem;
+  Array.iter (fun v -> h := mix !h v) t.local;
+  !h

@@ -19,7 +19,10 @@ let summarize values =
   | [] -> invalid_arg "Stats.summarize: empty"
   | _ ->
       let a = Array.of_list values in
-      Array.sort compare a;
+      (* [Float.compare], not polymorphic [compare]: the latter orders
+         nan through its boxed representation and is needlessly slow on
+         floats. *)
+      Array.sort Float.compare a;
       let n = Array.length a in
       let fn = float_of_int n in
       let sum = Array.fold_left ( +. ) 0.0 a in
