@@ -7,11 +7,15 @@
      dune exec bench/main.exe -- e4 e6    -- selected experiments
      dune exec bench/main.exe -- wall     -- wall-clock benches only
      dune exec bench/main.exe -- modelcheck -- model-checker throughput only
+     dune exec bench/main.exe -- obs      -- lib/obs instrumentation overhead only
+     dune exec bench/main.exe -- obs --smoke -- same, with a short measurement quota
      dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv
 
    The modelcheck bench additionally writes BENCH_modelcheck.json (one
    JSON line per configuration: paths, states, pruning counters,
-   paths/sec). *)
+   paths/sec).  The obs bench writes BENCH_obs.json (bare vs
+   instrumented ns/cycle and their ratio) and fails if the ratio
+   regresses to more than 2x the recorded bench/obs_baseline.json. *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -202,6 +206,127 @@ let run_modelcheck_bench () =
   Stats.print tbl;
   print_endline "wrote BENCH_modelcheck.json"
 
+(* ----- lib/obs instrumentation overhead ----- *)
+
+(* ns/cycle for one staged thunk, measured like run_wall_clock. *)
+let measure_ns ~quota ~name thunk =
+  let test = Bechamel.Test.make ~name (Bechamel.Staged.stage thunk) in
+  let cfg = Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second quota) ~kde:None () in
+  let raw = Bechamel.Benchmark.all cfg [ Bechamel.Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ ols acc ->
+      match Bechamel.Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> acc)
+    results nan
+
+(* The recorded overhead ratio this machine class is expected to stay
+   within 2x of; regenerate with [bench obs --rebaseline]. *)
+let baseline_path = "bench/obs_baseline.json"
+
+let read_baseline () =
+  match open_in baseline_path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let key = "\"overhead\":" in
+      let rec find i =
+        if i + String.length key > String.length s then None
+        else if String.sub s i (String.length key) = key then begin
+          let j = ref (i + String.length key) in
+          let start = !j in
+          while
+            !j < String.length s && (match s.[!j] with '0' .. '9' | '.' | ' ' -> true | _ -> false)
+          do
+            incr j
+          done;
+          float_of_string_opt (String.trim (String.sub s start (!j - start)))
+        end
+        else find (i + 1)
+      in
+      find 0
+
+let run_obs_bench ~smoke ~rebaseline () =
+  Printf.printf "\n=== lib/obs instrumentation overhead (split k=8, sequential store)%s ===\n"
+    (if smoke then " [smoke]" else "");
+  let quota = if smoke then 0.1 else 0.5 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:8 in
+  let mem = Store.seq_create layout in
+  let pid = 123_456_789 in
+  let bare_ops = Store.seq_ops mem ~pid in
+  let registry = Obs.Registry.create () in
+  let sh = Obs.Registry.shard ~span_capacity:4096 registry in
+  let c = Store.counter () in
+  let inst_ops = Store.counting c (Store.observed sh bare_ops) in
+  let clock = ref 0 in
+  (* Mirrors Domain_runner's per-operation instrumentation: grouped
+     access counters, a span per op, the op.*.accesses histograms. *)
+  let record op annotations =
+    let accesses = Store.accesses c in
+    Obs.Registry.span sh
+      {
+        name = op;
+        pid;
+        start_step = !clock;
+        end_step = !clock + accesses;
+        accesses;
+        annotations;
+      };
+    clock := !clock + accesses;
+    Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
+    Obs.Registry.inc sh ("op." ^ op ^ ".count")
+  in
+  let bare () =
+    let lease = Split.get_name sp bare_ops in
+    Split.release_name sp bare_ops lease
+  in
+  let instrumented () =
+    Store.reset c;
+    let lease = Split.get_name sp inst_ops in
+    record "get" [ ("name", Split.name_of sp lease) ];
+    Store.reset c;
+    Split.release_name sp inst_ops lease;
+    record "release" []
+  in
+  let bare_ns = measure_ns ~quota ~name:"bare" bare in
+  let inst_ns = measure_ns ~quota ~name:"instrumented" instrumented in
+  let overhead = inst_ns /. bare_ns in
+  Printf.printf "bare          : %8.1f ns/cycle\n" bare_ns;
+  Printf.printf "instrumented  : %8.1f ns/cycle\n" inst_ns;
+  Printf.printf "overhead      : %8.2fx\n" overhead;
+  let json =
+    Printf.sprintf
+      "{\"id\":\"obs\",\"smoke\":%b,\"bare_ns\":%.1f,\"instrumented_ns\":%.1f,\"overhead\":%.3f}\n"
+      smoke bare_ns inst_ns overhead
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_obs.json";
+  if rebaseline then begin
+    let oc = open_out baseline_path in
+    Printf.fprintf oc "{\"id\":\"obs_baseline\",\"overhead\":%.3f}\n" overhead;
+    close_out oc;
+    Printf.printf "recorded new baseline %.3fx in %s\n" overhead baseline_path;
+    true
+  end
+  else
+    match read_baseline () with
+    | None ->
+        Printf.printf "no %s; skipping the regression gate\n" baseline_path;
+        true
+    | Some base ->
+        let ok = Float.is_nan overhead || overhead <= 2.0 *. base in
+        Printf.printf "baseline      : %8.2fx (gate: <= %.2fx) -> %s\n" base (2.0 *. base)
+          (if ok then "OK" else "REGRESSED");
+        ok
+
 (* ----- driver ----- *)
 
 let write_csvs (r : Experiments.report) =
@@ -218,7 +343,11 @@ let write_csvs (r : Experiments.report) =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let csv = List.mem "--csv" args in
-  let args = List.filter (fun a -> a <> "--csv") args in
+  let smoke = List.mem "--smoke" args in
+  let rebaseline = List.mem "--rebaseline" args in
+  let args =
+    List.filter (fun a -> not (List.mem a [ "--csv"; "--smoke"; "--rebaseline" ])) args
+  in
   let wanted = if args = [] then List.map (fun (id, _, _) -> id) Experiments.all else args in
   let failures = ref 0 in
   let reports = ref [] in
@@ -226,9 +355,14 @@ let () =
     (fun id ->
       if String.equal id "wall" then run_wall_clock ()
       else if String.equal id "modelcheck" then run_modelcheck_bench ()
+      else if String.equal id "obs" then begin
+        if not (run_obs_bench ~smoke ~rebaseline ()) then incr failures
+      end
       else
         match Experiments.find id with
-        | None -> Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck)\n" id
+        | None ->
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs)\n"
+              id
         | Some run ->
             let r = run () in
             Format.printf "%a" Experiments.pp_report r;
@@ -238,7 +372,8 @@ let () =
     wanted;
   if args = [] then begin
     run_wall_clock ();
-    run_modelcheck_bench ()
+    run_modelcheck_bench ();
+    if not (run_obs_bench ~smoke ~rebaseline ()) then incr failures
   end;
   (match !reports with
   | [] -> ()

@@ -6,7 +6,11 @@
      params      show chosen FILTER parameters and pipeline stages
      experiment  run reproduction experiments (e1..e12)
      trace       print an access-by-access execution trace
-     domains     run a protocol across real OS domains *)
+     domains     run a protocol across real OS domains
+     observe     run instrumented and export the metrics snapshot
+
+   simulate/modelcheck/experiment additionally take --metrics FILE to
+   write the run's lib/obs snapshot as JSON. *)
 
 open Cmdliner
 open Shared_mem
@@ -58,35 +62,67 @@ let build name layout ~k ~s ~procs =
       (Setup { proto = (module Pipeline); inst = p; label }, pids)
   | other -> failwith (Printf.sprintf "unknown protocol %S" other)
 
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  if String.length s = 0 || s.[String.length s - 1] <> '\n' then output_char oc '\n';
+  close_out oc
+
+(* Worst-case GetName access bound the snapshot is checked against
+   (mirrors Params.plan's per-stage formulas). *)
+let bound_for protocol ~k ~s =
+  match protocol with
+  | "split" -> Some ("Theorem 2", 7 * (k - 1))
+  | "filter" ->
+      let (p : Params.filter_params) = Params.choose ~k ~s in
+      let levels = Numeric.Intmath.ceil_log2 (max s 2) in
+      let set_size = 2 * p.d * (k - 1) in
+      Some ("Theorem 10", (4 * set_size * levels) + (6 * p.d * (k - 1) * levels))
+  | "ma" -> Some ("Moir-Anderson", (k * (s + 4)) + 1)
+  | "pipeline" -> Some ("Theorem 11 plan", Params.plan_worst_get (Params.plan ~k ~s))
+  | _ -> None
+
 (* ----- simulate ----- *)
 
-let simulate protocol k s procs cycles seed crash =
+let simulate protocol k s procs cycles seed crash metrics =
   let layout = Layout.create () in
   let Setup { proto = (module P); inst; label }, pids = build protocol layout ~k ~s ~procs in
   let work = Layout.alloc layout ~name:"work" 0 in
+  let registry = Obs.Registry.create () in
+  let obs =
+    match metrics with
+    | None -> None
+    | Some _ ->
+        let shard =
+          Obs.Registry.shard ~span_capacity:(max 4096 (2 * cycles * procs)) registry
+        in
+        Some (Sim.Observe.create shard)
+  in
   let get_costs = ref [] and rel_costs = ref [] in
   let body (ops : Store.ops) =
     let c = Store.counter () in
     let counted = Store.counting c ops in
     for _ = 1 to cycles do
       Store.reset c;
+      Sim.Observe.op_begin "get";
       let lease = P.get_name inst counted in
       get_costs := Store.accesses c :: !get_costs;
       Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
       ignore (ops.read work);
       Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
       Store.reset c;
+      Sim.Observe.op_begin "release";
       P.release_name inst counted lease;
       rel_costs := Store.accesses c :: !rel_costs
     done
   in
   let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
-  let t =
-    Sim.Sched.create
-      ~monitor:(Sim.Checks.uniqueness_monitor u)
-      layout
-      (Array.map (fun pid -> (pid, body)) pids)
+  let monitor =
+    Sim.Checks.combine
+      (Sim.Checks.uniqueness_monitor u
+      :: (match obs with Some o -> [ Sim.Observe.monitor o ] | None -> []))
   in
+  let t = Sim.Sched.create ~monitor layout (Array.map (fun pid -> (pid, body)) pids) in
   let rng = Sim.Rng.make seed in
   let strategy st en =
     if crash && not (Sim.Sched.finished st 0) then
@@ -120,21 +156,35 @@ let simulate protocol k s procs cycles seed crash =
       let s = Stats.summarize_ints costs in
       Fmt.pr "ReleaseName    : mean %.1f, max %.0f accesses@." s.mean s.max);
   Fmt.pr "uniqueness     : OK (monitor raised no violation)@.";
+  (match (metrics, obs) with
+  | Some file, Some o ->
+      Sim.Observe.finalize o;
+      write_file file (Obs.Export.to_json (Obs.Registry.snapshot registry));
+      Fmt.pr "metrics        : wrote %s@." file
+  | _ -> ());
   0
 
 (* ----- modelcheck ----- *)
 
-let modelcheck protocol k s procs cycles max_paths shortest por cache_bound stats json =
-  let builder () : Sim.Model_check.config =
+let modelcheck protocol k s procs cycles max_paths shortest por cache_bound stats json
+    metrics =
+  (* [markers] adds the span-begin notes (and [extra] the monitors) for
+     metrics replays only: the checked bodies must stay marker-free so
+     partial-order reduction sees as few event-emitting steps as
+     possible, and a schedule found here replays identically against
+     the marker-bearing bodies (markers cost no shared access). *)
+  let mk_builder ?(markers = false) ?(extra = []) () : Sim.Model_check.config =
     let layout = Layout.create () in
     let Setup { proto = (module P); inst; _ }, pids = build protocol layout ~k ~s ~procs in
     let work = Layout.alloc layout ~name:"work" 0 in
     let body (ops : Store.ops) =
       for _ = 1 to cycles do
+        if markers then Sim.Observe.op_begin "get";
         let lease = P.get_name inst ops in
         Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
         ignore (ops.read work);
         Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+        if markers then Sim.Observe.op_begin "release";
         P.release_name inst ops lease
       done
     in
@@ -142,19 +192,51 @@ let modelcheck protocol k s procs cycles max_paths shortest por cache_bound stat
     {
       layout;
       procs = Array.map (fun pid -> (pid, body)) pids;
-      monitor = Sim.Checks.uniqueness_monitor u;
+      monitor = Sim.Checks.combine (Sim.Checks.uniqueness_monitor u :: extra);
     }
+  in
+  let builder () = mk_builder () in
+  (* Exploration counters plus a profile of one schedule — the
+     violating one when found, else the serialized first-enabled run —
+     replayed under the Observe monitor. *)
+  let write_metrics file ~schedule ~(rep : Sim.Model_check.report option) =
+    let registry = Obs.Registry.create () in
+    let sh = Obs.Registry.shard registry in
+    (match rep with
+    | Some { outcome = r; stats = st } ->
+        Obs.Registry.count sh "modelcheck.paths" r.paths;
+        Obs.Registry.count sh "modelcheck.states" st.states;
+        Obs.Registry.count sh "modelcheck.cache_hits" st.cache_hits;
+        Obs.Registry.count sh "modelcheck.pruned.sleep" st.pruned_by_sleep;
+        Obs.Registry.count sh "modelcheck.pruned.cache" st.pruned_by_cache;
+        Obs.Registry.count sh "modelcheck.truncated_paths" st.truncated_paths;
+        Obs.Registry.count sh "modelcheck.violations"
+          (match r.violation with Some _ -> 1 | None -> 0);
+        Obs.Gauge.observe (Obs.Registry.gauge sh "modelcheck.max_depth") st.max_depth
+    | None -> ());
+    let obs = Sim.Observe.create sh in
+    (match
+       Sim.Model_check.replay
+         (mk_builder ~markers:true ~extra:[ Sim.Observe.monitor obs ])
+         schedule
+     with
+    | Ok () | Error _ -> ());
+    Sim.Observe.finalize obs;
+    write_file file (Obs.Export.to_json (Obs.Registry.snapshot registry));
+    Fmt.pr "wrote metrics snapshot to %s@." file
   in
   if shortest then begin
     match Sim.Model_check.shortest_violation ~max_paths_per_depth:max_paths builder with
     | None ->
         Fmt.pr "no violation within the depth/path budget@.";
+        Option.iter (fun f -> write_metrics f ~schedule:[] ~rep:None) metrics;
         0
     | Some v ->
         Fmt.pr "MINIMAL VIOLATION (%d steps): %s@.schedule: %a@." (List.length v.schedule)
           v.message
           Fmt.(list ~sep:semi int)
           v.schedule;
+        Option.iter (fun f -> write_metrics f ~schedule:v.schedule ~rep:None) metrics;
         1
   end
   else begin
@@ -178,6 +260,8 @@ let modelcheck protocol k s procs cycles max_paths shortest por cache_bound stat
         (Sim.Model_check.report_json
            ~label:(Printf.sprintf "%s_k%d_p%d_c%d" protocol k procs cycles)
            rep);
+    let schedule = match r.violation with Some v -> v.schedule | None -> [] in
+    Option.iter (fun f -> write_metrics f ~schedule ~rep:(Some rep)) metrics;
     match r.violation with
     | None ->
         Fmt.pr "no uniqueness violation found@.";
@@ -208,8 +292,10 @@ let params k s =
 
 (* ----- experiment ----- *)
 
-let experiment ids =
+let experiment ids metrics =
   let ids = if ids = [] then List.map (fun (id, _, _) -> id) Experiments.all else ids in
+  let registry = Option.map (fun _ -> Obs.Registry.create ()) metrics in
+  Experiments.set_metrics registry;
   let failures = ref 0 in
   List.iter
     (fun id ->
@@ -223,6 +309,12 @@ let experiment ids =
           Fmt.pr "%a" Experiments.pp_report r;
           if not r.ok then incr failures)
     ids;
+  Experiments.set_metrics None;
+  (match (metrics, registry) with
+  | Some file, Some r ->
+      write_file file (Obs.Export.to_json (Obs.Registry.snapshot r));
+      Fmt.pr "wrote metrics snapshot to %s@." file
+  | _ -> ());
   if !failures > 0 then 1 else 0
 
 (* ----- domains ----- *)
@@ -239,8 +331,105 @@ let domains protocol k s cycles =
   in
   Fmt.pr "cycles done    : %a@." Fmt.(array ~sep:comma int) r.cycles_done;
   Fmt.pr "violations     : %d@." r.violations;
+  (match r.first_violation with
+  | Some m -> Fmt.pr "first violation: %s@." m
+  | None -> ());
   Fmt.pr "max concurrent : %d@." r.max_concurrent;
+  let contended = List.filter (fun (_, m) -> m > 1) r.max_concurrent_by_name in
+  if contended <> [] then
+    Fmt.pr "double-held    : %a@."
+      Fmt.(list ~sep:comma (pair ~sep:(any "x") int int))
+      (List.map (fun (n, m) -> (n, m)) contended);
   if r.violations = 0 then 0 else 1
+
+(* ----- observe ----- *)
+
+(* One fully instrumented run — simulator by default, real domains with
+   --domains N — exported through the chosen lib/obs format.  The
+   snapshot is additionally checked against the paper's worst-case
+   GetName bound; stdout carries only the exported document (human
+   notes go to stderr). *)
+let observe protocol k s procs cycles seed ndomains format metrics_file =
+  let registry = Obs.Registry.create () in
+  let layout = Layout.create () in
+  let run_ok, label =
+    if ndomains > 0 then begin
+      let Setup { proto = (module P); inst; label }, pids =
+        build protocol layout ~k ~s ~procs:ndomains
+      in
+      let r =
+        Runtime.Domain_runner.run ~registry (module P) inst ~layout ~pids ~cycles
+          ~name_space:(P.name_space inst)
+      in
+      (match r.first_violation with
+      | Some m -> Fmt.epr "violation: %s@." m
+      | None -> ());
+      (r.violations = 0, Printf.sprintf "%s across %d OS domains" label ndomains)
+    end
+    else begin
+      let procs = if procs <= 0 then k else procs in
+      let Setup { proto = (module P); inst; label }, pids =
+        build protocol layout ~k ~s ~procs
+      in
+      let work = Layout.alloc layout ~name:"work" 0 in
+      let shard =
+        Obs.Registry.shard ~span_capacity:(max 4096 (2 * cycles * procs)) registry
+      in
+      let obs = Sim.Observe.create shard in
+      let body (ops : Store.ops) =
+        for _ = 1 to cycles do
+          Sim.Observe.op_begin "get";
+          let lease = P.get_name inst ops in
+          Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+          Sim.Observe.op_begin "release";
+          P.release_name inst ops lease
+        done
+      in
+      let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+      let t =
+        Sim.Sched.create
+          ~monitor:
+            (Sim.Checks.combine
+               [ Sim.Checks.uniqueness_monitor u; Sim.Observe.monitor obs ])
+          layout
+          (Array.map (fun pid -> (pid, body)) pids)
+      in
+      let outcome =
+        Sim.Sched.run ~max_steps:50_000_000 t (Sim.Sched.random (Sim.Rng.make seed))
+      in
+      Sim.Observe.finalize obs;
+      (not outcome.truncated, Printf.sprintf "%s on the simulator" label)
+    end
+  in
+  let snap = Obs.Registry.snapshot registry in
+  let bound_ok =
+    match bound_for protocol ~k ~s with
+    | None -> true
+    | Some (thm, bound) -> (
+        match List.assoc_opt "op.get.accesses" snap.histograms with
+        | None -> true
+        | Some (h : Obs.Histogram.snap) ->
+            let ok = h.p100 <= bound in
+            Fmt.epr "%s bound: worst observed GetName %d accesses <= %d predicted: %s@."
+              thm h.p100 bound
+              (if ok then "OK" else "VIOLATED");
+            ok)
+  in
+  Fmt.epr "%s: %d shard(s), %d span(s)@." label snap.shards (List.length snap.spans);
+  let doc =
+    match format with
+    | "json" -> Obs.Export.to_json snap
+    | "prometheus" -> Obs.Export.to_prometheus snap
+    | _ -> Obs.Export.to_text snap
+  in
+  print_string doc;
+  if String.length doc = 0 || doc.[String.length doc - 1] <> '\n' then print_newline ();
+  (match metrics_file with
+  | Some f -> write_file f (Obs.Export.to_json snap)
+  | None -> ());
+  if run_ok && bound_ok then 0 else 1
 
 (* ----- trace ----- *)
 
@@ -292,19 +481,24 @@ let cycles_arg default =
   Arg.(value & opt int default
        & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Acquire/release cycles per process.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the run's metrics snapshot (lib/obs JSON) to $(docv).")
+
 let simulate_cmd =
   let procs = Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N"
                    ~doc:"Concurrent processes (default $(b,k)).") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.") in
   let crash = Arg.(value & flag & info [ "crash" ]
                    ~doc:"Freeze all processes but the first mid-run (wait-freedom demo).") in
-  let run protocol k s procs cycles seed crash =
-    simulate protocol k s (if procs <= 0 then k else procs) cycles seed crash
+  let run protocol k s procs cycles seed crash metrics =
+    simulate protocol k s (if procs <= 0 then k else procs) cycles seed crash metrics
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run acquire/release cycles under a seeded random schedule")
     Term.(const run $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs $ cycles_arg 5 $ seed
-          $ crash)
+          $ crash $ metrics_arg)
 
 let modelcheck_cmd =
   let max_paths = Arg.(value & opt int 200_000
@@ -327,7 +521,7 @@ let modelcheck_cmd =
   Cmd.v
     (Cmd.info "modelcheck" ~doc:"Explore interleavings exhaustively (bounded)")
     Term.(const modelcheck $ protocol_arg $ k_arg 2 $ s_arg 4 $ procs $ cycles_arg 1
-          $ max_paths $ shortest $ por $ cache_bound $ stats $ json)
+          $ max_paths $ shortest $ por $ cache_bound $ stats $ json $ metrics_arg)
 
 let params_cmd =
   Cmd.v
@@ -339,7 +533,7 @@ let experiment_cmd =
                  ~doc:"Experiment ids (e1..e10); all when omitted.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run the paper-reproduction experiments")
-    Term.(const experiment $ ids)
+    Term.(const experiment $ ids $ metrics_arg)
 
 let trace_cmd =
   let procs = Arg.(value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Processes.") in
@@ -356,6 +550,24 @@ let domains_cmd =
     (Cmd.info "domains" ~doc:"Run a protocol across real OS domains (Atomic store)")
     Term.(const domains $ protocol_arg $ k_arg 3 $ s_arg 1024 $ cycles_arg 200)
 
+let observe_cmd =
+  let procs = Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N"
+                   ~doc:"Concurrent simulated processes (default $(b,k)).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.") in
+  let ndomains = Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+                      ~doc:"Run across $(docv) real OS domains instead of the simulator.") in
+  let format =
+    Arg.(value & vflag "text"
+           [ ("json", info [ "json" ] ~doc:"Emit the snapshot as JSON.");
+             ("prometheus", info [ "prometheus" ]
+                ~doc:"Emit the snapshot in Prometheus text exposition format.") ])
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Run fully instrumented and export the metrics snapshot (text/JSON/Prometheus)")
+    Term.(const observe $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs $ cycles_arg 5
+          $ seed $ ndomains $ format $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "renaming-cli" ~version:"1.0.0"
@@ -365,4 +577,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ simulate_cmd; modelcheck_cmd; params_cmd; experiment_cmd; trace_cmd;
-            domains_cmd ]))
+            domains_cmd; observe_cmd ]))

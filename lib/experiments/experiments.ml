@@ -17,6 +17,11 @@ type report = {
   ok : bool;
 }
 
+(* Metrics sink for the whole suite: the CLI's [--metrics] installs a
+   registry here and every harness measurement below feeds it. *)
+let metrics : Obs.Registry.t option ref = ref None
+let set_metrics r = metrics := r
+
 let spf = Printf.sprintf
 let yn b = if b then "yes" else "NO"
 let istr = string_of_int
@@ -112,7 +117,7 @@ let e2_split_costs () =
       let work = Layout.alloc layout ~name:"work" 0 in
       let pids = Array.init k (fun i -> (i * 999_999_937) + 13) in
       let costs =
-        Harness.measure_protocol (module Split) sp ~layout ~work ~pids ~cycles:4
+        Harness.measure_protocol ?registry:!metrics (module Split) sp ~layout ~work ~pids ~cycles:4
           ~seeds:(Harness.seeds 8) ~name_space:(Split.name_space sp)
       in
       let gmax = Harness.imax costs.get and rmax = Harness.imax costs.release in
@@ -139,7 +144,7 @@ let e2_split_costs () =
     let sp = Split.create layout ~k:5 in
     let work = Layout.alloc layout ~name:"work" 0 in
     let c =
-      Harness.measure_protocol (module Split) sp ~layout ~work ~pids ~cycles:3
+      Harness.measure_protocol ?registry:!metrics (module Split) sp ~layout ~work ~pids ~cycles:3
         ~seeds:(Harness.seeds 5) ~name_space:(Split.name_space sp)
     in
     List.sort compare c.get
@@ -327,7 +332,7 @@ let e4_filter_costs () =
       in
       let layout, f, work, participants = filter_instance ~k ~d:p.d ~z:p.z ~s ~procs:k in
       let m =
-        Harness.measure_filter f ~layout ~work ~pids:participants ~cycles:3
+        Harness.measure_filter ?registry:!metrics f ~layout ~work ~pids:participants ~cycles:3
           ~seeds:(Harness.seeds 6)
       in
       let levels = Numeric.Intmath.ceil_log2 s in
@@ -369,7 +374,7 @@ let e4_filter_costs () =
       in
       let layout, f, work, participants = filter_instance ~k ~d ~z ~s ~procs:3 in
       let m =
-        Harness.measure_filter f ~layout ~work ~pids:participants ~cycles:3
+        Harness.measure_filter ?registry:!metrics f ~layout ~work ~pids:participants ~cycles:3
           ~seeds:(Harness.seeds 6)
       in
       let levels = Numeric.Intmath.ceil_log2 s in
@@ -427,7 +432,7 @@ let e5_regimes () =
           let procs = min k s in
           let layout, f, work, participants = filter_instance ~k ~d:p.d ~z:p.z ~s ~procs in
           let m =
-            Harness.measure_filter f ~layout ~work ~pids:participants ~cycles:2
+            Harness.measure_filter ?registry:!metrics f ~layout ~work ~pids:participants ~cycles:2
               ~seeds:(Harness.seeds 3)
           in
           let d_ok = Filter.name_space f <= r.space_bound ~k in
@@ -484,7 +489,7 @@ let e6_ma_vs_pipeline () =
             let m = Ma.create layout ~k ~s in
             let work = Layout.alloc layout ~name:"work" 0 in
             let c =
-              Harness.measure_protocol (module Ma) m ~layout ~work ~pids ~cycles:2
+              Harness.measure_protocol ?registry:!metrics (module Ma) m ~layout ~work ~pids ~cycles:2
                 ~seeds:(Harness.seeds 2) ~name_space:(Ma.name_space m)
             in
             Harness.imax c.get
@@ -494,7 +499,7 @@ let e6_ma_vs_pipeline () =
             let p = Pipeline.create layout ~k ~s ~participants:pids in
             let work = Layout.alloc layout ~name:"work" 0 in
             let c =
-              Harness.measure_protocol (module Pipeline) p ~layout ~work ~pids
+              Harness.measure_protocol ?registry:!metrics (module Pipeline) p ~layout ~work ~pids
                 ~cycles:2 ~seeds:(Harness.seeds 2) ~name_space:(Pipeline.name_space p)
             in
             ( Harness.imax c.get,
@@ -651,7 +656,7 @@ let e8_z_ablation () =
     let f = Filter.create ~tight layout { k; d; z; s; participants } in
     let work = Layout.alloc layout ~name:"work" 0 in
     let m =
-      Harness.measure_filter f ~layout ~work ~pids:participants ~cycles:4
+      Harness.measure_filter ?registry:!metrics f ~layout ~work ~pids:participants ~cycles:4
         ~seeds:(Harness.seeds 12)
     in
     let fam = Filter.family f in
@@ -1022,7 +1027,7 @@ let e11_one_time () =
         let sp = Split.create layout ~k in
         let work = Layout.alloc layout ~name:"work" 0 in
         let c =
-          Harness.measure_protocol (module Split) sp ~layout ~work
+          Harness.measure_protocol ?registry:!metrics (module Split) sp ~layout ~work
             ~pids:(Array.init k (fun i -> i * 13))
             ~cycles:3 ~seeds:(Harness.seeds 4) ~name_space:(Split.name_space sp)
         in
@@ -1035,7 +1040,7 @@ let e11_one_time () =
         let m = Ma.create layout ~k ~s in
         let work = Layout.alloc layout ~name:"work" 0 in
         let c =
-          Harness.measure_protocol (module Ma) m ~layout ~work
+          Harness.measure_protocol ?registry:!metrics (module Ma) m ~layout ~work
             ~pids:(Array.init k (fun i -> i * (s / k)))
             ~cycles:2 ~seeds:(Harness.seeds 3) ~name_space:(Ma.name_space m)
         in
@@ -1086,7 +1091,7 @@ let e12_primitive_strength () =
         let t = Renaming.Tas_baseline.create layout ~k in
         let work = Layout.alloc layout ~name:"work" 0 in
         let c =
-          Harness.measure_protocol (module Renaming.Tas_baseline) t ~layout ~work ~pids
+          Harness.measure_protocol ?registry:!metrics (module Renaming.Tas_baseline) t ~layout ~work ~pids
             ~cycles:4 ~seeds:(Harness.seeds 6)
             ~name_space:(Renaming.Tas_baseline.name_space t)
         in
@@ -1097,7 +1102,7 @@ let e12_primitive_strength () =
         let p = Pipeline.create layout ~k ~s ~participants:pids in
         let work = Layout.alloc layout ~name:"work" 0 in
         let c =
-          Harness.measure_protocol (module Pipeline) p ~layout ~work ~pids
+          Harness.measure_protocol ?registry:!metrics (module Pipeline) p ~layout ~work ~pids
             ~cycles:2 ~seeds:(Harness.seeds 3) ~name_space:(Pipeline.name_space p)
         in
         (Pipeline.name_space p, Harness.imax c.get)

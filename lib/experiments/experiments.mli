@@ -70,6 +70,13 @@ val e13_name_distribution : unit -> report
 (** Beyond the paper: which destination names each protocol actually
     hands out under churn (locality vs. spread). *)
 
+val set_metrics : Obs.Registry.t option -> unit
+(** Install (or clear) a metrics registry: while set, every harness
+    measurement run by the experiments feeds it — per-register-group
+    access counters, [op.*.accesses] histograms, gauges and spans — one
+    shard per [measure_*] call.  The CLI's [experiment --metrics FILE]
+    uses this, snapshotting after the selected experiments finish. *)
+
 val all : (string * string * (unit -> report)) list
 (** [(id, title, run)] for every experiment, in order. *)
 

@@ -4,80 +4,75 @@ type costs = { get : int list; release : int list }
 
 let seeds n = List.init n (fun i -> 0xCAFE + (i * 104729))
 
-let counted_body (type a l)
+let instrumented_body (type a l)
     (module P : Renaming.Protocol.S with type t = a and type lease = l) (inst : a) ~work
-    ~cycles ~on_get ~on_release (ops : Store.ops) =
-  let c = Store.counter () in
-  let counted = Store.counting c ops in
+    ~cycles ~on_get (ops : Store.ops) =
   for _ = 1 to cycles do
-    Store.reset c;
-    let lease = P.get_name inst counted in
-    on_get (Store.accesses c) lease;
+    Sim.Observe.op_begin "get";
+    let lease = P.get_name inst ops in
+    on_get lease;
     Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
     ignore (ops.read work);
     Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
-    Store.reset c;
-    P.release_name inst counted lease;
-    on_release (Store.accesses c)
+    Sim.Observe.op_begin "release";
+    P.release_name inst ops lease
   done
 
-let measure_protocol (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a)
-    ~layout ~work ~pids ~cycles ~seeds ~name_space =
-  let get = ref [] and release = ref [] in
-  let body =
-    counted_body (module P) inst ~work ~cycles
-      ~on_get:(fun c _ -> get := c :: !get)
-      ~on_release:(fun c -> release := c :: !release)
-  in
+(* Per-operation costs are read back from the span ring rather than
+   tallied by ad-hoc counters: the Observe monitor counts every shared
+   access a process makes while its span is open, which is exactly the
+   GetName (marker → Acquired) or ReleaseName (marker → next marker)
+   window.  The [work] read sits outside both windows. *)
+let run_seeds ?registry ~layout ~pids ~cycles ~seeds ~name_space body =
+  let registry = match registry with Some r -> r | None -> Obs.Registry.create () in
+  let span_capacity = 2 * cycles * Array.length pids * List.length seeds in
+  let shard = Obs.Registry.shard ~span_capacity registry in
   List.iter
     (fun seed ->
+      let obs = Sim.Observe.create shard in
       let u = Sim.Checks.uniqueness ~name_space () in
-      let t =
-        Sim.Sched.create
-          ~monitor:(Sim.Checks.uniqueness_monitor u)
-          layout
-          (Array.map (fun pid -> (pid, body)) pids)
+      let monitor =
+        Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; Sim.Observe.monitor obs ]
       in
-      let outcome = Sim.Sched.run ~max_steps:50_000_000 t (Sim.Sched.random (Sim.Rng.make seed)) in
+      let t = Sim.Sched.create ~monitor layout (Array.map (fun pid -> (pid, body)) pids) in
+      let outcome =
+        Sim.Sched.run ~max_steps:50_000_000 t (Sim.Sched.random (Sim.Rng.make seed))
+      in
+      Sim.Observe.finalize obs;
       if outcome.truncated then
         raise (Sim.Model_check.Violation "measurement run exceeded its step budget"))
     seeds;
+  let get = ref [] and release = ref [] in
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      match s.name with
+      | "get" -> get := s.accesses :: !get
+      | "release" -> release := s.accesses :: !release
+      | _ -> ())
+    (Obs.Registry.shard_spans shard);
   { get = !get; release = !release }
+
+let measure_protocol (type a) ?registry
+    (module P : Renaming.Protocol.S with type t = a) (inst : a) ~layout ~work ~pids
+    ~cycles ~seeds ~name_space =
+  run_seeds ?registry ~layout ~pids ~cycles ~seeds ~name_space
+    (instrumented_body (module P) inst ~work ~cycles ~on_get:(fun _ -> ()))
 
 let imax = List.fold_left max 0
 let imean l = float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (max 1 (List.length l))
 
 type filter_costs = { fc : costs; rounds : int list; checks : int list; advances : int list list }
 
-let measure_filter f ~layout ~work ~pids ~cycles ~seeds =
+let measure_filter ?registry f ~layout ~work ~pids ~cycles ~seeds =
   let module F = Renaming.Filter in
   let rounds = ref [] and checks = ref [] and advances = ref [] in
-  let get = ref [] and release = ref [] in
   let body =
-    counted_body (module F) f ~work ~cycles
-      ~on_get:(fun c lease ->
-        get := c :: !get;
+    instrumented_body (module F) f ~work ~cycles ~on_get:(fun lease ->
         rounds := F.rounds lease :: !rounds;
         checks := F.checks lease :: !checks;
         advances := F.advances lease :: !advances)
-      ~on_release:(fun c -> release := c :: !release)
   in
-  List.iter
-    (fun seed ->
-      let u = Sim.Checks.uniqueness ~name_space:(F.name_space f) () in
-      let t =
-        Sim.Sched.create
-          ~monitor:(Sim.Checks.uniqueness_monitor u)
-          layout
-          (Array.map (fun pid -> (pid, body)) pids)
-      in
-      let outcome = Sim.Sched.run ~max_steps:50_000_000 t (Sim.Sched.random (Sim.Rng.make seed)) in
-      if outcome.truncated then
-        raise (Sim.Model_check.Violation "filter measurement exceeded its step budget"))
-    seeds;
-  {
-    fc = { get = !get; release = !release };
-    rounds = !rounds;
-    checks = !checks;
-    advances = !advances;
-  }
+  let fc =
+    run_seeds ?registry ~layout ~pids ~cycles ~seeds ~name_space:(F.name_space f) body
+  in
+  { fc; rounds = !rounds; checks = !checks; advances = !advances }

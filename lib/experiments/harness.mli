@@ -1,4 +1,13 @@
-(** Shared machinery for the experiment suite (see {!Experiments}). *)
+(** Shared machinery for the experiment suite (see {!Experiments}).
+
+    Measurements are thin views over the [lib/obs] registry: each
+    [measure_*] call registers one {!Obs.Registry.shard}, runs the
+    seeded schedules with a {!Sim.Observe} monitor armed, and reads the
+    per-operation costs back from the recorded spans.  Pass your own
+    [?registry] to additionally get the full metrics snapshot
+    (per-register-group access counters, [op.*.accesses] histograms,
+    [names.held] gauges, the spans themselves) for the same runs;
+    otherwise a private registry is created and discarded. *)
 
 type costs = {
   get : int list;  (** Shared accesses per [GetName] execution. *)
@@ -6,6 +15,7 @@ type costs = {
 }
 
 val measure_protocol :
+  ?registry:Obs.Registry.t ->
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->
   layout:Shared_mem.Layout.t ->
@@ -35,6 +45,7 @@ type filter_costs = {
 }
 
 val measure_filter :
+  ?registry:Obs.Registry.t ->
   Renaming.Filter.t ->
   layout:Shared_mem.Layout.t ->
   work:Shared_mem.Cell.t ->

@@ -1,0 +1,127 @@
+let buf_add = Buffer.add_string
+
+(* ----- JSON ----- *)
+
+let json_annotations buf anns =
+  buf_add buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then buf_add buf ",";
+      buf_add buf (Printf.sprintf "%S:%d" k v))
+    anns;
+  buf_add buf "}"
+
+let json_span buf (s : Span.t) =
+  buf_add buf
+    (Printf.sprintf {|{"name":%S,"pid":%d,"start":%d,"end":%d,"accesses":%d,"annotations":|}
+       s.name s.pid s.start_step s.end_step s.accesses);
+  json_annotations buf s.annotations;
+  buf_add buf "}"
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let to_json ?(max_spans = 1000) (snap : Registry.snapshot) =
+  let buf = Buffer.create 4096 in
+  buf_add buf (Printf.sprintf {|{"schema":"renaming.obs/v1","shards":%d,"counters":{|} snap.shards);
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then buf_add buf ",";
+      buf_add buf (Printf.sprintf "%S:%d" name v))
+    snap.counters;
+  buf_add buf {|},"gauges":{|};
+  List.iteri
+    (fun i (name, (g : Gauge.snap)) ->
+      if i > 0 then buf_add buf ",";
+      buf_add buf (Printf.sprintf {|%S:{"current":%d,"hwm":%d}|} name g.current g.hwm))
+    snap.gauges;
+  buf_add buf {|},"histograms":{|};
+  List.iteri
+    (fun i (name, (h : Histogram.snap)) ->
+      if i > 0 then buf_add buf ",";
+      buf_add buf
+        (Printf.sprintf
+           {|%S:{"count":%d,"sum":%d,"mean":%.3f,"min":%d,"p50":%d,"p95":%d,"p99":%d,"p100":%d}|}
+           name h.count h.sum h.mean h.min h.p50 h.p95 h.p99 h.p100))
+    snap.histograms;
+  buf_add buf
+    (Printf.sprintf {|},"spans":{"recorded":%d,"dropped":%d,"items":[|}
+       (List.length snap.spans) snap.spans_dropped);
+  List.iteri
+    (fun i s ->
+      if i > 0 then buf_add buf ",";
+      json_span buf s)
+    (last_n max_spans snap.spans);
+  buf_add buf "]}}";
+  Buffer.contents buf
+
+(* ----- Prometheus text exposition ----- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let prom name = "renaming_" ^ sanitize name
+
+let to_prometheus (snap : Registry.snapshot) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom name in
+      buf_add buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    snap.counters;
+  List.iter
+    (fun (name, (g : Gauge.snap)) ->
+      let n = prom name in
+      buf_add buf (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n g.current);
+      buf_add buf (Printf.sprintf "# TYPE %s_hwm gauge\n%s_hwm %d\n" n n g.hwm))
+    snap.gauges;
+  List.iter
+    (fun (name, (h : Histogram.snap)) ->
+      let n = prom name in
+      buf_add buf (Printf.sprintf "# TYPE %s summary\n" n);
+      buf_add buf (Printf.sprintf "%s{quantile=\"0.5\"} %d\n" n h.p50);
+      buf_add buf (Printf.sprintf "%s{quantile=\"0.95\"} %d\n" n h.p95);
+      buf_add buf (Printf.sprintf "%s{quantile=\"0.99\"} %d\n" n h.p99);
+      buf_add buf (Printf.sprintf "%s_sum %d\n" n h.sum);
+      buf_add buf (Printf.sprintf "%s_count %d\n" n h.count);
+      buf_add buf (Printf.sprintf "# TYPE %s_max gauge\n%s_max %d\n" n n h.p100))
+    snap.histograms;
+  Buffer.contents buf
+
+(* ----- human-readable text ----- *)
+
+let to_text (snap : Registry.snapshot) =
+  let buf = Buffer.create 2048 in
+  let width =
+    List.fold_left
+      (fun acc (n, _) -> max acc (String.length n))
+      0
+      (snap.counters
+      @ List.map (fun (n, _) -> (n, 0)) snap.gauges
+      @ List.map (fun (n, _) -> (n, 0)) snap.histograms)
+  in
+  if snap.counters <> [] then buf_add buf "counters:\n";
+  List.iter
+    (fun (name, v) -> buf_add buf (Printf.sprintf "  %-*s %d\n" width name v))
+    snap.counters;
+  if snap.gauges <> [] then buf_add buf "gauges (current / high-water):\n";
+  List.iter
+    (fun (name, (g : Gauge.snap)) ->
+      buf_add buf (Printf.sprintf "  %-*s %d / %d\n" width name g.current g.hwm))
+    snap.gauges;
+  if snap.histograms <> [] then buf_add buf "histograms:\n";
+  List.iter
+    (fun (name, (h : Histogram.snap)) ->
+      buf_add buf
+        (Printf.sprintf
+           "  %-*s n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d p100=%d\n"
+           width name h.count h.mean h.min h.p50 h.p95 h.p99 h.p100))
+    snap.histograms;
+  buf_add buf
+    (Printf.sprintf "spans: %d recorded, %d dropped (%d shards)\n"
+       (List.length snap.spans) snap.spans_dropped snap.shards);
+  Buffer.contents buf

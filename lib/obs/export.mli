@@ -1,0 +1,22 @@
+(** Snapshot exporters.
+
+    Three formats over the same {!Registry.snapshot}:
+
+    - {!to_json}: one self-describing JSON object
+      ([{"schema":"renaming.obs/v1", …}]) — the format written by the
+      CLI's [--metrics FILE] flags and consumed by the bench baselines.
+    - {!to_prometheus}: Prometheus text exposition.  Metric names are
+      sanitized ([.] and other non-identifier characters become [_])
+      and prefixed with [renaming_]; histograms export as summaries
+      ([_count], [_sum], [{quantile="…"}] series plus an exact [_max]).
+    - {!to_text}: aligned human-readable listing for terminal output.
+
+    All exporters are pure functions of the snapshot. *)
+
+val to_json : ?max_spans:int -> Registry.snapshot -> string
+(** [max_spans] (default [1000]) caps the per-span detail in the
+    output; the cap never affects aggregate series.  The most recent
+    spans are kept. *)
+
+val to_prometheus : Registry.snapshot -> string
+val to_text : Registry.snapshot -> string

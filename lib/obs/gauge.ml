@@ -1,0 +1,24 @@
+type snap = { current : int; hwm : int }
+type t = { mutable current : int; mutable hwm : int }
+
+let create () = { current = 0; hwm = 0 }
+
+let set t v =
+  t.current <- v;
+  if v > t.hwm then t.hwm <- v
+
+let add t d = set t (t.current + d)
+let incr t = add t 1
+let decr t = add t (-1)
+let observe t v = if v > t.hwm then t.hwm <- v
+let current t = t.current
+let hwm t = t.hwm
+let snap t : snap = { current = t.current; hwm = t.hwm }
+
+let reset t =
+  t.current <- 0;
+  t.hwm <- 0
+
+let merge ~into src =
+  into.current <- into.current + src.current;
+  if src.hwm > into.hwm then into.hwm <- src.hwm

@@ -1,0 +1,35 @@
+(** Gauges: a current level plus its high-water mark.
+
+    Same single-writer-per-shard discipline as {!Counter}.  Two ways to
+    feed one:
+
+    - [incr]/[decr]/[add] move the {e shard-local} level and track its
+      local high-water mark.  Merging sums currents and takes the max
+      of the marks, so the merged mark is a {e lower bound} on the true
+      global high-water mark (two shards may have peaked at different
+      times).
+    - [observe] records an externally-computed {e global} level (e.g. a
+      value read back from a cross-domain atomic) into the high-water
+      mark without touching the current level.  Merged by max, this is
+      exact. *)
+
+type t
+
+type snap = { current : int; hwm : int }
+
+val create : unit -> t
+val set : t -> int -> unit
+val add : t -> int -> unit
+val incr : t -> unit
+val decr : t -> unit
+
+val observe : t -> int -> unit
+(** Fold a candidate value into the high-water mark only. *)
+
+val current : t -> int
+val hwm : t -> int
+val snap : t -> snap
+val reset : t -> unit
+
+val merge : into:t -> t -> unit
+(** Currents add; high-water marks combine by max. *)

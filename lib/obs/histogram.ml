@@ -1,0 +1,104 @@
+(* 8 sub-buckets per octave: indices 0..15 are exact (value = index),
+   index 16 + (o-4)*8 + s holds [2^o + s*2^(o-3), 2^o + (s+1)*2^(o-3)),
+   for octaves o = 4..61 (covering all of max_int). *)
+
+let octaves = 62
+let nbuckets = 16 + ((octaves - 4) * 8)
+
+type snap = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p100 : int;
+}
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0; count = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+let floor_log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let index v =
+  if v <= 0 then 0
+  else if v < 16 then v
+  else
+    let o = floor_log2 v in
+    let s = (v - (1 lsl o)) lsr (o - 3) in
+    16 + ((o - 4) * 8) + s
+
+let upper_edge i =
+  if i < 16 then i
+  else
+    let b = i - 16 in
+    let o = 4 + (b / 8) in
+    let s = b mod 8 in
+    (1 lsl o) + ((s + 1) lsl (o - 3)) - 1
+
+let observe t v =
+  let v = max 0 v in
+  t.buckets.(index v) <- t.buckets.(index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.count
+
+let percentile t q =
+  if t.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (Float.of_int t.count *. q +. 0.5)) in
+    let rank = min rank t.count in
+    let cum = ref 0 and result = ref t.vmax in
+    (try
+       for i = 0 to nbuckets - 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum >= rank then begin
+           result := min (upper_edge i) t.vmax;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let snap t : snap =
+  {
+    count = t.count;
+    sum = t.sum;
+    mean = (if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count);
+    min = (if t.count = 0 then 0 else t.vmin);
+    p50 = percentile t 0.5;
+    p95 = percentile t 0.95;
+    p99 = percentile t 0.99;
+    p100 = t.vmax;
+  }
+
+let reset t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0
+
+let merge ~into src =
+  for i = 0 to nbuckets - 1 do
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax

@@ -1,0 +1,38 @@
+(** Log-bucketed histograms of non-negative integer measurements
+    (shared-access costs, hold times, latencies in arbitrary units).
+
+    Buckets are exact for values below 16 and log-spaced with 8
+    sub-buckets per power of two beyond, so quantile estimates carry at
+    most 12.5% relative error.  [min], [max] (and hence [p100]) are
+    tracked exactly on the side: the paper's worst-case bounds are
+    checked against the {e exact} maximum, never a bucket edge.
+
+    Same single-writer-per-shard discipline as {!Counter}; [merge] is
+    element-wise and exact. *)
+
+type t
+
+type snap = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;  (** Exact; [0] when empty. *)
+  p50 : int;  (** Bucket-edge estimate (≤ 12.5% high). *)
+  p95 : int;
+  p99 : int;
+  p100 : int;  (** Exact maximum; [0] when empty. *)
+}
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Negative values are clamped into the zero bucket. *)
+
+val count : t -> int
+val snap : t -> snap
+val percentile : t -> float -> int
+(** Nearest-rank quantile estimate for [q ∈ (0, 1]]; the empty
+    histogram yields [0]. *)
+
+val reset : t -> unit
+val merge : into:t -> t -> unit

@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  pid : int;
+  start_step : int;
+  end_step : int;
+  accesses : int;
+  annotations : (string * int) list;
+}
+
+type collector = { capacity : int; ring : t Queue.t; mutable dropped : int }
+
+let collector ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Span.collector";
+  { capacity; ring = Queue.create (); dropped = 0 }
+
+let add c span =
+  if Queue.length c.ring >= c.capacity then begin
+    ignore (Queue.pop c.ring);
+    c.dropped <- c.dropped + 1
+  end;
+  Queue.push span c.ring
+
+let items c = List.of_seq (Queue.to_seq c.ring)
+let length c = Queue.length c.ring
+let dropped c = c.dropped
+let total c = Queue.length c.ring + c.dropped
+
+let clear c =
+  Queue.clear c.ring;
+  c.dropped <- 0

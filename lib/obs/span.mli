@@ -1,0 +1,36 @@
+(** Operation spans: one record per traced operation (a [GetName] or
+    [ReleaseName] execution), holding its window on the clock the
+    producer uses (simulator: global access step; domains: the worker's
+    own access count), the shared accesses it performed, and annotations
+    harvested from the event stream (destination name, FILTER rounds,
+    splitter directions, …).
+
+    Spans are held in a bounded ring per shard, oldest dropped first,
+    with exact [dropped]/[total] accounting — the aggregate metrics
+    (histograms, counters) never drop anything; only the per-operation
+    detail is bounded. *)
+
+type t = {
+  name : string;  (** Operation: ["get"], ["release"], … *)
+  pid : int;  (** Source name of the process that ran it. *)
+  start_step : int;
+  end_step : int;
+  accesses : int;  (** Shared accesses performed inside the span. *)
+  annotations : (string * int) list;  (** Oldest first. *)
+}
+
+type collector
+
+val collector : ?capacity:int -> unit -> collector
+(** Keep the last [capacity] (default [4096]) spans. *)
+
+val add : collector -> t -> unit
+val items : collector -> t list
+(** Recorded spans, oldest first. *)
+
+val length : collector -> int
+val dropped : collector -> int
+val total : collector -> int
+(** Spans ever added ([length + dropped]). *)
+
+val clear : collector -> unit

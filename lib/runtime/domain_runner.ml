@@ -1,41 +1,127 @@
-type result = { cycles_done : int array; violations : int; max_concurrent : int }
+open Shared_mem
 
-let run (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a) ~layout ~pids
-    ~cycles ~name_space =
+type result = {
+  cycles_done : int array;
+  violations : int;
+  max_concurrent : int;
+  max_concurrent_by_name : (int * int) list;
+  first_violation : string option;
+}
+
+let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (inst : a)
+    ~layout ~pids ~cycles ~name_space =
   let store = Atomic_store.create layout in
   let holders = Array.init name_space (fun _ -> Atomic.make 0) in
+  let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
   let violations = Atomic.make 0 in
+  let first_violation = Atomic.make None in
   let concurrent = Atomic.make 0 in
   let max_concurrent = Atomic.make 0 in
   let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
-  let bump_max c =
+  let bump_max a c =
     (* monotone CAS loop *)
     let rec go () =
-      let m = Atomic.get max_concurrent in
-      if c > m && not (Atomic.compare_and_set max_concurrent m c) then go ()
+      let m = Atomic.get a in
+      if c > m && not (Atomic.compare_and_set a m c) then go ()
     in
     go ()
   in
+  let note_violation msg =
+    Atomic.incr violations;
+    let cur = Atomic.get first_violation in
+    if cur = None then ignore (Atomic.compare_and_set first_violation cur (Some msg))
+  in
   let worker i pid () =
-    let ops = Atomic_store.ops store ~pid in
+    (* Each domain writes its own registry shard; shards merge on
+       snapshot, after the join.  The worker's span clock is its own
+       access count (real time is preemptive; global step order is not
+       observable the way it is under the simulator). *)
+    let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
+    let raw = Atomic_store.ops store ~pid in
+    let c = Store.counter () in
+    let ops =
+      match shard with
+      | None -> raw
+      | Some sh -> Store.counting c (Store.observed sh raw)
+    in
+    let clock = ref 0 in
+    let record sh op annotations =
+      let accesses = Store.accesses c in
+      Obs.Registry.span sh
+        {
+          name = op;
+          pid;
+          start_step = !clock;
+          end_step = !clock + accesses;
+          accesses;
+          annotations;
+        };
+      clock := !clock + accesses;
+      Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
+      Obs.Registry.inc sh ("op." ^ op ^ ".count")
+    in
     for _ = 1 to cycles do
+      Store.reset c;
       let lease = P.get_name inst ops in
       let n = P.name_of inst lease in
-      if n < 0 || n >= name_space then Atomic.incr violations
-      else if Atomic.fetch_and_add holders.(n) 1 <> 0 then Atomic.incr violations;
-      bump_max (1 + Atomic.fetch_and_add concurrent 1);
+      (match shard with Some sh -> record sh "get" [ ("name", n) ] | None -> ());
+      let held =
+        if n < 0 || n >= name_space then begin
+          note_violation
+            (Printf.sprintf "worker %d acquired name %d outside [0,%d)" i n name_space);
+          0
+        end
+        else begin
+          let held = 1 + Atomic.fetch_and_add holders.(n) 1 in
+          bump_max name_max.(n) held;
+          if held > 1 then
+            note_violation
+              (Printf.sprintf "name %d held by %d workers at once" n held);
+          held
+        end
+      in
+      let conc = 1 + Atomic.fetch_and_add concurrent 1 in
+      bump_max max_concurrent conc;
+      (match shard with
+      | Some sh ->
+          let g = Obs.Registry.gauge sh "names.held" in
+          Obs.Gauge.incr g;
+          Obs.Gauge.observe g conc;
+          if n >= 0 && n < name_space then begin
+            let gn = Obs.Registry.gauge sh ("names.held." ^ string_of_int n) in
+            Obs.Gauge.incr gn;
+            Obs.Gauge.observe gn held
+          end;
+          Obs.Registry.inc sh "names.acquired"
+      | None -> ());
       (* hold the name briefly so overlaps actually occur *)
       Domain.cpu_relax ();
       Atomic.decr concurrent;
       if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
+      (match shard with
+      | Some sh ->
+          Obs.Gauge.decr (Obs.Registry.gauge sh "names.held");
+          if n >= 0 && n < name_space then
+            Obs.Gauge.decr (Obs.Registry.gauge sh ("names.held." ^ string_of_int n));
+          Obs.Registry.inc sh "names.released"
+      | None -> ());
+      Store.reset c;
       P.release_name inst ops lease;
+      (match shard with Some sh -> record sh "release" [] | None -> ());
       Atomic.incr cycles_done.(i)
     done
   in
   let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
   Array.iter Domain.join domains;
+  let max_concurrent_by_name =
+    Array.to_list name_max
+    |> List.mapi (fun n a -> (n, Atomic.get a))
+    |> List.filter (fun (_, m) -> m > 0)
+  in
   {
     cycles_done = Array.map Atomic.get cycles_done;
     violations = Atomic.get violations;
     max_concurrent = Atomic.get max_concurrent;
+    max_concurrent_by_name;
+    first_violation = Atomic.get first_violation;
   }

@@ -5,6 +5,15 @@
     monitor: a per-name atomic holder counter that must never exceed 1
     (incremented after [get_name], decremented before [release_name]).
 
+    When a registry is supplied, every worker writes its own
+    {!Obs.Registry.shard} — per-register-group access counters
+    ({!Shared_mem.Store.observed}), [op.get.accesses] /
+    [op.release.accesses] histograms, one span per operation (clocked
+    by the worker's own access count), and [names.held] gauges whose
+    high-water marks are fed from the {e global} holder counters, so
+    the merged snapshot after the join carries the same schema a
+    simulator run produces through [Sim.Observe].
+
     Useful bounds: run at most [Domain.recommended_domain_count]
     workers for true parallelism; more still works (domains are
     preemptively scheduled) and the protocols are wait-free, so
@@ -16,9 +25,18 @@ type result = {
       (** Times a name was observed held by two workers at once, or a
           name fell outside [\[0, name_space)]. *)
   max_concurrent : int;  (** High-water mark of names held at once. *)
+  max_concurrent_by_name : (int * int) list;
+      (** [(name, high-water mark of simultaneous holders)] for every
+          name ever held, ascending by name; any mark above [1] is a
+          uniqueness violation. *)
+  first_violation : string option;
+      (** Human-readable detail of the first violation observed — which
+          name was double-held (or out of range) — [None] on a clean
+          run. *)
 }
 
 val run :
+  ?registry:Obs.Registry.t ->
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->
   layout:Shared_mem.Layout.t ->
@@ -28,4 +46,6 @@ val run :
   result
 (** [run (module P) inst ~layout ~pids ~cycles ~name_space] spawns
     [Array.length pids] domains.  The instance must have been created
-    from [layout] with every pid a legal source name. *)
+    from [layout] with every pid a legal source name.  [registry], if
+    given, gains one shard per worker; snapshot it after [run]
+    returns. *)

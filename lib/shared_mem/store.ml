@@ -24,30 +24,86 @@ let seq_ops mem ~pid =
 let seq_get mem c = mem.(Cell.id c)
 let seq_set mem c v = mem.(Cell.id c) <- v
 
-type counter = { mutable reads : int; mutable writes : int }
+type counter = { reads : Obs.Counter.t; writes : Obs.Counter.t }
 
-let counter () = { reads = 0; writes = 0 }
+let counter () = { reads = Obs.Counter.create (); writes = Obs.Counter.create () }
 
 let counting c ops =
   {
     pid = ops.pid;
     read =
       (fun cell ->
-        c.reads <- c.reads + 1;
+        Obs.Counter.incr c.reads;
         ops.read cell);
     write =
       (fun cell v ->
-        c.writes <- c.writes + 1;
+        Obs.Counter.incr c.writes;
         ops.write cell v);
     rmw =
       (fun cell f ->
         (* one atomic access; tally it as a write *)
-        c.writes <- c.writes + 1;
+        Obs.Counter.incr c.writes;
         ops.rmw cell f);
   }
 
-let accesses c = c.reads + c.writes
+let reads c = Obs.Counter.get c.reads
+let writes c = Obs.Counter.get c.writes
+let accesses c = reads c + writes c
 
 let reset c =
-  c.reads <- 0;
-  c.writes <- 0
+  Obs.Counter.reset c.reads;
+  Obs.Counter.reset c.writes
+
+let group c =
+  let n = Cell.name c in
+  match String.index_opt n '[' with Some i -> String.sub n 0 i | None -> n
+
+let observed shard ops =
+  (* Resolve each register's group counters once per cell id, not per
+     access; [rt]/[wt]/[ut] are the ungrouped totals.  Layout hands out
+     dense ids from 0, so the cache is a growable array — the hot path
+     is one bounds check and a load, no hashing. *)
+  let cache = ref [||] in
+  let rt = Obs.Registry.counter shard "store.reads"
+  and wt = Obs.Registry.counter shard "store.writes"
+  and ut = Obs.Registry.counter shard "store.rmws" in
+  let counters cell =
+    let id = Cell.id cell in
+    if id >= Array.length !cache then begin
+      let grown = Array.make (max 64 (max (id + 1) (2 * Array.length !cache))) None in
+      Array.blit !cache 0 grown 0 (Array.length !cache);
+      cache := grown
+    end;
+    match !cache.(id) with
+    | Some cs -> cs
+    | None ->
+        let g = group cell in
+        let cs =
+          ( Obs.Registry.counter shard ("store.reads." ^ g),
+            Obs.Registry.counter shard ("store.writes." ^ g),
+            Obs.Registry.counter shard ("store.rmws." ^ g) )
+        in
+        !cache.(id) <- Some cs;
+        cs
+  in
+  {
+    pid = ops.pid;
+    read =
+      (fun cell ->
+        let r, _, _ = counters cell in
+        Obs.Counter.incr r;
+        Obs.Counter.incr rt;
+        ops.read cell);
+    write =
+      (fun cell v ->
+        let _, w, _ = counters cell in
+        Obs.Counter.incr w;
+        Obs.Counter.incr wt;
+        ops.write cell v);
+    rmw =
+      (fun cell f ->
+        let _, _, u = counters cell in
+        Obs.Counter.incr u;
+        Obs.Counter.incr ut;
+        ops.rmw cell f);
+  }

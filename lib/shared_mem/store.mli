@@ -42,16 +42,39 @@ val seq_get : seq -> Cell.t -> int
 val seq_set : seq -> Cell.t -> int -> unit
 (** Direct mutation of a register (test helper, not a protocol step). *)
 
-(** {1 Access counting} *)
+(** {1 Access counting}
 
-type counter = { mutable reads : int; mutable writes : int }
+    Both counting wrappers are backed by [lib/obs] counters, so the
+    per-operation tallies below and the registry's per-group series are
+    bumped by the same primitive and can never drift. *)
+
+type counter
+(** A pair of {!Obs.Counter.t}s (reads, writes) for one process's
+    current operation. *)
 
 val counter : unit -> counter
 
 val counting : counter -> ops -> ops
-(** [counting c ops] forwards to [ops] and tallies accesses in [c]. *)
+(** [counting c ops] forwards to [ops] and tallies accesses in [c].
+    An [rmw] is one atomic access and tallies as a write. *)
+
+val reads : counter -> int
+val writes : counter -> int
 
 val accesses : counter -> int
 (** [reads + writes] — the paper's complexity measure. *)
 
 val reset : counter -> unit
+
+val group : Cell.t -> string
+(** The register-group key used by {!observed}: the cell's name up to
+    the first ['[']. *)
+
+val observed : Obs.Registry.shard -> ops -> ops
+(** [observed shard ops] forwards to [ops] and bumps per-register-group
+    counters in [shard]: [store.reads.<group>], [store.writes.<group>],
+    [store.rmws.<group>] plus the ungrouped totals [store.reads] /
+    [store.writes] / [store.rmws].  A register's {e group} is its
+    {!Cell.name} up to the first ['['] — i.e. one series per
+    {!Layout.alloc_array} family.  Group counters are resolved once per
+    cell and cached, so the per-access cost is two counter bumps. *)

@@ -41,8 +41,8 @@ let test_counting () =
   ops.write a 1;
   let (_ : int) = ops.read a in
   let (_ : int) = ops.read a in
-  Alcotest.(check int) "reads" 2 c.reads;
-  Alcotest.(check int) "writes" 1 c.writes;
+  Alcotest.(check int) "reads" 2 (Store.reads c);
+  Alcotest.(check int) "writes" 1 (Store.writes c);
   Alcotest.(check int) "accesses" 3 (Store.accesses c);
   Store.reset c;
   Alcotest.(check int) "reset" 0 (Store.accesses c)

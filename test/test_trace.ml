@@ -1,0 +1,160 @@
+(* Trace-ring accounting, timeline rendering, and span-profiled replay
+   of model-checker schedules. *)
+
+open Shared_mem
+module Mc = Sim.Model_check
+module Mma = Renaming.Mutations.Mutant_ma
+
+let is_infix sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let is_suffix sub s =
+  let n = String.length sub and m = String.length s in
+  n <= m && String.sub s (m - n) n = sub
+
+(* ----- ring overflow: bounded and unbounded rings, same run ----- *)
+
+let test_ring_overflow () =
+  let layout = Layout.create () in
+  let c = Layout.alloc layout ~name:"c" 0 in
+  let body (ops : Store.ops) =
+    for i = 1 to 10 do
+      ops.write c i;
+      Sim.Sched.emit (Sim.Event.Note ("tick", i))
+    done
+  in
+  let small = Sim.Trace.create ~capacity:4 () in
+  let full = Sim.Trace.create () in
+  let t =
+    Sim.Sched.create
+      ~monitor:(Sim.Checks.combine [ Sim.Trace.monitor small; Sim.Trace.monitor full ])
+      layout [| (0, body) |]
+  in
+  ignore (Sim.Sched.run t Sim.Sched.round_robin);
+  (* 10 writes + 10 notes *)
+  Alcotest.(check int) "full ring holds everything" 20 (Sim.Trace.length full);
+  Alcotest.(check int) "full ring dropped nothing" 0 (Sim.Trace.dropped full);
+  Alcotest.(check int) "bounded ring holds its capacity" 4 (Sim.Trace.length small);
+  Alcotest.(check int) "dropped = recorded - capacity" 16 (Sim.Trace.dropped small);
+  let show tr = List.map (Format.asprintf "%a" Sim.Trace.pp_item) (Sim.Trace.items tr) in
+  let all = show full in
+  let tail = List.filteri (fun i _ -> i >= List.length all - 4) all in
+  Alcotest.(check (list string)) "ring keeps the newest items" tail (show small);
+  Sim.Trace.clear small;
+  Alcotest.(check int) "clear resets length" 0 (Sim.Trace.length small);
+  Alcotest.(check int) "clear resets dropped" 0 (Sim.Trace.dropped small)
+
+(* ----- timeline: a known 2-process round-robin schedule ----- *)
+
+let test_timeline_known_schedule () =
+  let layout = Layout.create () in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  (* read, acquire, read, release: under round-robin the accesses
+     interleave p0,p1,p0,p1 and each event is atomic with the access
+     just before it, so the 4-step timeline is fully determined. *)
+  let body name (ops : Store.ops) =
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Acquired name);
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Released name)
+  in
+  let tr = Sim.Trace.create () in
+  let t =
+    Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout
+      [| (0, body 0); (1, body 1) |]
+  in
+  let outcome = Sim.Sched.run t Sim.Sched.round_robin in
+  Alcotest.(check int) "four accesses" 4 outcome.total;
+  let tl = Sim.Trace.timeline tr in
+  let contains sub =
+    Alcotest.(check bool)
+      (Printf.sprintf "timeline contains %S" sub)
+      true
+      (is_infix sub tl)
+  in
+  contains "steps 1..4";
+  (* p0 acquires name 0 at step 1 and releases at its step-3 access;
+     p1 holds name 1 over steps 2 and 4; one bucket per step *)
+  contains "p0 (pid      0) |0 0 |";
+  contains "p1 (pid      1) | 1 1|"
+
+(* ----- spans from a replayed Model_check.sample schedule ----- *)
+
+(* The MA mutant violates uniqueness under sampling.  The schedule the
+   sampler reports must replay against marker-bearing bodies (markers
+   cost no shared access), and the Observe monitor's counters must see
+   exactly the accesses the sampled run recorded. *)
+let test_span_replay_matches_sample () =
+  let recorded = ref 0 in
+  let mk ?(markers = false) ?(extra = []) () : Mc.config =
+    let layout = Layout.create () in
+    let m = Mma.create layout Mma.No_recheck ~k:2 ~s:3 in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let u = Sim.Checks.uniqueness ~name_space:(Mma.name_space m) () in
+    recorded := 0;
+    let count = Sim.Sched.monitor ~on_access:(fun _ _ _ -> incr recorded) () in
+    let body (ops : Store.ops) =
+      if markers then Sim.Observe.op_begin "get";
+      let lease = Mma.get_name m ops in
+      Sim.Sched.emit (Sim.Event.Acquired (Mma.name_of m lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (Mma.name_of m lease));
+      if markers then Sim.Observe.op_begin "release";
+      Mma.release_name m ops lease
+    in
+    {
+      layout;
+      procs = [| (0, body); (2, body) |];
+      monitor = Sim.Checks.combine ([ count; Sim.Checks.uniqueness_monitor u ] @ extra);
+    }
+  in
+  let r = Mc.sample ~seeds:(List.init 100 (fun i -> i + 1)) (fun () -> mk ()) in
+  match r.violation with
+  | None -> Alcotest.fail "expected the MA mutant to violate under sampling"
+  | Some v ->
+      let sample_accesses = !recorded in
+      Alcotest.(check bool) "sampled run saw accesses" true (sample_accesses > 0);
+      let registry = Obs.Registry.create () in
+      let sh = Obs.Registry.shard registry in
+      let obs = Sim.Observe.create sh in
+      let res =
+        Mc.replay
+          (fun () -> mk ~markers:true ~extra:[ Sim.Observe.monitor obs ] ())
+          v.schedule
+      in
+      Sim.Observe.finalize obs;
+      (match res with
+      | Error v' ->
+          (* sample prefixes its message with "[seed N] " *)
+          Alcotest.(check bool)
+            "replay reproduces the violation" true
+            (is_suffix v'.message v.message)
+      | Ok () -> Alcotest.fail "replay did not reproduce the violation");
+      Alcotest.(check int) "replay performs the same accesses" sample_accesses !recorded;
+      let snap = Obs.Registry.snapshot registry in
+      let counter name = Option.value ~default:0 (List.assoc_opt name snap.counters) in
+      Alcotest.(check int) "observe counters see every access" sample_accesses
+        (counter "store.reads" + counter "store.writes" + counter "store.rmws");
+      Alcotest.(check bool) "spans recorded" true (snap.spans <> []);
+      let span_accesses =
+        List.fold_left (fun a (s : Obs.Span.t) -> a + s.accesses) 0 snap.spans
+      in
+      Alcotest.(check bool) "span accesses bounded by the run's total" true
+        (span_accesses <= sample_accesses)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "overflow accounting" `Quick test_ring_overflow;
+          Alcotest.test_case "timeline rendering" `Quick test_timeline_known_schedule;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "span-profiled sample replay" `Quick
+            test_span_replay_matches_sample;
+        ] );
+    ]
