@@ -8,6 +8,7 @@
      trace       print an access-by-access execution trace
      domains     run a protocol across real OS domains
      observe     run instrumented and export the metrics snapshot
+     faults      adversarial fault campaigns (discrimination matrix)
 
    simulate/modelcheck/experiment additionally take --metrics FILE to
    write the run's lib/obs snapshot as JSON. *)
@@ -60,6 +61,19 @@ let build name layout ~k ~s ~procs =
                (Pipeline.stages p)))
       in
       (Setup { proto = (module Pipeline); inst = p; label }, pids)
+  | "costly" ->
+      (* test-only: the cost mutant from lib/core/mutations — correct
+         names, but every GetName blows the MA access bound.  Reached
+         via `observe --mutant`, never from the protocol enum. *)
+      let m = Renaming.Mutations.Mutant_costly.create layout
+          Renaming.Mutations.Mutant_costly.Quadratic_rescan ~k ~s in
+      ( Setup
+          {
+            proto = (module Renaming.Mutations.Mutant_costly);
+            inst = m;
+            label = "ma (costly mutant)";
+          },
+        pids )
   | other -> failwith (Printf.sprintf "unknown protocol %S" other)
 
 let write_file path s =
@@ -349,7 +363,11 @@ let domains protocol k s cycles =
    snapshot is additionally checked against the paper's worst-case
    GetName bound; stdout carries only the exported document (human
    notes go to stderr). *)
-let observe protocol k s procs cycles seed ndomains format metrics_file =
+let observe protocol k s procs cycles seed ndomains format metrics_file mutant =
+  (* --mutant swaps in the cost mutant (MA padded past its bound) while
+     keeping the MA bound check — the test for the failure path *)
+  let bound_protocol = if mutant then "ma" else protocol in
+  let protocol = if mutant then "costly" else protocol in
   let registry = Obs.Registry.create () in
   let layout = Layout.create () in
   let run_ok, label =
@@ -405,7 +423,7 @@ let observe protocol k s procs cycles seed ndomains format metrics_file =
   in
   let snap = Obs.Registry.snapshot registry in
   let bound_ok =
-    match bound_for protocol ~k ~s with
+    match bound_for bound_protocol ~k ~s with
     | None -> true
     | Some (thm, bound) -> (
         match List.assoc_opt "op.get.accesses" snap.histograms with
@@ -430,6 +448,95 @@ let observe protocol k s procs cycles seed ndomains format metrics_file =
   | Some f -> write_file f (Obs.Export.to_json snap)
   | None -> ());
   if run_ok && bound_ok then 0 else 1
+
+(* ----- faults ----- *)
+
+(* Campaign mode (default): run the fixed seed matrix against every
+   target (or --target NAME), assert discrimination — mutants die,
+   correct protocols survive.  Reproduction mode (--plan PLAN): one
+   deterministic run of the plan under --seed, optionally --shrink to a
+   minimal replaying schedule.  With --json the human table moves to
+   stderr and stdout carries only the JSON report. *)
+let faults target_name plan_str seed matrix shrink json =
+  let out = if json then Fmt.epr else Fmt.pr in
+  let list_targets ppf () =
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:comma string)
+      (List.map (fun (t : Campaign.target) -> t.name) (Campaign.targets ()))
+  in
+  let shrunk tg (f : Campaign.finding) =
+    match Campaign.shrink tg f with
+    | Some v ->
+        out "shrunk to %d choices: %s@.schedule: %a@." (List.length v.schedule)
+          v.message
+          Fmt.(list ~sep:semi int)
+          v.schedule
+    | None -> out "shrink: not a replayable monitor violation (timeout finding)@."
+  in
+  match plan_str with
+  | Some plan_s -> (
+      (* reproduction mode *)
+      match Option.map Campaign.find target_name with
+      | None | Some None ->
+          Fmt.epr "--plan needs --target NAME; targets: %a@." list_targets ();
+          2
+      | Some (Some tg) -> (
+          match Sim.Faults.of_string plan_s with
+          | Error e ->
+              Fmt.epr "bad --plan: %s@." e;
+              2
+          | Ok plan -> (
+              match Campaign.run_once tg plan ~sched_seed:seed with
+              | None ->
+                  out "clean: %s survived plan %S under schedule seed %d@." tg.name
+                    (Sim.Faults.to_string plan) seed;
+                  0
+              | Some (message, schedule) ->
+                  out "VIOLATION: %s@." message;
+                  out "target  : %s@.plan    : %s@.seed    : %d@.schedule: %a@."
+                    tg.name
+                    (Sim.Faults.to_string plan)
+                    seed
+                    Fmt.(list ~sep:semi int)
+                    schedule;
+                  let f : Campaign.finding =
+                    { seed; sched_seed = seed; plan; message; schedule }
+                  in
+                  if shrink then shrunk tg f;
+                  1)))
+  | None -> (
+      (* campaign mode *)
+      let seeds = List.filteri (fun i _ -> i < matrix) Campaign.default_seeds in
+      let targets =
+        match target_name with
+        | None -> Ok (Campaign.targets ())
+        | Some n -> (
+            match Campaign.find n with
+            | Some t -> Ok [ t ]
+            | None -> Error n)
+      in
+      match targets with
+      | Error n ->
+          Fmt.epr "unknown target %S; targets: %a@." n list_targets ();
+          2
+      | Ok targets ->
+          let outcomes = List.map (Campaign.run_target ~seeds) targets in
+          List.iter (fun o -> out "%a@." Campaign.pp_outcome o) outcomes;
+          if shrink then
+            List.iter2
+              (fun tg (o : Campaign.outcome) ->
+                match o.finding with
+                | Some f when not o.correct ->
+                    out "--- %s ---@." o.target;
+                    shrunk tg f
+                | _ -> ())
+              targets outcomes;
+          if json then print_endline (Campaign.report_json ~seeds outcomes);
+          let ok = Campaign.ok outcomes in
+          out "campaign: %s (%d targets, matrix of %d seeds)@."
+            (if ok then "OK — mutants die, correct protocols survive" else "FAILED")
+            (List.length outcomes) (List.length seeds);
+          if ok then 0 else 1)
 
 (* ----- trace ----- *)
 
@@ -562,11 +669,38 @@ let observe_cmd =
              ("prometheus", info [ "prometheus" ]
                 ~doc:"Emit the snapshot in Prometheus text exposition format.") ])
   in
+  let mutant = Arg.(value & flag & info [ "mutant" ]
+                    ~doc:"Test-only: run the cost mutant (MA padded past its access \
+                          bound) against the MA bound check — must exit nonzero.") in
   Cmd.v
     (Cmd.info "observe"
        ~doc:"Run fully instrumented and export the metrics snapshot (text/JSON/Prometheus)")
     Term.(const observe $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs $ cycles_arg 5
-          $ seed $ ndomains $ format $ metrics_arg)
+          $ seed $ ndomains $ format $ metrics_arg $ mutant)
+
+let faults_cmd =
+  let target = Arg.(value & opt (some string) None
+                    & info [ "target" ] ~docv:"NAME"
+                      ~doc:"Restrict to one campaign target (protocol or mutant:*).") in
+  let plan = Arg.(value & opt (some string) None
+                  & info [ "plan" ] ~docv:"PLAN"
+                    ~doc:"Reproduction mode: run this fault plan (e.g. \
+                          $(b,park\\@p1:acc7,stall8\\@p0:acquire)) once under --seed \
+                          against --target.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+                  ~doc:"Schedule seed for reproduction mode.") in
+  let matrix = Arg.(value & opt int 32 & info [ "matrix" ] ~docv:"N"
+                    ~doc:"Use the first $(docv) seeds of the fixed matrix.") in
+  let shrink = Arg.(value & flag & info [ "shrink" ]
+                    ~doc:"Delta-debug each finding to a minimal replaying schedule.") in
+  let json = Arg.(value & flag & info [ "json" ]
+                  ~doc:"Print the JSON campaign report on stdout (table goes to \
+                        stderr).") in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run adversarial fault campaigns: mutants must die, correct protocols \
+             must survive")
+    Term.(const faults $ target $ plan $ seed $ matrix $ shrink $ json)
 
 let () =
   let info =
@@ -577,4 +711,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ simulate_cmd; modelcheck_cmd; params_cmd; experiment_cmd; trace_cmd;
-            domains_cmd; observe_cmd ]))
+            domains_cmd; observe_cmd; faults_cmd ]))

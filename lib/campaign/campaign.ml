@@ -1,0 +1,459 @@
+open Shared_mem
+module MC = Sim.Model_check
+module Mut = Renaming.Mutations
+
+type target = {
+  name : string;
+  correct : bool;
+  nprocs : int;
+  tags : string list;
+  max_access : int;
+  sched_per_plan : int;
+  builder : MC.builder;
+}
+
+type finding = {
+  seed : int;
+  sched_seed : int;
+  plan : Sim.Faults.plan;
+  message : string;
+  schedule : int list;
+}
+
+type outcome = {
+  target : string;
+  correct : bool;
+  runs : int;
+  finding : finding option;
+}
+
+(* ----- harness builders (mirror the mutation-test harnesses) ----- *)
+
+(* Two processes racing a mutex block; the [cs]/[cs_exit] notes feed an
+   exclusion monitor.  [make layout] returns one full enter/spin/release
+   cycle for a direction — the only protocol-specific part. *)
+let mutex_config ~cycles make () : MC.config =
+  let layout = Layout.create () in
+  let cycle = make layout in
+  let in_cs = ref 0 in
+  let body dir ops =
+    for _ = 1 to cycles do
+      cycle dir ops
+    done
+  in
+  {
+    MC.layout;
+    procs = [| (0, body 0); (1, body 1) |];
+    monitor =
+      Sim.Sched.monitor
+        ~on_event:(fun _ _ ev ->
+          match ev with
+          | Sim.Event.Note ("cs", _) ->
+              incr in_cs;
+              if !in_cs > 1 then
+                raise (MC.Violation "two processes in the critical section")
+          | Sim.Event.Note ("cs_exit", _) -> decr in_cs
+          | _ -> ())
+        ();
+  }
+
+let pf_mutex_cycle layout =
+  let b = Renaming.Pf_mutex.create layout in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  fun dir (ops : Store.ops) ->
+    let slot = Renaming.Pf_mutex.enter b ops ~dir in
+    let rec spin n =
+      if Renaming.Pf_mutex.check b ops ~dir slot then begin
+        Sim.Sched.emit (Sim.Event.Note ("cs", dir));
+        ignore (ops.read work);
+        Sim.Sched.emit (Sim.Event.Note ("cs_exit", dir))
+      end
+      else if n > 0 then spin (n - 1)
+    in
+    spin 6;
+    Renaming.Pf_mutex.release b ops ~dir slot
+
+let mutant_mutex_cycle variant layout =
+  let b = Mut.Mutant_mutex.create layout variant in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  fun dir (ops : Store.ops) ->
+    let slot = Mut.Mutant_mutex.enter b ops ~dir in
+    let rec spin n =
+      if Mut.Mutant_mutex.check b ops ~dir slot then begin
+        Sim.Sched.emit (Sim.Event.Note ("cs", dir));
+        ignore (ops.read work);
+        Sim.Sched.emit (Sim.Event.Note ("cs_exit", dir))
+      end
+      else if n > 0 then spin (n - 1)
+    in
+    spin 6;
+    Mut.Mutant_mutex.release b ops ~dir slot
+
+(* Splitter occupancy harness (Theorem 5's prefix-closed bound). *)
+let splitter_config ?(mutant : Mut.Mutant_splitter.variant option) ~procs ~cycles ()
+    : MC.config =
+  let layout = Layout.create () in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let o = Sim.Checks.occupancy () in
+  let cycle =
+    match mutant with
+    | None ->
+        let sp = Renaming.Splitter.create layout in
+        fun (ops : Store.ops) ->
+          Sim.Sched.emit (Sim.Event.Note ("begin", 0));
+          let tok = Renaming.Splitter.enter sp ops in
+          Sim.Sched.emit (Sim.Event.Note ("in", Renaming.Splitter.direction tok));
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Note ("out", Renaming.Splitter.direction tok));
+          Renaming.Splitter.release sp ops tok;
+          Sim.Sched.emit (Sim.Event.Note ("end", 0))
+    | Some variant ->
+        let sp = Mut.Mutant_splitter.create layout variant in
+        fun (ops : Store.ops) ->
+          Sim.Sched.emit (Sim.Event.Note ("begin", 0));
+          let tok = Mut.Mutant_splitter.enter sp ops in
+          Sim.Sched.emit (Sim.Event.Note ("in", Mut.Mutant_splitter.direction tok));
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Note ("out", Mut.Mutant_splitter.direction tok));
+          Mut.Mutant_splitter.release sp ops tok;
+          Sim.Sched.emit (Sim.Event.Note ("end", 0))
+  in
+  let body ops =
+    for _ = 1 to cycles do
+      cycle ops
+    done
+  in
+  {
+    MC.layout;
+    procs = Array.init procs (fun p -> (p + 1, body));
+    monitor = Sim.Checks.occupancy_monitor o;
+  }
+
+(* Uniqueness harness over any Protocol.S instance, bodies from the
+   workload generators so they emit the [cycle] notes plans can target. *)
+let proto_config (type a) (module P : Renaming.Protocol.S with type t = a)
+    (make : Layout.t -> a) ~pids ~cycles () : MC.config =
+  let layout = Layout.create () in
+  let inst = make layout in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let spec = Workload.churn ~cycles () in
+  let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+  {
+    MC.layout;
+    procs =
+      Array.map (fun pid -> (pid, Workload.body (module P) inst ~work spec)) pids;
+    monitor = Sim.Checks.uniqueness_monitor u;
+  }
+
+(* The cost mutant stays unique, so the harness also meters every
+   GetName and raises when one exceeds the Moir–Anderson bound — the
+   same check the observe CLI applies to its metrics snapshot. *)
+let costly_config ~k ~s ~pids ~cycles () : MC.config =
+  let module M = Mut.Mutant_costly in
+  let layout = Layout.create () in
+  let m = M.create layout M.Quadratic_rescan ~k ~s in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let bound = (k * (s + 4)) + 1 in
+  let u = Sim.Checks.uniqueness ~name_space:(M.name_space m) () in
+  let body (ops : Store.ops) =
+    let c = Store.counter () in
+    let counted = Store.counting c ops in
+    for _ = 1 to cycles do
+      Store.reset c;
+      let lease = M.get_name m counted in
+      Sim.Sched.emit (Sim.Event.Note ("get_cost", Store.accesses c));
+      Sim.Sched.emit (Sim.Event.Acquired (M.name_of m lease));
+      ignore (ops.read work);
+      Sim.Sched.emit (Sim.Event.Released (M.name_of m lease));
+      M.release_name m counted lease
+    done
+  in
+  let cost_monitor =
+    Sim.Sched.monitor
+      ~on_event:(fun _ _ ev ->
+        match ev with
+        | Sim.Event.Note ("get_cost", n) when n > bound ->
+            raise
+              (MC.Violation
+                 (Printf.sprintf "GetName took %d accesses > bound %d" n bound))
+        | _ -> ())
+      ()
+  in
+  {
+    MC.layout;
+    procs = Array.map (fun pid -> (pid, body)) pids;
+    monitor = Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; cost_monitor ];
+  }
+
+(* ----- the target list ----- *)
+
+let proto_tags = [ "cycle" ]
+let splitter_tags = [ "begin"; "in"; "out"; "end" ]
+let mutex_tags = [ "cs"; "cs_exit" ]
+
+let targets () =
+  let filter_make layout =
+    let k = 2 and s = 8 in
+    let (p : Renaming.Params.filter_params) = Renaming.Params.choose ~k ~s in
+    Renaming.Filter.create layout
+      { k; d = p.d; z = p.z; s; participants = [| 1; 5 |] }
+  in
+  [
+    {
+      name = "splitter";
+      correct = true;
+      nprocs = 3;
+      tags = splitter_tags;
+      max_access = 16;
+      sched_per_plan = 4;
+      builder = splitter_config ~procs:3 ~cycles:2;
+    };
+    {
+      name = "split";
+      correct = true;
+      nprocs = 3;
+      tags = proto_tags;
+      max_access = 32;
+      sched_per_plan = 4;
+      builder =
+        proto_config
+          (module Renaming.Split)
+          (fun l -> Renaming.Split.create l ~k:3)
+          ~pids:[| 1; 2; 3 |] ~cycles:2;
+    };
+    {
+      name = "pf_mutex";
+      correct = true;
+      nprocs = 2;
+      tags = mutex_tags;
+      max_access = 24;
+      sched_per_plan = 8;
+      builder = mutex_config ~cycles:3 pf_mutex_cycle;
+    };
+    {
+      name = "ma";
+      correct = true;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 24;
+      sched_per_plan = 4;
+      builder =
+        proto_config
+          (module Renaming.Ma)
+          (fun l -> Renaming.Ma.create l ~k:2 ~s:4)
+          ~pids:[| 0; 2 |] ~cycles:2;
+    };
+    {
+      name = "filter";
+      correct = true;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 64;
+      sched_per_plan = 4;
+      builder =
+        proto_config (module Renaming.Filter) filter_make ~pids:[| 1; 5 |] ~cycles:2;
+    };
+    {
+      name = "pipeline";
+      correct = true;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 64;
+      sched_per_plan = 4;
+      builder =
+        proto_config
+          (module Renaming.Pipeline)
+          (fun l -> Renaming.Pipeline.create l ~k:2 ~s:16 ~participants:[| 3; 11 |])
+          ~pids:[| 3; 11 |] ~cycles:1;
+    };
+    {
+      name = "mutant:mutex-read-before-write";
+      correct = false;
+      nprocs = 2;
+      tags = mutex_tags;
+      max_access = 12;
+      sched_per_plan = 8;
+      builder = mutex_config ~cycles:1 (mutant_mutex_cycle Mut.Mutant_mutex.Read_before_write);
+    };
+    {
+      name = "mutant:mutex-no-yield";
+      correct = false;
+      nprocs = 2;
+      tags = mutex_tags;
+      max_access = 12;
+      sched_per_plan = 8;
+      builder = mutex_config ~cycles:1 (mutant_mutex_cycle Mut.Mutant_mutex.No_yield);
+    };
+    {
+      name = "mutant:mutex-turn-lost";
+      correct = false;
+      nprocs = 2;
+      tags = mutex_tags;
+      max_access = 48;
+      sched_per_plan = 192;
+      builder = mutex_config ~cycles:15 (mutant_mutex_cycle Mut.Mutant_mutex.Turn_lost_on_release);
+    };
+    {
+      name = "mutant:splitter-no-interference";
+      correct = false;
+      nprocs = 2;
+      tags = splitter_tags;
+      max_access = 12;
+      sched_per_plan = 8;
+      builder =
+        splitter_config ~mutant:Mut.Mutant_splitter.No_interference_check ~procs:2
+          ~cycles:1;
+    };
+    {
+      name = "mutant:splitter-no-advice-flip";
+      correct = false;
+      nprocs = 2;
+      tags = splitter_tags;
+      max_access = 16;
+      sched_per_plan = 8;
+      builder =
+        splitter_config ~mutant:Mut.Mutant_splitter.No_advice_flip ~procs:2 ~cycles:2;
+    };
+    {
+      name = "mutant:ma-no-recheck";
+      correct = false;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 16;
+      sched_per_plan = 8;
+      builder =
+        proto_config
+          (module Mut.Mutant_ma)
+          (fun l -> Mut.Mutant_ma.create l Mut.Mutant_ma.No_recheck ~k:2 ~s:3)
+          ~pids:[| 0; 2 |] ~cycles:2;
+    };
+    {
+      name = "mutant:ma-costly";
+      correct = false;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 16;
+      sched_per_plan = 2;
+      builder = costly_config ~k:2 ~s:4 ~pids:[| 0; 2 |] ~cycles:1;
+    };
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) (targets ())
+
+(* ----- running ----- *)
+
+let default_seeds = List.init 32 (fun i -> 0xFA17 + (i * 104729))
+
+let run_once ?(max_steps = 200_000) tg plan ~sched_seed =
+  let cfg = tg.builder () in
+  let ctrl = Sim.Faults.controller plan in
+  let monitor = Sim.Checks.combine [ cfg.MC.monitor; Sim.Faults.monitor ctrl ] in
+  let t = Sim.Sched.create ~monitor cfg.MC.layout cfg.MC.procs in
+  let rng = Sim.Rng.make sched_seed in
+  let taken = ref [] in
+  let strat _ en =
+    let c = Sim.Rng.int rng (Array.length en) in
+    taken := c :: !taken;
+    en.(c)
+  in
+  let res =
+    match Sim.Faults.run ~max_steps ctrl t strat with
+    | (outcome : Sim.Sched.outcome) ->
+        if outcome.truncated then
+          (* non-faulty processes must finish whatever the plan does:
+             running out of a generous step budget is a wait-freedom
+             failure, not a long run *)
+          Some
+            ( Printf.sprintf "run did not settle within %d steps (wait-freedom)"
+                max_steps,
+              List.rev !taken )
+        else None
+    | exception MC.Violation message -> Some (message, List.rev !taken)
+  in
+  Sim.Sched.abort t;
+  res
+
+(* One plan per matrix seed, [sched_per_plan] schedules per plan; both
+   derivations are pure functions of the matrix seed (rng.mli's seed
+   contract), so a finding's (seed, plan, sched_seed) triple is a
+   complete reproduction recipe. *)
+let plan_for tg seed =
+  Sim.Faults.gen
+    (Sim.Rng.make (seed lxor 0x0F_AC_ED))
+    ~nprocs:tg.nprocs ~tags:tg.tags ~max_access:tg.max_access ()
+
+let sched_seed_for seed j = seed + (j * 31)
+
+let run_target ?(seeds = default_seeds) ?max_steps (tg : target) =
+  let runs = ref 0 in
+  let finding = ref None in
+  let stop_early = not tg.correct in
+  List.iter
+    (fun seed ->
+      if not (stop_early && !finding <> None) then begin
+        let plan = plan_for tg seed in
+        for j = 0 to tg.sched_per_plan - 1 do
+          if not (stop_early && !finding <> None) then begin
+            incr runs;
+            let sched_seed = sched_seed_for seed j in
+            match run_once ?max_steps tg plan ~sched_seed with
+            | Some (message, schedule) when !finding = None ->
+                finding := Some { seed; sched_seed; plan; message; schedule }
+            | _ -> ()
+          end
+        done
+      end)
+    seeds;
+  { target = tg.name; correct = tg.correct; runs = !runs; finding = !finding }
+
+let run_all ?seeds ?max_steps () =
+  List.map (run_target ?seeds ?max_steps) (targets ())
+
+let ok outcomes =
+  List.for_all
+    (fun o -> if o.correct then o.finding = None else o.finding <> None)
+    outcomes
+
+let shrink ?max_steps tg (f : finding) =
+  MC.minimize ?max_steps ~faults:f.plan tg.builder f.schedule
+
+let replay ?max_steps tg plan schedule = MC.replay ?max_steps ~faults:plan tg.builder schedule
+
+(* ----- reporting ----- *)
+
+let pp_outcome ppf o =
+  match (o.correct, o.finding) with
+  | true, None -> Fmt.pf ppf "%-32s clean (%d runs)" o.target o.runs
+  | false, Some f ->
+      Fmt.pf ppf "%-32s killed after %d runs (--plan '%s' --seed %d): %s" o.target
+        o.runs
+        (Sim.Faults.to_string f.plan)
+        f.sched_seed f.message
+  | true, Some f ->
+      Fmt.pf ppf "%-32s UNEXPECTED VIOLATION (seed %d, sched %d, plan %s): %s"
+        o.target f.seed f.sched_seed
+        (Sim.Faults.to_string f.plan)
+        f.message
+  | false, None -> Fmt.pf ppf "%-32s MUTANT SURVIVED %d runs" o.target o.runs
+
+let finding_json f =
+  Printf.sprintf
+    {|{"seed":%d,"sched_seed":%d,"plan":%S,"message":%S,"schedule":[%s]}|}
+    f.seed f.sched_seed
+    (Sim.Faults.to_string f.plan)
+    f.message
+    (String.concat "," (List.map string_of_int f.schedule))
+
+let outcome_json o =
+  let expected =
+    if o.correct then o.finding = None else o.finding <> None
+  in
+  Printf.sprintf {|{"target":%S,"correct":%b,"runs":%d,"as_expected":%b,"finding":%s}|}
+    o.target o.correct o.runs expected
+    (match o.finding with None -> "null" | Some f -> finding_json f)
+
+let report_json ~seeds outcomes =
+  Printf.sprintf
+    {|{"schema":"renaming.faults/v1","matrix_size":%d,"ok":%b,"targets":[%s]}|}
+    (List.length seeds) (ok outcomes)
+    (String.concat "," (List.map outcome_json outcomes))

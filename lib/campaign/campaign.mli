@@ -1,0 +1,98 @@
+(** Fault campaigns: adversarial discrimination testing.
+
+    A campaign runs a protocol harness under many (fault plan, random
+    schedule) pairs, all derived deterministically from a fixed seed
+    matrix ({!default_seeds}).  The point is {e discrimination}: every
+    deliberately broken variant in {!Renaming.Mutations} must be killed
+    (some pair makes a monitor raise), while every correct protocol
+    must survive the whole matrix.  A checker that cannot tell the two
+    apart proves nothing; this module is the standing evidence that
+    ours can.
+
+    Each {!target} packages a fresh-config builder (the same shape the
+    model checker uses) together with the note tags its bodies emit —
+    {!Sim.Faults.gen} aims triggers at those tags — and whether the
+    harness is expected to survive.  Reproduction is by construction:
+    a {!finding} carries the matrix seed, the generated plan, the
+    schedule seed and the taken schedule, and
+    [renaming-cli faults --target T --plan P --seed S] replays it. *)
+
+type target = {
+  name : string;
+  correct : bool;  (** Expected to survive the matrix. *)
+  nprocs : int;
+  tags : string list;  (** Note tags the bodies emit, for plan generation. *)
+  max_access : int;  (** Upper bound for generated [At_access] triggers. *)
+  sched_per_plan : int;  (** Random schedules tried per generated plan. *)
+  builder : Sim.Model_check.builder;
+}
+
+val targets : unit -> target list
+(** All campaign targets: the correct protocols (splitter, split,
+    pf_mutex, ma, filter, pipeline) followed by every mutant
+    ([mutant:...]). *)
+
+val find : string -> target option
+(** Look a target up by {!target.name}. *)
+
+type finding = {
+  seed : int;  (** Matrix seed the plan was generated from. *)
+  sched_seed : int;  (** Seed of the violating random schedule. *)
+  plan : Sim.Faults.plan;
+  message : string;
+  schedule : int list;  (** Choices taken, replayable via {!replay}. *)
+}
+
+type outcome = {
+  target : string;
+  correct : bool;
+  runs : int;  (** (plan, schedule) pairs executed. *)
+  finding : finding option;
+      (** First finding — a kill for a mutant (expected), a bug for a
+          correct target (campaign failure). *)
+}
+
+val default_seeds : int list
+(** The fixed 32-seed matrix CI runs. *)
+
+val run_once :
+  ?max_steps:int ->
+  target ->
+  Sim.Faults.plan ->
+  sched_seed:int ->
+  (string * int list) option
+(** One run of the target under the plan and the seeded random
+    schedule; [Some (message, schedule)] if a monitor raised or the run
+    failed to complete within [max_steps] (default [200_000]) — the
+    wait-freedom budget: non-faulty processes of a correct target must
+    finish no matter where victims stall. *)
+
+val run_target :
+  ?seeds:int list -> ?max_steps:int -> target -> outcome
+(** The full matrix against one target.  For each matrix seed, a plan
+    is generated ({!Sim.Faults.gen}, seeded from the matrix seed) and
+    tried under [target.sched_per_plan] derived schedule seeds.
+    Mutants stop at the first kill; correct targets always execute the
+    whole matrix. *)
+
+val run_all : ?seeds:int list -> ?max_steps:int -> unit -> outcome list
+
+val ok : outcome list -> bool
+(** Every mutant killed and every correct target clean. *)
+
+val shrink :
+  ?max_steps:int -> target -> finding -> Sim.Model_check.violation option
+(** Delta-debug the finding's schedule under its plan
+    ({!Sim.Model_check.minimize}); [None] if the finding does not
+    replay (e.g. a wait-freedom timeout rather than a monitor
+    violation). *)
+
+val replay :
+  ?max_steps:int -> target -> Sim.Faults.plan -> int list ->
+  (unit, Sim.Model_check.violation) result
+(** Deterministically re-execute a recorded schedule under a plan. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val report_json : seeds:int list -> outcome list -> string
+(** One JSON document (["renaming.faults/v1"]) with one entry per
+    target and the overall verdict. *)

@@ -88,6 +88,33 @@ module Mutant_splitter = struct
     if not tok.adv2 then ops.write t.advice1 bottom
 end
 
+module Mutant_costly = struct
+  type variant = Quadratic_rescan
+  type t = { ma : Ma.t; pad : Cell.t; extra : int }
+  type lease = Ma.lease
+
+  let create layout Quadratic_rescan ~k ~s =
+    {
+      ma = Ma.create layout ~k ~s;
+      pad = Layout.alloc layout ~name:"MPAD" 0;
+      (* one past the Moir–Anderson bound k(s+4)+1, so even a
+         contention-free GetName lands beyond it *)
+      extra = (k * (s + 4)) + 2;
+    }
+
+  let name_space t = Ma.name_space t.ma
+
+  let get_name t (ops : Store.ops) =
+    let lease = Ma.get_name t.ma ops in
+    for _ = 1 to t.extra do
+      ignore (ops.read t.pad)
+    done;
+    lease
+
+  let name_of t lease = Ma.name_of t.ma lease
+  let release_name t (ops : Store.ops) lease = Ma.release_name t.ma ops lease
+end
+
 module Mutant_ma = struct
   type variant = No_recheck
 

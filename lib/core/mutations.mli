@@ -57,6 +57,23 @@ module Mutant_splitter : sig
   val release : t -> Shared_mem.Store.ops -> token -> unit
 end
 
+(** A {e correct but slow} MA grid: names stay unique, yet every
+    [get_name] performs [k(s+4)+2] extra reads — one past the
+    Moir–Anderson worst-case bound.  Uniqueness monitors cannot see it;
+    only cost checks (the [observe] CLI's bound check, the campaign's
+    per-operation access budget) can.  Exists to prove those failure
+    paths fire. *)
+module Mutant_costly : sig
+  type t
+
+  type variant =
+    | Quadratic_rescan  (** Pads each GetName past the MA access bound. *)
+
+  val create : Shared_mem.Layout.t -> variant -> k:int -> s:int -> t
+
+  include Protocol.S with type t := t
+end
+
 (** Faulty MA grid, drop-in shaped like {!Ma}. *)
 module Mutant_ma : sig
   type t

@@ -1,5 +1,10 @@
 open Shared_mem
 
+type fault =
+  | Park_holding
+  | Stall_holding of { cycle : int; spins : int }
+  | Slow of int
+
 type result = {
   cycles_done : int array;
   violations : int;
@@ -8,8 +13,8 @@ type result = {
   first_violation : string option;
 }
 
-let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (inst : a)
-    ~layout ~pids ~cycles ~name_space =
+let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with type t = a)
+    (inst : a) ~layout ~pids ~cycles ~name_space =
   let store = Atomic_store.create layout in
   let holders = Array.init name_space (fun _ -> Atomic.make 0) in
   let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
@@ -18,6 +23,14 @@ let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (ins
   let concurrent = Atomic.make 0 in
   let max_concurrent = Atomic.make 0 in
   let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
+  (* parked workers hold their name until every non-parked worker has
+     finished all its cycles — so parking cannot hang the run, and the
+     others' completion IS the wait-freedom assertion *)
+  let normal_total =
+    Array.length pids
+    - List.length (List.filter (fun (_, f) -> f = Park_holding) faults)
+  in
+  let normal_done = Atomic.make 0 in
   let bump_max a c =
     (* monotone CAS loop *)
     let rec go () =
@@ -60,7 +73,7 @@ let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (ins
       Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
       Obs.Registry.inc sh ("op." ^ op ^ ".count")
     in
-    for _ = 1 to cycles do
+    let acquire () =
       Store.reset c;
       let lease = P.get_name inst ops in
       let n = P.name_of inst lease in
@@ -94,8 +107,9 @@ let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (ins
           end;
           Obs.Registry.inc sh "names.acquired"
       | None -> ());
-      (* hold the name briefly so overlaps actually occur *)
-      Domain.cpu_relax ();
+      (lease, n)
+    in
+    let release (lease, n) =
       Atomic.decr concurrent;
       if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
       (match shard with
@@ -107,9 +121,34 @@ let run (type a) ?registry (module P : Renaming.Protocol.S with type t = a) (ins
       | None -> ());
       Store.reset c;
       P.release_name inst ops lease;
-      (match shard with Some sh -> record sh "release" [] | None -> ());
-      Atomic.incr cycles_done.(i)
-    done
+      match shard with Some sh -> record sh "release" [] | None -> ()
+    in
+    let spin n =
+      for _ = 1 to n do
+        Domain.cpu_relax ()
+      done
+    in
+    match List.assoc_opt i faults with
+    | Some Park_holding ->
+        let held = acquire () in
+        while Atomic.get normal_done < normal_total do
+          Domain.cpu_relax ()
+        done;
+        release held
+    | fault ->
+        for cy = 0 to cycles - 1 do
+          let held = acquire () in
+          (match fault with
+          | Some (Stall_holding { cycle; spins }) when cy = cycle -> spin spins
+          | Some (Slow n) -> spin n
+          | _ -> ());
+          (* hold the name briefly so overlaps actually occur *)
+          Domain.cpu_relax ();
+          release held;
+          (match fault with Some (Slow n) -> spin n | _ -> ());
+          Atomic.incr cycles_done.(i)
+        done;
+        Atomic.incr normal_done
   in
   let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
   Array.iter Domain.join domains;

@@ -19,6 +19,26 @@
     preemptively scheduled) and the protocols are wait-free, so
     stragglers cannot deadlock the run. *)
 
+(** Real-stall fault injection, the multicore face of {!Sim.Faults}:
+    simulated plans freeze a fiber; here a faulty worker burns real
+    time on its core (or parks outright) while holding a name, and the
+    run asserts the non-faulty workers still finish every cycle — the
+    paper's wait-freedom claim under genuine preemption, not just
+    simulated adversarial schedules. *)
+type fault =
+  | Park_holding
+      (** Acquire once, then hold the name — spinning, never releasing —
+          until every non-parked worker has finished all its cycles;
+          release and exit then (so the run always terminates).  The
+          worker's [cycles_done] stays at [0]: it never completes a
+          full acquire/release cycle until the others are done. *)
+  | Stall_holding of { cycle : int; spins : int }
+      (** On 0-based cycle [cycle], spin [spins] times ([Domain.cpu_relax])
+          while holding the name before releasing it. *)
+  | Slow of int
+      (** Spin this many times after every acquire and every release —
+          a slow-lane worker. *)
+
 type result = {
   cycles_done : int array;  (** Per worker; equals [cycles] on success. *)
   violations : int;
@@ -37,6 +57,7 @@ type result = {
 
 val run :
   ?registry:Obs.Registry.t ->
+  ?faults:(int * fault) list ->
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->
   layout:Shared_mem.Layout.t ->
@@ -48,4 +69,6 @@ val run :
     [Array.length pids] domains.  The instance must have been created
     from [layout] with every pid a legal source name.  [registry], if
     given, gains one shard per worker; snapshot it after [run]
-    returns. *)
+    returns.  [faults] maps worker {e indices} (positions in [pids],
+    not pids) to faults; at least one worker should stay fault-free or
+    [Park_holding] workers would wait forever on an empty set. *)

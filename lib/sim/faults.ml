@@ -1,0 +1,306 @@
+type trigger =
+  | At_access of int
+  | On_note of { tag : string; value : int option; occurrence : int }
+  | On_acquire of int
+
+type action = Park | Stall of int | Slow of int
+type fault = { victim : int; trigger : trigger; action : action }
+type plan = fault list
+
+let por_safe = List.for_all (fun f -> f.action = Park)
+
+let victims plan =
+  List.sort_uniq compare (List.map (fun f -> f.victim) plan)
+
+(* ----- textual plans ----- *)
+
+let trigger_to_string = function
+  | At_access n -> Printf.sprintf "acc%d" n
+  | On_note { tag; value; occurrence } ->
+      let v = match value with None -> "" | Some v -> Printf.sprintf "=%d" v in
+      let o = if occurrence = 1 then "" else Printf.sprintf "#%d" occurrence in
+      Printf.sprintf "note(%s%s)%s" tag v o
+  | On_acquire n -> if n = 1 then "acquire" else Printf.sprintf "acquire#%d" n
+
+let fault_to_string f =
+  let a =
+    match f.action with
+    | Park -> "park"
+    | Stall n -> Printf.sprintf "stall%d" n
+    | Slow n -> Printf.sprintf "slow%d" n
+  in
+  Printf.sprintf "%s@p%d:%s" a f.victim (trigger_to_string f.trigger)
+
+let to_string = function
+  | [] -> "none"
+  | plan -> String.concat "," (List.map fault_to_string plan)
+
+(* hand-rolled parsing: no regex dependency, precise error messages *)
+let parse_fault s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt s '@' with
+  | None -> fail "%S: expected ACTION@pN:TRIGGER" s
+  | Some at -> (
+      let action_s = String.sub s 0 at in
+      let rest = String.sub s (at + 1) (String.length s - at - 1) in
+      let action =
+        if action_s = "park" then Ok Park
+        else
+          let num pfx k =
+            let l = String.length pfx in
+            if String.length action_s > l && String.sub action_s 0 l = pfx then
+              match int_of_string_opt (String.sub action_s l (String.length action_s - l)) with
+              | Some n when n > 0 -> Some (Ok (k n))
+              | _ -> Some (fail "%S: bad %s duration" action_s pfx)
+            else None
+          in
+          match num "stall" (fun n -> Stall n) with
+          | Some r -> r
+          | None -> (
+              match num "slow" (fun n -> Slow n) with
+              | Some r -> r
+              | None -> fail "%S: unknown action (park | stallN | slowN)" action_s)
+      in
+      match action with
+      | Error _ as e -> e
+      | Ok action -> (
+          match String.index_opt rest ':' with
+          | None -> fail "%S: expected pN:TRIGGER after @" rest
+          | Some colon -> (
+              let proc_s = String.sub rest 0 colon in
+              let trig_s = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+              let victim =
+                if String.length proc_s >= 2 && proc_s.[0] = 'p' then
+                  int_of_string_opt (String.sub proc_s 1 (String.length proc_s - 1))
+                else None
+              in
+              match victim with
+              | None -> fail "%S: expected pN (process index)" proc_s
+              | Some victim when victim < 0 -> fail "%S: negative process index" proc_s
+              | Some victim -> (
+                  (* split an optional "#OCC" suffix *)
+                  let body, occurrence =
+                    match String.rindex_opt trig_s '#' with
+                    | Some h
+                      when (* '#' inside "note(...)" parens never happens in our
+                              grammar: it always follows the closing paren *)
+                           h > 0 ->
+                        let occ_s =
+                          String.sub trig_s (h + 1) (String.length trig_s - h - 1)
+                        in
+                        (String.sub trig_s 0 h, int_of_string_opt occ_s)
+                    | _ -> (trig_s, Some 1)
+                  in
+                  match occurrence with
+                  | None -> fail "%S: bad occurrence" trig_s
+                  | Some occurrence when occurrence < 1 ->
+                      fail "%S: occurrence must be >= 1" trig_s
+                  | Some occurrence ->
+                      let trigger =
+                        if body = "acquire" then Ok (On_acquire occurrence)
+                        else if String.length body > 3 && String.sub body 0 3 = "acc"
+                        then
+                          match
+                            int_of_string_opt (String.sub body 3 (String.length body - 3))
+                          with
+                          | Some n when n >= 0 -> Ok (At_access n)
+                          | _ -> fail "%S: bad access count" body
+                        else if
+                          String.length body > 6
+                          && String.sub body 0 5 = "note("
+                          && body.[String.length body - 1] = ')'
+                        then
+                          let inner = String.sub body 5 (String.length body - 6) in
+                          match String.index_opt inner '=' with
+                          | None ->
+                              if inner = "" then fail "note(): empty tag"
+                              else Ok (On_note { tag = inner; value = None; occurrence })
+                          | Some eq -> (
+                              let tag = String.sub inner 0 eq in
+                              let v_s =
+                                String.sub inner (eq + 1) (String.length inner - eq - 1)
+                              in
+                              match int_of_string_opt v_s with
+                              | Some v when tag <> "" ->
+                                  Ok (On_note { tag; value = Some v; occurrence })
+                              | _ -> fail "%S: bad note value" body)
+                        else fail "%S: unknown trigger (accN | note(TAG[=V]) | acquire)" body
+                      in
+                      Result.map (fun trigger -> { victim; trigger; action }) trigger))))
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok []
+  else
+    let parts = String.split_on_char ',' s |> List.map String.trim in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match parse_fault p with
+          | Ok f -> go (f :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] parts
+
+(* ----- the controller ----- *)
+
+type slot = {
+  fault : fault;
+  mutable done_ : bool;  (* trigger consumed (fired) *)
+  mutable seen : int;  (* matching emissions observed so far (note/acquire) *)
+}
+
+type t = {
+  slots : slot list;
+  mutable nfired : int;
+  mutable frozen : int list;  (* currently paused victims (any action) *)
+  mutable resumes : (int * int) list;  (* (due global step, victim), due ascending *)
+  mutable slow : (int * int) list;  (* (victim, stall length) active slow lanes *)
+}
+
+let controller plan =
+  {
+    slots = List.map (fun fault -> { fault; done_ = false; seen = 0 }) plan;
+    nfired = 0;
+    frozen = [];
+    resumes = [];
+    slow = [];
+  }
+
+let fired c = c.nfired
+let parked c = List.sort compare c.frozen
+let pending_resumes c = c.resumes <> []
+
+let freeze c (sim : Sched.t) i =
+  if not (List.mem i c.frozen) then begin
+    c.frozen <- i :: c.frozen;
+    Sched.pause sim i
+  end
+
+let schedule_resume c due i =
+  (* keep ascending by due step so [unstick] can take the head batch *)
+  let rec ins = function
+    | [] -> [ (due, i) ]
+    | (d, _) :: _ as l when due < d -> (due, i) :: l
+    | x :: rest -> x :: ins rest
+  in
+  c.resumes <- ins c.resumes
+
+let apply_due c (sim : Sched.t) now =
+  let due, later = List.partition (fun (d, _) -> d <= now) c.resumes in
+  c.resumes <- later;
+  List.iter
+    (fun (_, i) ->
+      c.frozen <- List.filter (fun j -> j <> i) c.frozen;
+      Sched.resume sim i)
+    due;
+  due <> []
+
+let fire c (sim : Sched.t) slot i =
+  slot.done_ <- true;
+  c.nfired <- c.nfired + 1;
+  match slot.fault.action with
+  | Park -> freeze c sim i
+  | Stall n ->
+      freeze c sim i;
+      schedule_resume c (Sched.total_steps sim + n) i
+  | Slow n -> c.slow <- (i, n) :: c.slow
+
+let on_access c (sim : Sched.t) i (_ : Sched.access) =
+  (* [Sched.steps_of] is already incremented when monitors run *)
+  let steps = Sched.steps_of sim i in
+  List.iter
+    (fun slot ->
+      if (not slot.done_) && slot.fault.victim = i then
+        match slot.fault.trigger with
+        | At_access n when steps >= n -> fire c sim slot i
+        | _ -> ())
+    c.slots;
+  (match List.assoc_opt i c.slow with
+  | Some n when not (List.mem i c.frozen) ->
+      freeze c sim i;
+      schedule_resume c (Sched.total_steps sim + n) i
+  | _ -> ())
+
+let on_event c (sim : Sched.t) i (ev : Event.t) =
+  List.iter
+    (fun slot ->
+      if (not slot.done_) && slot.fault.victim = i then
+        match (slot.fault.trigger, ev) with
+        | On_acquire occ, Event.Acquired _ ->
+            slot.seen <- slot.seen + 1;
+            if slot.seen >= occ then fire c sim slot i
+        | On_note { tag; value; occurrence }, Event.Note (t, v)
+          when t = tag && (value = None || value = Some v) ->
+            slot.seen <- slot.seen + 1;
+            if slot.seen >= occurrence then fire c sim slot i
+        | _ -> ())
+    c.slots
+
+let on_step c (sim : Sched.t) (_ : int) =
+  if c.resumes <> [] then ignore (apply_due c sim (Sched.total_steps sim))
+
+let monitor c =
+  Sched.monitor ~on_event:(on_event c) ~on_access:(on_access c)
+    ~on_step:(on_step c) ()
+
+let unstick c sim =
+  let progressed = ref false in
+  let rec go () =
+    if Array.length (Sched.enabled sim) = 0 && c.resumes <> [] then begin
+      (* fast-forward: nothing can step, so jump the clock to the next
+         due batch (all resumes sharing the earliest due step) *)
+      let due = match c.resumes with (d, _) :: _ -> d | [] -> assert false in
+      if apply_due c sim due then progressed := true;
+      go ()
+    end
+  in
+  go ();
+  !progressed
+
+let run ?(max_steps = 1_000_000) c sim strat =
+  let truncated = ref false in
+  let stop = ref false in
+  while not !stop do
+    let en = Sched.enabled sim in
+    let en = if Array.length en = 0 && unstick c sim then Sched.enabled sim else en in
+    if Array.length en = 0 then stop := true
+    else if Sched.total_steps sim >= max_steps then begin
+      truncated := true;
+      stop := true
+    end
+    else Sched.step sim (strat sim en)
+  done;
+  {
+    Sched.completed = Array.init (Sched.n_procs sim) (Sched.finished sim);
+    steps = Array.init (Sched.n_procs sim) (Sched.steps_of sim);
+    total = Sched.total_steps sim;
+    truncated = !truncated;
+  }
+
+(* ----- random plans ----- *)
+
+let gen rng ~nprocs ?(tags = []) ?(max_access = 32) () =
+  if nprocs <= 1 then []
+  else begin
+    let n_faults = Rng.int rng nprocs (* 0 .. nprocs-1: one proc always clean *) in
+    let order = Array.init nprocs Fun.id in
+    Rng.shuffle rng order;
+    List.init n_faults (fun j ->
+        let victim = order.(j) in
+        let trigger =
+          match Rng.int rng (if tags = [] then 2 else 3) with
+          | 0 -> At_access (Rng.int rng (max_access + 1))
+          | 1 -> On_acquire (1 + Rng.int rng 3)
+          | _ ->
+              let tag = List.nth tags (Rng.int rng (List.length tags)) in
+              On_note { tag; value = None; occurrence = 1 + Rng.int rng 3 }
+        in
+        let action =
+          match Rng.int rng 4 with
+          | 0 -> Stall (1 + Rng.int rng 24)
+          | 1 -> Slow (1 + Rng.int rng 6)
+          | _ -> Park  (* weighted: half the faults are parks *)
+        in
+        { victim; trigger; action })
+  end

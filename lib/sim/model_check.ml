@@ -38,6 +38,44 @@ let with_sim cfg f =
       Sched.abort t;
       raise e
 
+(* Fault-plan support: a fresh controller per (re-)execution, its
+   monitor sequenced after the user's.  A parked process is a frozen
+   transition — it simply never appears in [Sched.enabled] — and
+   because fault triggers are self-conditions (Faults doc), freezing
+   commutes with reordering other processes' independent steps, keeping
+   park-only plans sound under POR and state caching.  Timed
+   stalls/slow-lanes depend on the global clock and are not; [check]
+   falls back to unreduced search for those. *)
+let seq_monitor a b =
+  {
+    Sched.on_event =
+      (fun t i e ->
+        a.Sched.on_event t i e;
+        b.Sched.on_event t i e);
+    on_access =
+      (fun t i x ->
+        a.Sched.on_access t i x;
+        b.Sched.on_access t i x);
+    on_step =
+      (fun t i ->
+        a.Sched.on_step t i;
+        b.Sched.on_step t i);
+  }
+
+let mk_controller faults =
+  match faults with
+  | None | Some [] -> None
+  | Some plan -> Some (Faults.controller plan)
+
+let unstick_opt ctrl t =
+  match ctrl with Some c -> ignore (Faults.unstick c t) | None -> ()
+
+(* At the end of a faulty run, parked processes are still suspended;
+   unwind them so their fibers are not abandoned (the same leak the
+   early-exit paths guard against). *)
+let settle_opt ctrl t =
+  match ctrl with Some _ -> Sched.abort t | None -> ()
+
 (* Signature of an *executed* step: which process, which register, how
    it was accessed, and whether the step's local run emitted events.
    Two executed steps are dependent when they belong to the same
@@ -71,7 +109,15 @@ let dummy_frame = { f_en = [||]; f_cands = []; f_cur = None; f_done = []; f_slee
 
 let sleep_mask sleep = List.fold_left (fun m s -> m lor (1 lsl s.sproc)) 0 sleep
 
-let check ?(options = default_options) builder =
+let check ?(options = default_options) ?faults builder =
+  let options =
+    (* timed faults (stall/slow) are clocked by the global step count,
+       which does not commute with reordering — drop both reductions *)
+    match faults with
+    | Some plan when plan <> [] && not (Faults.por_safe plan) ->
+        { options with por = false; cache_bound = 0 }
+    | _ -> options
+  in
   let { por; cache_bound; max_steps; max_paths } = options in
   let t0 = Sys.time () in
   (* fingerprint -> (sleep mask, remaining budget) of previous visits *)
@@ -114,8 +160,12 @@ let check ?(options = default_options) builder =
           backtrack ()
     end
   in
-  (* Execute the head candidate of [f] and record its signature. *)
-  let exec_head t f emitted taken =
+  (* Execute the head candidate of [f] and record its signature.  With
+     a fault plan, first re-apply any deadlock fast-forward the original
+     execution performed at this point (deterministic, so the replayed
+     prefix stays aligned). *)
+  let exec_head t ctrl f emitted taken =
+    unstick_opt ctrl t;
     let j = List.hd f.f_cands in
     let i = f.f_en.(j) in
     let s = Sched.pending_access t i in
@@ -131,7 +181,12 @@ let check ?(options = default_options) builder =
     let cfg = builder () in
     let tracker = State_hash.create cfg.layout ~nprocs:(Array.length cfg.procs) in
     let emitted = ref false in
-    let user = cfg.monitor in
+    let ctrl = mk_controller faults in
+    let user =
+      match ctrl with
+      | Some c -> seq_monitor cfg.monitor (Faults.monitor c)
+      | None -> cfg.monitor
+    in
     let monitor =
       {
         Sched.on_event =
@@ -150,12 +205,21 @@ let check ?(options = default_options) builder =
     try
       with_sim { cfg with monitor } (fun t ->
           for d = 0 to !len - 1 do
-            exec_head t !stk.(d) emitted taken
+            exec_head t ctrl !stk.(d) emitted taken
           done;
           let stop = ref false in
           while not !stop do
             let en = Sched.enabled t in
-            if Array.length en = 0 then stop := true
+            let en =
+              match ctrl with
+              | Some c when Array.length en = 0 && Faults.unstick c t ->
+                  Sched.enabled t
+              | _ -> en
+            in
+            if Array.length en = 0 then begin
+              settle_opt ctrl t;
+              stop := true
+            end
             else if Sched.total_steps t >= max_steps then begin
               incr truncated;
               Sched.abort t;
@@ -217,7 +281,7 @@ let check ?(options = default_options) builder =
                       { f_en = en; f_cands = cands; f_cur = None; f_done = []; f_sleep = sleep }
                     in
                     push f;
-                    exec_head t f emitted taken
+                    exec_head t ctrl f emitted taken
               end
             end
           done;
@@ -266,16 +330,28 @@ let report_json ?(label = "modelcheck") r =
     s.states s.cache_hits s.pruned_by_sleep s.pruned_by_cache s.max_depth
     s.truncated_paths s.elapsed_s per_sec
 
-let explore ?(max_steps = 10_000) ?(max_paths = 2_000_000) builder =
-  (check ~options:{ por = false; cache_bound = 0; max_steps; max_paths } builder)
+let explore ?(max_steps = 10_000) ?(max_paths = 2_000_000) ?faults builder =
+  (check ~options:{ por = false; cache_bound = 0; max_steps; max_paths } ?faults builder)
     .outcome
 
-let sample ?(max_steps = 100_000) ~seeds builder =
+(* Attach a fresh fault controller to a config (shared by the seeded
+   sampler and the replayer, so a schedule found by one replays
+   identically under the other). *)
+let faulty_config ?faults cfg =
+  let ctrl = mk_controller faults in
+  let cfg =
+    match ctrl with
+    | Some c -> { cfg with monitor = seq_monitor cfg.monitor (Faults.monitor c) }
+    | None -> cfg
+  in
+  (cfg, ctrl)
+
+let sample ?(max_steps = 100_000) ?faults ~seeds builder =
   (* Draws the same random choices as [Sched.run t (Sched.random rng)]
      (one [Rng.int] per step, same loop order), but records them so a
      violating run comes back with a replayable schedule. *)
   let run_seed seed =
-    let cfg = builder () in
+    let cfg, ctrl = faulty_config ?faults (builder ()) in
     let taken = ref [] in
     try
       with_sim cfg (fun t ->
@@ -283,7 +359,16 @@ let sample ?(max_steps = 100_000) ~seeds builder =
           let stop = ref false in
           while not !stop do
             let en = Sched.enabled t in
-            if Array.length en = 0 then stop := true
+            let en =
+              match ctrl with
+              | Some c when Array.length en = 0 && Faults.unstick c t ->
+                  Sched.enabled t
+              | _ -> en
+            in
+            if Array.length en = 0 then begin
+              settle_opt ctrl t;
+              stop := true
+            end
             else if Sched.total_steps t >= max_steps then begin
               Sched.abort t;
               stop := true
@@ -311,8 +396,8 @@ let sample ?(max_steps = 100_000) ~seeds builder =
   in
   loop 0 seeds
 
-let replay ?(max_steps = 10_000) builder schedule =
-  let cfg = builder () in
+let replay ?(max_steps = 10_000) ?faults builder schedule =
+  let cfg, ctrl = faulty_config ?faults (builder ()) in
   let taken = ref [] in
   try
     with_sim cfg (fun t ->
@@ -320,7 +405,16 @@ let replay ?(max_steps = 10_000) builder schedule =
         let stop = ref false in
         while not !stop do
           let en = Sched.enabled t in
-          if Array.length en = 0 then stop := true
+          let en =
+            match ctrl with
+            | Some c when Array.length en = 0 && Faults.unstick c t ->
+                Sched.enabled t
+            | _ -> en
+          in
+          if Array.length en = 0 then begin
+            settle_opt ctrl t;
+            stop := true
+          end
           else if Sched.total_steps t >= max_steps then begin
             Sched.abort t;
             stop := true
@@ -333,6 +427,10 @@ let replay ?(max_steps = 10_000) builder schedule =
                   c
               | [] -> 0
             in
+            (* mangled schedules (e.g. [minimize] candidates) may carry
+               choices past the enabled count; normalise instead of
+               crashing so delta-debugging stays total *)
+            let c = if c >= 0 && c < Array.length en then c else 0 in
             taken := c :: !taken;
             Sched.step t en.(c)
           end
@@ -340,13 +438,71 @@ let replay ?(max_steps = 10_000) builder schedule =
     Ok ()
   with Violation message -> Error { message; schedule = List.rev !taken }
 
-let shortest_violation ?(max_steps = 200) ?(max_paths_per_depth = 500_000) builder =
+let shortest_violation ?(max_steps = 200) ?(max_paths_per_depth = 500_000) ?faults builder =
   let rec deepen d =
     if d > max_steps then None
     else
-      let r = explore ~max_steps:d ~max_paths:max_paths_per_depth builder in
+      let r = explore ~max_steps:d ~max_paths:max_paths_per_depth ?faults builder in
       match r.violation with
       | Some v -> Some v
       | None -> if r.complete then deepen (d + 1) else None
   in
   deepen 1
+
+let minimize ?(max_steps = 100_000) ?faults builder schedule =
+  (* Greedy delta-debugging against [replay]: drop chunks (halving the
+     chunk size), then lower surviving choices towards 0 — smaller
+     indices mean "earlier in the enabled array", normalising the
+     witness.  Every candidate is validated by a full deterministic
+     replay, so the result is guaranteed to still violate. *)
+  let violates sched =
+    match replay ~max_steps ?faults builder sched with
+    | Error v -> Some v
+    | Ok () -> None
+  in
+  match violates schedule with
+  | None -> None
+  | Some v0 ->
+      let best = ref schedule and best_v = ref v0 in
+      (* delete chunks until no deletion of any size helps *)
+      let rec delete_pass () =
+        let improved = ref false in
+        let chunk = ref (max 1 (List.length !best / 2)) in
+        while !chunk >= 1 do
+          let arr = Array.of_list !best in
+          let len = Array.length arr in
+          let pos = ref 0 in
+          while !pos < len do
+            let hi = min len (!pos + !chunk) in
+            let cand =
+              Array.to_list
+                (Array.append (Array.sub arr 0 !pos) (Array.sub arr hi (len - hi)))
+            in
+            (match violates cand with
+            | Some v ->
+                best := cand;
+                best_v := v;
+                improved := true;
+                pos := len (* [arr] is stale; retry this size afresh *)
+            | None -> pos := hi)
+          done;
+          chunk := if !chunk = 1 then 0 else !chunk / 2
+        done;
+        if !improved then delete_pass ()
+      in
+      delete_pass ();
+      let arr = Array.of_list !best in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            let cand = Array.copy arr in
+            cand.(i) <- 0;
+            match violates (Array.to_list cand) with
+            | Some v ->
+                arr.(i) <- 0;
+                best := Array.to_list arr;
+                best_v := v
+            | None -> ()
+          end)
+        arr;
+      Some { !best_v with schedule = !best }

@@ -43,9 +43,24 @@
     verdict.
 
     The engine assumes {!Sched.pause} is not used while checking
-    (pausing changes enabledness in ways the independence relation does
-    not see) and that process bodies' cleanup handlers do not perform
-    shared accesses after an abort. *)
+    {e except} through a [?faults] plan passed to the entry points
+    below, and that process bodies' cleanup handlers do not perform
+    shared accesses after an abort.
+
+    {b Fault plans.}  Every entry point takes [?faults:Faults.plan];
+    the checker creates a fresh {!Faults} controller per (re-)execution
+    and sequences its monitor after the configuration's own.  Park-only
+    plans ({!Faults.por_safe}) keep both reductions sound: whether a
+    victim is frozen depends only on its own history, which is part of
+    the {!State_hash} fingerprint and commutes with reordering
+    independent steps of other processes.  Timed actions ([Stall],
+    [Slow]) depend on the global step clock, so {!check} silently falls
+    back to [por = false], [cache_bound = 0] for such plans.  When every
+    unfinished process is frozen, pending timed resumes are
+    fast-forwarded ({!Faults.unstick}) — deterministically, so replayed
+    prefixes stay aligned; permanently parked processes are unwound via
+    {!Sched.abort} at the end of each path, never reported as
+    incomplete. *)
 
 exception Violation of string
 (** Raised by monitors to signal an invariant violation; the checker
@@ -103,10 +118,11 @@ type stats = {
 
 type report = { outcome : result; stats : stats }
 
-val check : ?options:options -> builder -> report
+val check : ?options:options -> ?faults:Faults.plan -> builder -> report
 (** Depth-first exploration with the selected reductions.  With
     [por = false] and [cache_bound = 0] this is exactly {!explore}
-    (same DFS order, same path count, same verdict). *)
+    (same DFS order, same path count, same verdict).  A non-park-only
+    [faults] plan forces both reductions off (see the module preamble). *)
 
 val report_json : ?label:string -> report -> string
 (** One machine-readable JSON line summarising a report (paths, states,
@@ -114,28 +130,55 @@ val report_json : ?label:string -> report -> string
 
 (** {1 Classic interface} *)
 
-val explore : ?max_steps:int -> ?max_paths:int -> builder -> result
+val explore :
+  ?max_steps:int -> ?max_paths:int -> ?faults:Faults.plan -> builder -> result
 (** Plain depth-first exhaustive exploration — {!check} with both
     reductions off.  [max_steps] (default [10_000]) truncates each path
     (invariants are still checked along truncated paths); [max_paths]
     (default [2_000_000]) bounds the search. *)
 
-val sample : ?max_steps:int -> seeds:int list -> builder -> result
+val sample :
+  ?max_steps:int -> ?faults:Faults.plan -> seeds:int list -> builder -> result
 (** One seeded-random schedule per seed; [paths] counts runs,
     including the violating run if any.  A reported violation carries
-    the actual schedule taken (replayable via {!replay}); its message
-    is prefixed with ["[seed N] "]. *)
+    the actual schedule taken (replayable via {!replay} with the same
+    [faults] plan); its message is prefixed with ["[seed N] "].
 
-val replay : ?max_steps:int -> builder -> int list -> (unit, violation) Result.t
+    {b Seed contract}: for a fixed builder and plan, the schedule taken
+    for seed [s] is a pure function of [s] — each scheduling decision
+    draws exactly one [Rng.int rng (Array.length enabled)] from
+    [Rng.create s], in execution order (see rng.mli). *)
+
+val replay :
+  ?max_steps:int ->
+  ?faults:Faults.plan ->
+  builder ->
+  int list ->
+  (unit, violation) Result.t
 (** Re-run a single schedule (as reported in {!violation.schedule});
     once the schedule is exhausted, the first enabled process is
-    stepped until completion or [max_steps]. *)
+    stepped until completion or [max_steps].  Pass the same [faults]
+    plan that produced the schedule, or the replay diverges. *)
 
 val shortest_violation :
-  ?max_steps:int -> ?max_paths_per_depth:int -> builder -> violation option
+  ?max_steps:int ->
+  ?max_paths_per_depth:int ->
+  ?faults:Faults.plan ->
+  builder ->
+  violation option
 (** Iterative-deepening search for a minimal-length counterexample:
     explores all schedules of length [d] for growing [d] (up to
     [max_steps], default [200]) and returns the first violation found
     at the smallest depth.  Much shorter counterexamples than
     {!explore}'s depth-first order, at the price of re-exploration;
     meant for debugging small configurations. *)
+
+val minimize :
+  ?max_steps:int -> ?faults:Faults.plan -> builder -> int list -> violation option
+(** Greedy delta-debugging of a violating schedule: repeatedly delete
+    chunks (halving the chunk size) and lower surviving choices towards
+    [0], keeping a candidate only if a full {!replay} (under the same
+    [faults] plan) still violates.  Returns [None] if the input
+    schedule does not violate to begin with.  The result replays
+    deterministically and is usually far shorter than what {!sample}
+    reports — the printable witness for a bug report. *)

@@ -22,6 +22,17 @@ let bursty ~cycles ~seed =
   in
   { cycles; hold = (fun i -> mix i 1 mod 8); delay = (fun i -> mix i 2 mod 16) }
 
+let slow_lane ?(lag = 6) ~cycles () =
+  { cycles; hold = (fun _ -> lag); delay = (fun _ -> lag) }
+
+let burst ~cycles ~burst_len ~pause =
+  if burst_len < 1 then invalid_arg "Workload.burst: burst_len < 1";
+  {
+    cycles;
+    hold = (fun _ -> 1);
+    delay = (fun i -> if i > 0 && i mod burst_len = 0 then pause else 0);
+  }
+
 let idle (ops : Shared_mem.Store.ops) ~work n =
   for _ = 1 to n do
     ignore (ops.read work)

@@ -29,6 +29,23 @@ val bursty : cycles:int -> seed:int -> spec
 (** Random holds (0–7) and random delays (0–15) from a seeded
     generator — models irregular request patterns. *)
 
+(** {2 Fault-plan shapes}
+
+    Deterministic workload counterparts of the {!Sim.Faults} actions:
+    where a fault plan makes the {e scheduler} adversarial, these make
+    the {e request pattern} adversarial, so the two compose (a slow-lane
+    workload under a park plan is the paper's worst long-lived regime). *)
+
+val slow_lane : ?lag:int -> cycles:int -> unit -> spec
+(** Every cycle holds the name for [lag] steps (default 6) and idles
+    [lag] steps before re-acquiring — the slow-lane process of a
+    [Slow] fault, as a workload. *)
+
+val burst : cycles:int -> burst_len:int -> pause:int -> spec
+(** Back-to-back cycles in bursts of [burst_len] releases/re-acquires,
+    idling [pause] steps between bursts — the burst release/re-acquire
+    regime of a [Stall]-on-[Acquired] fault. *)
+
 val body :
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->

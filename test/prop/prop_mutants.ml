@@ -1,0 +1,45 @@
+(* Discrimination, property-style: for every mutant the *negated*
+   property "this mutant survives generated fault campaigns" is handed
+   to QCheck2, and the test passes only when QCheck finds a
+   counterexample (Test_fail) — i.e. when some generated (plan,
+   schedule) pair kills the mutant.  A mutant that survives the whole
+   property run means the fault layer cannot discriminate it from a
+   correct protocol, which is exactly the failure this suite exists to
+   catch.  The QCheck random state is pinned, so runs are
+   reproducible. *)
+
+module F = Sim.Faults
+
+let mutants () =
+  List.filter (fun (tg : Campaign.target) -> not tg.correct) (Campaign.targets ())
+
+let negated_case (tg : Campaign.target) =
+  let survives =
+    QCheck2.Test.make ~count:80 ~name:(tg.name ^ " survives")
+      QCheck2.Gen.(int_bound 10_000_000)
+      (fun seed ->
+        (* same shape as the campaign matrix: one generated plan, then
+           sched_per_plan derived schedule seeds *)
+        let plan =
+          F.gen
+            (Sim.Rng.make (seed lxor 0x0F_AC_ED))
+            ~nprocs:tg.nprocs ~tags:tg.tags ~max_access:tg.max_access ()
+        in
+        List.for_all
+          (fun j -> Campaign.run_once tg plan ~sched_seed:(seed + (j * 31)) = None)
+          (List.init tg.sched_per_plan Fun.id))
+  in
+  Alcotest.test_case tg.name `Slow (fun () ->
+      match
+        QCheck2.Test.check_exn ~rand:(Random.State.make [| 0xD15C; 0x4A11 |]) survives
+      with
+      | () ->
+          Alcotest.failf
+            "%s survived 80 generated fault campaigns — the fault layer no longer \
+             discriminates this mutant"
+            tg.name
+      | exception QCheck2.Test.Test_fail (_, _) -> ())
+
+let () =
+  Alcotest.run "prop_mutants"
+    [ ("every mutant must die", List.map negated_case (mutants ())) ]

@@ -1,0 +1,44 @@
+(* Paper invariants as properties: no correct protocol harness may be
+   hurt by any generated (fault plan, schedule) pair.  Fault plans are
+   pure scheduling restrictions, so safety (unique names, splitter
+   occupancy, mutex exclusion, access bounds) and wait-freedom of the
+   non-faulty processes must hold for every plan — these properties are
+   the implementation-side mirror of Theorems 5 and 10. *)
+
+module F = Sim.Faults
+
+let prop_target_survives ?(count = 120) name =
+  let tg =
+    match Campaign.find name with
+    | Some tg -> tg
+    | None -> Alcotest.failf "unknown campaign target %s" name
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name:(name ^ " survives generated fault campaigns")
+       QCheck2.Gen.(pair (int_bound 10_000_000) (int_bound 1_000_000))
+       (fun (plan_seed, sched_seed) ->
+         let plan =
+           F.gen
+             (Sim.Rng.make plan_seed)
+             ~nprocs:tg.Campaign.nprocs ~tags:tg.Campaign.tags
+             ~max_access:tg.Campaign.max_access ()
+         in
+         match Campaign.run_once tg plan ~sched_seed with
+         | None -> true
+         | Some (msg, _) ->
+             QCheck2.Test.fail_reportf "%s violated under %s (sched_seed %d): %s" name
+               (F.to_string plan) sched_seed msg))
+
+let () =
+  Alcotest.run "prop_protocols"
+    [
+      ( "correct targets",
+        [
+          prop_target_survives "splitter";
+          prop_target_survives "split";
+          prop_target_survives "pf_mutex";
+          prop_target_survives "ma";
+          prop_target_survives ~count:60 "filter";
+          prop_target_survives ~count:40 "pipeline";
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Property layer for the splitter: structurally generated fault plans
+   (QCheck2's integrated shrinking shrinks the plan itself, not just a
+   seed) against the campaign's splitter harness, plus the shrinking
+   pipeline end-to-end on a splitter mutant — the minimal violating
+   schedule is replayed under a Trace and printed, which is exactly the
+   artifact a bug report wants. *)
+
+module F = Sim.Faults
+module MC = Sim.Model_check
+module Gen = QCheck2.Gen
+
+(* ----- structural plan generator ----- *)
+
+let gen_trigger tags =
+  Gen.oneof
+    [
+      Gen.map (fun n -> F.At_access n) (Gen.int_bound 40);
+      Gen.map2
+        (fun tag occ -> F.On_note { tag; value = None; occurrence = occ + 1 })
+        (Gen.oneofl tags) (Gen.int_bound 3);
+      Gen.map (fun n -> F.On_acquire (n + 1)) (Gen.int_bound 3);
+    ]
+
+let gen_action =
+  Gen.oneof
+    [
+      Gen.return F.Park;
+      Gen.map (fun n -> F.Stall (n + 1)) (Gen.int_bound 60);
+      Gen.map (fun n -> F.Slow (n + 1)) (Gen.int_bound 6);
+    ]
+
+let gen_fault ~nprocs tags =
+  Gen.map3
+    (fun victim trigger action -> { F.victim; trigger; action })
+    (Gen.int_bound (nprocs - 1))
+    (gen_trigger tags) gen_action
+
+(* Raw generated plans may repeat victims or cover every process;
+   [sanitize] keeps the first fault per victim and always leaves at
+   least one process fault-free, preserving the campaign's invariants
+   under shrinking. *)
+let sanitize ~nprocs plan =
+  let seen = Hashtbl.create 8 in
+  let plan =
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f.F.victim then false
+        else begin
+          Hashtbl.add seen f.F.victim ();
+          true
+        end)
+      plan
+  in
+  if List.length plan >= nprocs then List.tl plan else plan
+
+let gen_plan ~nprocs tags =
+  Gen.map (sanitize ~nprocs) (Gen.list_size (Gen.int_bound nprocs) (gen_fault ~nprocs tags))
+
+(* ----- the correct splitter survives every generated adversity ----- *)
+
+let splitter = Option.get (Campaign.find "splitter")
+let mutant = Option.get (Campaign.find "mutant:splitter-no-interference")
+
+let prop_splitter_survives =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"correct splitter survives random plans"
+       Gen.(
+         pair
+           (gen_plan ~nprocs:splitter.Campaign.nprocs splitter.Campaign.tags)
+           (int_bound 1_000_000))
+       (fun (plan, sched_seed) ->
+         match Campaign.run_once splitter plan ~sched_seed with
+         | None -> true
+         | Some (msg, _) ->
+             QCheck2.Test.fail_reportf "splitter violated under %s: %s"
+               (F.to_string plan) msg))
+
+(* Plans are also exercised through the model checker: park-only plans
+   keep the reductions on, and bounded exhaustive search over the
+   splitter harness must stay clean for any single parked victim.  An
+   early park prunes the space to something small; a trigger that never
+   fires degenerates to the full 3-process search, so the path budget
+   caps the cost while still exploring tens of thousands of
+   interleavings per case. *)
+let prop_splitter_checked_parked =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:12 ~name:"splitter exhaustive under single park"
+       Gen.(pair (int_bound (splitter.Campaign.nprocs - 1)) (int_bound 8))
+       (fun (victim, acc) ->
+         let faults = [ { F.victim; trigger = F.At_access acc; action = F.Park } ] in
+         let options = { MC.default_options with max_paths = 20_000 } in
+         let r = MC.check ~options ~faults splitter.Campaign.builder in
+         match r.outcome.violation with
+         | None -> true
+         | Some v ->
+             QCheck2.Test.fail_reportf "splitter violated (park@p%d:acc%d): %s" victim acc
+               v.message))
+
+(* ----- shrinking end-to-end on a mutant ----- *)
+
+let test_shrink_and_print_trace () =
+  let tg = mutant in
+  let o = Campaign.run_target tg in
+  match o.finding with
+  | None -> Alcotest.fail "splitter mutant survived the matrix"
+  | Some f -> (
+      match Campaign.shrink tg f with
+      | None -> Alcotest.fail "kill did not shrink"
+      | Some m ->
+          Alcotest.(check bool) "shrunk schedule is no longer" true
+            (List.length m.schedule <= List.length f.schedule);
+          (* replay the minimal schedule under a Trace and print it:
+             the human-readable witness for the violation *)
+          let cfg = tg.builder () in
+          let tr = Sim.Trace.create () in
+          let ctrl = F.controller f.plan in
+          let monitor =
+            Sim.Checks.combine [ cfg.monitor; F.monitor ctrl; Sim.Trace.monitor tr ]
+          in
+          let t = Sim.Sched.create ~monitor cfg.layout cfg.procs in
+          let sched = ref m.schedule in
+          let strat : Sim.Sched.strategy =
+           fun _ en ->
+            match !sched with
+            | c :: rest ->
+                sched := rest;
+                en.(if c >= 0 && c < Array.length en then c else 0)
+            | [] -> en.(0)
+          in
+          let message =
+            match F.run ctrl t strat with
+            | (_ : Sim.Sched.outcome) -> None
+            | exception MC.Violation msg -> Some msg
+          in
+          Sim.Sched.abort t;
+          (match message with
+          | None -> Alcotest.fail "minimal schedule no longer violates under trace"
+          | Some msg ->
+              Fmt.pr "@.minimal counterexample for %s@." tg.name;
+              Fmt.pr "  plan      %s@." (F.to_string f.plan);
+              Fmt.pr "  schedule  [%s]@."
+                (String.concat ";" (List.map string_of_int m.schedule));
+              Fmt.pr "  violation %s@." msg;
+              Fmt.pr "  trace:@.%a@."
+                (Fmt.list ~sep:Fmt.cut (fun ppf it -> Fmt.pf ppf "    %a" Sim.Trace.pp_item it))
+                (Sim.Trace.items tr));
+          (* and the printed recipe must replay deterministically *)
+          match Campaign.replay tg f.plan m.schedule with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "printed recipe does not replay")
+
+let () =
+  Alcotest.run "prop_splitter"
+    [
+      ( "splitter",
+        [
+          prop_splitter_survives;
+          prop_splitter_checked_parked;
+          Alcotest.test_case "mutant kill shrinks, trace printed" `Slow
+            test_shrink_and_print_trace;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* The discrimination matrix: every mutant must be killed by the fixed
+   seed matrix, every correct protocol must survive it, and findings
+   must shrink to schedules that replay deterministically. *)
+
+let test_matrix_discriminates () =
+  let outcomes = Campaign.run_all () in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      match (o.correct, o.finding) with
+      | true, Some f ->
+          Alcotest.failf "correct target %s violated under %s (seed %d): %s" o.target
+            (Sim.Faults.to_string f.plan) f.seed f.message
+      | false, None ->
+          Alcotest.failf "mutant %s survived the whole matrix (%d runs)" o.target o.runs
+      | true, None | false, Some _ -> ())
+    outcomes;
+  Alcotest.(check bool) "ok agrees" true (Campaign.ok outcomes);
+  (* the matrix covers every registered target *)
+  Alcotest.(check int) "all targets ran" (List.length (Campaign.targets ()))
+    (List.length outcomes)
+
+let test_targets_well_formed () =
+  List.iter
+    (fun (tg : Campaign.target) ->
+      Alcotest.(check bool) (tg.name ^ " nprocs") true (tg.nprocs >= 2);
+      Alcotest.(check bool) (tg.name ^ " sched_per_plan") true (tg.sched_per_plan >= 1);
+      let prefix_is_mutant =
+        String.length tg.name >= 7 && String.sub tg.name 0 7 = "mutant:"
+      in
+      Alcotest.(check bool)
+        (tg.name ^ " naming convention")
+        tg.correct (not prefix_is_mutant))
+    (Campaign.targets ())
+
+let test_find () =
+  Alcotest.(check bool) "finds splitter" true (Campaign.find "splitter" <> None);
+  Alcotest.(check bool) "finds mutant" true (Campaign.find "mutant:ma-costly" <> None);
+  Alcotest.(check bool) "rejects junk" true (Campaign.find "no-such-target" = None)
+
+(* A kill of a specific mutant, end to end: find it, shrink it, replay
+   the shrunk schedule twice and demand identical messages. *)
+let test_shrink_replays () =
+  let tg = Option.get (Campaign.find "mutant:mutex-turn-lost") in
+  let o = Campaign.run_target tg in
+  match o.finding with
+  | None -> Alcotest.fail "mutex-turn-lost was not killed"
+  | Some f -> (
+      match Campaign.shrink tg f with
+      | None ->
+          (* wait-freedom timeouts have no replayable schedule; this
+             mutant's kill is a monitor violation, so shrink must work *)
+          Alcotest.fail "finding did not shrink"
+      | Some m ->
+          Alcotest.(check bool) "no longer than the original" true
+            (List.length m.schedule <= List.length f.schedule);
+          let replay () = Campaign.replay tg f.plan m.schedule in
+          (match (replay (), replay ()) with
+          | Error a, Error b ->
+              Alcotest.(check string) "deterministic replay" a.message b.message;
+              Alcotest.(check string) "same verdict as the shrunk run" m.message a.message
+          | _ -> Alcotest.fail "shrunk schedule stopped violating"))
+
+let test_determinism () =
+  (* the whole matrix is a pure function of the seed list *)
+  let seeds = [ 0xFA17; 0xFA17 + 104729 ] in
+  let render os =
+    String.concat "\n" (List.map (fun o -> Format.asprintf "%a" Campaign.pp_outcome o) os)
+  in
+  let a = render (Campaign.run_all ~seeds ()) in
+  let b = render (Campaign.run_all ~seeds ()) in
+  Alcotest.(check string) "identical campaign output" a b
+
+let test_report_json_shape () =
+  let seeds = [ 0xFA17 ] in
+  let os = Campaign.run_all ~seeds () in
+  let json = Campaign.report_json ~seeds os in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("report contains " ^ needle) true (go 0)
+  in
+  contains "renaming.faults/v1";
+  contains "\"splitter\"";
+  contains "\"mutant:ma-costly\""
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "targets well-formed" `Quick test_targets_well_formed;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "report json" `Quick test_report_json_shape;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "discriminates" `Slow test_matrix_discriminates;
+          Alcotest.test_case "deterministic" `Slow test_determinism;
+          Alcotest.test_case "shrink + replay" `Slow test_shrink_replays;
+        ] );
+    ]

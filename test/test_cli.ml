@@ -1,0 +1,102 @@
+(* End-to-end exit-code and diagnostic checks on the built CLI.
+   dune runs tests from _build/default/test, and test/dune declares
+   ../bin/main.exe as a dependency, so the binary is always fresh. *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "main.exe")
+
+(* Run a command with stdout/stderr captured; return (exit code, output).
+   Sys.command goes through sh, so plain redirection syntax works. *)
+let run args =
+  let out = Filename.temp_file "renaming_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out)) in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains what output needle =
+  if not (contains output needle) then
+    Alcotest.failf "%s: output does not mention %S:\n%s" what needle output
+
+(* ----- observe: the failure path must actually fail ----- *)
+
+let test_observe_ok () =
+  let code, out = run "observe -p ma -k 2 -s 8 -c 3" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "observe" out "OK"
+
+let test_observe_mutant_fails () =
+  (* the seeded cost mutant exceeds the Moir-Anderson access bound;
+     observe must exit nonzero and say which bound broke *)
+  let code, out = run "observe -p ma -k 2 -s 8 -c 3 --mutant" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  check_contains "observe --mutant" out "VIOLATED";
+  check_contains "observe --mutant" out "Moir-Anderson bound"
+
+(* ----- faults: campaign and reproduction modes ----- *)
+
+let test_faults_single_target () =
+  let code, out = run "faults --target mutant:ma-costly --matrix 2" in
+  Alcotest.(check int) "mutant killed => exit 0" 0 code;
+  check_contains "faults" out "killed"
+
+let test_faults_correct_target () =
+  let code, out = run "faults --target splitter --matrix 2" in
+  Alcotest.(check int) "correct target clean => exit 0" 0 code;
+  check_contains "faults" out "clean"
+
+let test_faults_json () =
+  let code, out = run "faults --target mutant:ma-costly --matrix 1 --json" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "faults --json" out "renaming.faults/v1"
+
+let test_faults_reproduction () =
+  (* reproduce a known kill: parking the holder breaks the turn-lost
+     mutex mutant (found by the campaign, pinned here) *)
+  let code, out =
+    run "faults --target mutant:mutex-turn-lost --plan 'park@p0:acquire' --seed 64085"
+  in
+  Alcotest.(check int) "violation => exit 1" 1 code;
+  check_contains "faults repro" out "VIOLATION";
+  check_contains "faults repro" out "park@p0:acquire"
+
+let test_faults_repro_clean () =
+  (* the same plan cannot hurt the correct mutex *)
+  let code, out = run "faults --target pf_mutex --plan 'park@p0:acquire' --seed 64085" in
+  Alcotest.(check int) "no violation => exit 0" 0 code;
+  check_contains "faults repro" out "survived"
+
+let test_faults_bad_plan () =
+  let code, _ = run "faults --target splitter --plan 'warp@p0:acc1'" in
+  Alcotest.(check int) "unparsable plan => exit 2" 2 code
+
+let test_faults_unknown_target () =
+  let code, _ = run "faults --target no-such --plan 'park@p0:acc1'" in
+  Alcotest.(check int) "unknown target => exit 2" 2 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "observe",
+        [
+          Alcotest.test_case "correct run exits 0" `Quick test_observe_ok;
+          Alcotest.test_case "mutant bound violation exits nonzero" `Quick
+            test_observe_mutant_fails;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "mutant target" `Quick test_faults_single_target;
+          Alcotest.test_case "correct target" `Quick test_faults_correct_target;
+          Alcotest.test_case "json report" `Quick test_faults_json;
+          Alcotest.test_case "reproduction violates" `Quick test_faults_reproduction;
+          Alcotest.test_case "reproduction clean" `Quick test_faults_repro_clean;
+          Alcotest.test_case "bad plan" `Quick test_faults_bad_plan;
+          Alcotest.test_case "unknown target" `Quick test_faults_unknown_target;
+        ] );
+    ]

@@ -224,6 +224,52 @@ let test_pipeline_uniqueness_k6 () =
       Alcotest.(check bool) "names within 21" true (Sim.Checks.max_name u < 21))
     (Test_util.seeds 8)
 
+(* Wait-freedom regression under adversarial parking: a full SPLIT →
+   FILTER → MA pipeline (k = 6 is the smallest k with a FILTER stage)
+   at maximum contention, with five of the six processes parked at
+   staggered depths — one splitter visit (7 accesses) apart, i.e. one
+   process frozen inside each successive level of the SPLIT tree.  The
+   lone unparked process must still finish every cycle, and uniqueness
+   must hold even though parked processes sit on names forever. *)
+let test_parked_per_tree_level () =
+  let k = 6 and s = 1_000_000 and cycles = 2 in
+  let plan =
+    List.init (k - 1) (fun j ->
+        {
+          Sim.Faults.victim = j + 1;
+          trigger = Sim.Faults.At_access (7 * (j + 1));
+          action = Sim.Faults.Park;
+        })
+  in
+  List.iter
+    (fun seed ->
+      let participants = Array.init k (fun i -> i * (s / k)) in
+      let layout = Layout.create () in
+      let p = Pipeline.create layout ~k ~s ~participants in
+      let work = Layout.alloc layout ~name:"work" 0 in
+      let procs =
+        Array.map
+          (fun pid -> (pid, Test_util.protocol_cycles (module Pipeline) p ~work ~cycles))
+          participants
+      in
+      let u = Sim.Checks.uniqueness ~name_space:(Pipeline.name_space p) () in
+      let ctrl = Sim.Faults.controller plan in
+      let monitor =
+        Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; Sim.Faults.monitor ctrl ]
+      in
+      let t = Sim.Sched.create ~monitor layout procs in
+      let outcome =
+        Sim.Faults.run ~max_steps:200_000 ctrl t (Sim.Sched.random (Sim.Rng.make seed))
+      in
+      Sim.Sched.abort t;
+      Alcotest.(check bool) "within the wait-freedom budget" false outcome.truncated;
+      Alcotest.(check bool) "unparked process finished" true outcome.completed.(0);
+      Alcotest.(check int) "all five victims parked" 5
+        (List.length (Sim.Faults.parked ctrl));
+      Alcotest.(check bool) "names stayed in the final space" true
+        (Sim.Checks.max_name u < Pipeline.name_space p))
+    (Test_util.seeds 10)
+
 (* Chain must release innermost-first: the process still holds its
    stage-A name (its identity inside B) while releasing in B.  Witness
    via the execution trace: every access of B's release precedes every
@@ -410,6 +456,8 @@ let () =
           Alcotest.test_case "k=6 includes a filter stage" `Quick
             test_pipeline_with_filter_stage;
           Alcotest.test_case "k=6 uniqueness" `Slow test_pipeline_uniqueness_k6;
+          Alcotest.test_case "parked process per tree level" `Slow
+            test_parked_per_tree_level;
           Alcotest.test_case "S-independence" `Slow test_s_independence;
           Alcotest.test_case "plan mirrors pipeline" `Quick test_plan_mirrors_pipeline;
           Alcotest.test_case "plan bounds measured cost" `Slow test_plan_bounds_measured_cost;

@@ -65,6 +65,68 @@ let test_pipeline_domains () =
   Alcotest.(check int) "no violations" 0 r.violations;
   Array.iter (fun c -> Alcotest.(check int) "all cycles" 100 c) r.cycles_done
 
+(* ----- real-stall fault injection ----- *)
+
+(* One worker parks while *holding a name*: the remaining workers must
+   still finish every cycle on real domains (wait-freedom under genuine
+   preemption), uniqueness must hold throughout, and the parked worker
+   must complete no cycle of its own. *)
+let test_park_holding_domains () =
+  let k = 4 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let pids = Array.init k (fun i -> (i * 99_991) + 3) in
+  let r =
+    Runtime.Domain_runner.run
+      ~faults:[ (1, Runtime.Domain_runner.Park_holding) ]
+      (module Split) sp ~layout ~pids ~cycles:100 ~name_space:(Split.name_space sp)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Alcotest.(check int) "parked worker completed no cycle" 0 r.cycles_done.(1);
+  Array.iteri
+    (fun i c -> if i <> 1 then Alcotest.(check int) "non-faulty all cycles" 100 c)
+    r.cycles_done
+
+let test_stall_and_slow_domains () =
+  let k = 3 and s = 32 in
+  let layout = Layout.create () in
+  let m = Ma.create layout ~k ~s in
+  let pids = Array.init k (fun i -> i * 8) in
+  let r =
+    Runtime.Domain_runner.run
+      ~faults:
+        [
+          (0, Runtime.Domain_runner.Stall_holding { cycle = 10; spins = 50_000 });
+          (2, Runtime.Domain_runner.Slow 500);
+        ]
+      (module Ma) m ~layout ~pids ~cycles:60 ~name_space:(Ma.name_space m)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  (* stalled and slow workers are delayed, not parked: everyone finishes *)
+  Array.iter (fun c -> Alcotest.(check int) "all cycles" 60 c) r.cycles_done
+
+let test_park_two_of_four () =
+  (* two parked holders on the pipeline; the other two still finish *)
+  let k = 4 and s = 50_000 in
+  let participants = Array.init k (fun i -> (i * 12_000) + 5) in
+  let layout = Layout.create () in
+  let p = Pipeline.create layout ~k ~s ~participants in
+  let r =
+    Runtime.Domain_runner.run
+      ~faults:
+        [
+          (1, Runtime.Domain_runner.Park_holding);
+          (3, Runtime.Domain_runner.Park_holding);
+        ]
+      (module Pipeline) p ~layout ~pids:participants ~cycles:80
+      ~name_space:(Pipeline.name_space p)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Alcotest.(check int) "worker 1 parked" 0 r.cycles_done.(1);
+  Alcotest.(check int) "worker 3 parked" 0 r.cycles_done.(3);
+  Alcotest.(check int) "worker 0 finished" 80 r.cycles_done.(0);
+  Alcotest.(check int) "worker 2 finished" 80 r.cycles_done.(2)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -75,5 +137,12 @@ let () =
           Alcotest.test_case "filter across domains" `Slow test_filter_domains;
           Alcotest.test_case "ma across domains" `Slow test_ma_domains;
           Alcotest.test_case "pipeline across domains" `Slow test_pipeline_domains;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "parked holder, others wait-free" `Slow
+            test_park_holding_domains;
+          Alcotest.test_case "stall + slow lane" `Slow test_stall_and_slow_domains;
+          Alcotest.test_case "two parked of four" `Slow test_park_two_of_four;
         ] );
     ]

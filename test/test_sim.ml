@@ -115,6 +115,66 @@ let test_steps_accounting () =
   Alcotest.(check int) "proc 1 steps" 5 o.steps.(1);
   Alcotest.(check int) "total" 8 o.total
 
+(* The seed contract (rng.mli): Sched.run under [random (Rng.make s)]
+   and [Model_check.sample ~seeds:[s]] take the *same* schedule — each
+   scheduling decision draws exactly one [Rng.int rng enabled_count], in
+   execution order.  Pinned with a config whose monitor always raises at
+   a fixed total step count, so sample reports the full schedule it
+   took; a manual run with a recording strategy must reproduce it. *)
+let prop_sample_matches_sched_random =
+  let mk_config () : Sim.Model_check.config =
+    let layout = Layout.create () in
+    let c = Layout.alloc layout ~name:"c" 0 in
+    let body (ops : Store.ops) =
+      for _ = 1 to 5 do
+        let v = ops.read c in
+        ops.write c (v + 1)
+      done
+    in
+    let steps = ref 0 in
+    {
+      layout;
+      procs = [| (0, body); (1, body); (2, body) |];
+      monitor =
+        Sim.Sched.monitor
+          ~on_step:(fun _ _ ->
+            incr steps;
+            if !steps = 25 then raise (Sim.Model_check.Violation "step 25"))
+          ();
+    }
+  in
+  Test_util.qtest ~count:100 "sample takes the same schedule as Sched.random"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let sampled =
+        match (Sim.Model_check.sample ~seeds:[ seed ] mk_config).violation with
+        | Some v -> v.schedule
+        | None -> QCheck2.Test.fail_report "always-violating config did not violate"
+      in
+      let recorded = ref [] in
+      let rng = Sim.Rng.make seed in
+      let recording : Sim.Sched.strategy =
+        fun _ en ->
+         let c = Sim.Rng.int rng (Array.length en) in
+         recorded := c :: !recorded;
+         en.(c)
+      in
+      let cfg = mk_config () in
+      let t = Sim.Sched.create ~monitor:cfg.monitor cfg.layout cfg.procs in
+      (try ignore (Sim.Sched.run t recording)
+       with Sim.Model_check.Violation _ -> ());
+      Sim.Sched.abort t;
+      List.rev !recorded = sampled)
+
+let prop_faults_gen_pure =
+  Test_util.qtest ~count:200 "Faults.gen is a pure function of the seed" QCheck2.Gen.int
+    (fun seed ->
+      let plan () =
+        Sim.Faults.to_string
+          (Sim.Faults.gen (Sim.Rng.make seed) ~nprocs:4 ~tags:[ "cycle"; "in" ] ())
+      in
+      plan () = plan ())
+
 let prop_rng_deterministic =
   Test_util.qtest "rng: equal seeds, equal streams" QCheck2.Gen.int (fun seed ->
       let a = Sim.Rng.make seed and b = Sim.Rng.make seed in
@@ -331,5 +391,7 @@ let () =
           prop_rng_bounds;
           prop_shuffle_permutes;
           prop_replay_deterministic;
+          prop_sample_matches_sched_random;
+          prop_faults_gen_pure;
         ] );
     ]
