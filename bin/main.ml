@@ -9,6 +9,7 @@
      domains     run a protocol across real OS domains
      observe     run instrumented and export the metrics snapshot
      faults      adversarial fault campaigns (discrimination matrix)
+     recover     run under the crash-recovery wrapper (leases, reclamation)
 
    simulate/modelcheck/experiment additionally take --metrics FILE to
    write the run's lib/obs snapshot as JSON. *)
@@ -538,6 +539,150 @@ let faults target_name plan_str seed matrix shrink json =
             (List.length outcomes) (List.length seeds);
           if ok then 0 else 1)
 
+(* ----- recover ----- *)
+
+(* The crash-recovery layer end to end.  Single-run mode wraps one
+   protocol in lib/recovery and runs it on the simulator — optionally
+   under a generated crash plan (processes dying while holding a name)
+   — with a dedicated reclaimer process scanning for expired leases.
+   --campaign instead runs the paired bare-vs-recovered crash matrix
+   from lib/campaign.  With --json the human report moves to stderr
+   and stdout carries only the "renaming.recovery/v1" document; the
+   document is deterministic (no timestamps), so identical invocations
+   produce byte-identical output. *)
+
+let recovery_stats_json (st : Recovery.stats) =
+  Printf.sprintf
+    {|{"acquired":%d,"released":%d,"shed":%d,"retries":%d,"conflicts":%d,"expired":%d,"reclaimed":%d,"stale_releases":%d,"scans":%d,"reclaim_latencies":[%s]}|}
+    st.acquired st.released st.shed st.retries st.conflicts st.expired st.reclaimed
+    st.stale_releases st.scans
+    (String.concat "," (List.map string_of_int st.reclaim_latencies))
+
+let recover protocol k s procs cycles lease_ttl seed crash campaign matrix json metrics =
+  let out = if json then Fmt.epr else Fmt.pr in
+  if campaign then begin
+    let seeds = List.filteri (fun i _ -> i < matrix) Campaign.default_seeds in
+    let outcomes = Campaign.run_all_crash ~seeds () in
+    List.iter (fun o -> out "%a@." Campaign.pp_crash_outcome o) outcomes;
+    let ok = Campaign.crash_ok outcomes in
+    out "crash campaign: %s (%d targets, matrix of %d seeds)@."
+      (if ok then "OK — bare protocols leak, recovered ones reclaim" else "FAILED")
+      (List.length outcomes) (List.length seeds);
+    if json then
+      print_endline
+        (Printf.sprintf {|{"schema":"renaming.recovery/v1","mode":"campaign","report":%s}|}
+           (Campaign.crash_report_json ~seeds outcomes));
+    if ok then 0 else 1
+  end
+  else begin
+    let layout = Layout.create () in
+    let Setup { proto = (module P); inst; label }, pids = build protocol layout ~k ~s ~procs in
+    let rc =
+      Recovery.create
+        (module P)
+        inst ~layout ~pids
+        (Recovery.default_config ~lease_ttl ~seed ~capacity:(Array.length pids) ())
+    in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let spec = Workload.churn ~cycles () in
+    let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+    let plan =
+      if crash then
+        Sim.Faults.gen_crash
+          (Sim.Rng.make (seed lxor 0x0F_AC_ED))
+          ~nprocs:(Array.length pids)
+          ~max_cycle:(max 1 (min 3 cycles))
+          ()
+      else []
+    in
+    let stop = ref (fun () -> false) in
+    (* never a legal source name, and the reclaimer never acquires *)
+    let reclaimer_pid = 1 + Array.fold_left max 0 pids in
+    let reclaimer (ops : Store.ops) =
+      (* hard budget so a reclamation bug surfaces as a leak in the
+         verdict rather than a hang *)
+      let budget = ref 100_000 in
+      while (not (!stop ()) || Recovery.outstanding rc > 0) && !budget > 0 do
+        decr budget;
+        (* one shared access per iteration so the loop always yields *)
+        ignore (ops.read work);
+        ignore
+          (Recovery.scan rc ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
+               Sim.Sched.emit (Sim.Event.Note ("reclaimed", name)))
+            : int)
+      done
+    in
+    let ctrl = Sim.Faults.controller plan in
+    let monitor =
+      Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; Sim.Faults.monitor ctrl ]
+    in
+    let t =
+      Sim.Sched.create ~monitor layout
+        (Array.append
+           (Array.map (fun pid -> (pid, Workload.resilient_body rc ~work spec)) pids)
+           [| (reclaimer_pid, reclaimer) |])
+    in
+    stop :=
+      (fun () ->
+        let frozen = Sim.Faults.parked ctrl in
+        let n = Array.length pids in
+        let rec all i =
+          i >= n || ((Sim.Sched.finished t i || List.mem i frozen) && all (i + 1))
+        in
+        all 0);
+    let failure =
+      match
+        Sim.Faults.run ~max_steps:1_000_000 ctrl t (Sim.Sched.random (Sim.Rng.make seed))
+      with
+      | (o : Sim.Sched.outcome) ->
+          if o.truncated then Some "run did not settle within 1000000 steps" else None
+      | exception Sim.Model_check.Violation m -> Some m
+    in
+    Sim.Sched.abort t;
+    let st = Recovery.stats rc in
+    let leaked = Sim.Checks.held_now u in
+    let crashed = List.length (Sim.Faults.crashed ctrl) in
+    let ok = failure = None && leaked = [] && st.reclaimed >= crashed in
+    out "protocol       : %s + recovery@." label;
+    out "processes      : %d (pids %a) + reclaimer (pid %d)@." (Array.length pids)
+      Fmt.(array ~sep:comma int)
+      pids reclaimer_pid;
+    out "lease ttl      : %d scan(s), capacity %d@." lease_ttl (Array.length pids);
+    out "crash plan     : %s@." (if plan = [] then "none" else Sim.Faults.to_string plan);
+    out "crashes fired  : %d@." crashed;
+    out "leases         : %d acquired, %d released, %d shed@." st.acquired st.released
+      st.shed;
+    out "reclaimed      : %d (of %d expired), %d stale release(s) fenced@." st.reclaimed
+      st.expired st.stale_releases;
+    (match leaked with
+    | [] -> out "leaked         : none@."
+    | l ->
+        out "leaked         : %a@."
+          Fmt.(list ~sep:comma (pair ~sep:(any " held by p") int int))
+          l);
+    (match failure with Some m -> out "FAILURE        : %s@." m | None -> ());
+    out "verdict        : %s@." (if ok then "OK" else "FAILED");
+    if json then
+      print_endline
+        (Printf.sprintf
+           {|{"schema":"renaming.recovery/v1","mode":"run","protocol":%S,"k":%d,"s":%d,"procs":%d,"cycles":%d,"lease_ttl":%d,"seed":%d,"plan":%S,"crashed":%d,"leaked":[%s],"failure":%s,"ok":%b,"stats":%s}|}
+           protocol k s (Array.length pids) cycles lease_ttl seed
+           (Sim.Faults.to_string plan)
+           crashed
+           (String.concat ","
+              (List.map (fun (n, p) -> Printf.sprintf "[%d,%d]" n p) leaked))
+           (match failure with None -> "null" | Some m -> Printf.sprintf "%S" m)
+           ok (recovery_stats_json st));
+    (match metrics with
+    | Some file ->
+        let registry = Obs.Registry.create () in
+        Recovery.publish rc (Obs.Registry.shard registry);
+        write_file file (Obs.Export.to_json (Obs.Registry.snapshot registry));
+        out "metrics        : wrote %s@." file
+    | None -> ());
+    if ok then 0 else 1
+  end
+
 (* ----- trace ----- *)
 
 let trace protocol k s procs cycles seed tail =
@@ -702,6 +847,39 @@ let faults_cmd =
              must survive")
     Term.(const faults $ target $ plan $ seed $ matrix $ shrink $ json)
 
+let recover_cmd =
+  let procs = Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N"
+                   ~doc:"Concurrent processes (default $(b,k)).") in
+  let lease_ttl = Arg.(value & opt int 4 & info [ "lease-ttl" ] ~docv:"TTL"
+                       ~doc:"Reclaimer scans without a heartbeat change before a lease \
+                             expires.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+                  ~doc:"Schedule seed; also derives the $(b,--crash) plan and the \
+                        backoff jitter.") in
+  let crash = Arg.(value & flag & info [ "crash" ]
+                   ~doc:"Inject a generated crash plan: some processes die while \
+                         holding a name; their leases must be reclaimed.") in
+  let campaign = Arg.(value & flag & info [ "campaign" ]
+                      ~doc:"Run the paired bare-vs-recovered crash matrix instead of a \
+                            single run: bare protocols must leak, recovered ones must \
+                            reclaim.") in
+  let matrix = Arg.(value & opt int 32 & info [ "matrix" ] ~docv:"N"
+                    ~doc:"Campaign mode: use the first $(docv) seeds of the fixed \
+                          matrix.") in
+  let json = Arg.(value & flag & info [ "json" ]
+                  ~doc:"Print the renaming.recovery/v1 JSON document on stdout (human \
+                        report goes to stderr).") in
+  let run protocol k s procs cycles lease_ttl seed crash campaign matrix json metrics =
+    recover protocol k s (if procs <= 0 then k else procs) cycles lease_ttl seed crash
+      campaign matrix json metrics
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Run a protocol under the crash-recovery wrapper: leases, heartbeats, \
+             name reclamation")
+    Term.(const run $ protocol_arg $ k_arg 3 $ s_arg 64 $ procs $ cycles_arg 3
+          $ lease_ttl $ seed $ crash $ campaign $ matrix $ json $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "renaming-cli" ~version:"1.0.0"
@@ -711,4 +889,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ simulate_cmd; modelcheck_cmd; params_cmd; experiment_cmd; trace_cmd;
-            domains_cmd; observe_cmd; faults_cmd ]))
+            domains_cmd; observe_cmd; faults_cmd; recover_cmd ]))

@@ -457,3 +457,313 @@ let report_json ~seeds outcomes =
     {|{"schema":"renaming.faults/v1","matrix_size":%d,"ok":%b,"targets":[%s]}|}
     (List.length seeds) (ok outcomes)
     (String.concat "," (List.map outcome_json outcomes))
+
+(* ----- crash campaigns -----
+
+   Discrimination with a different axis than the mutants: the adversary
+   is [Faults.gen_crash] — processes dying while holding a name.  A
+   correct {e bare} protocol survives in the safety sense but leaks the
+   name forever (that IS the failure mode this PR exists for); the same
+   protocol under the recovery wrapper must reclaim every leaked name
+   and finish with none held.  A matrix where the bare targets don't
+   leak, or the recovered ones do, proves the harness can't tell the
+   difference and the layer is untested. *)
+
+type crash_config = {
+  ccfg : MC.config;
+  held_now : unit -> (int * int) list;
+  recovery_stats : (unit -> Recovery.stats) option;
+  set_stop : (unit -> bool) -> unit;
+      (* inject the reclaimer's termination test once the scheduler
+         exists; a no-op for bare targets *)
+}
+
+type crash_target = {
+  c_name : string;
+  recovered : bool;
+  c_nprocs : int;  (* worker count; the reclaimer process is extra *)
+  c_max_cycle : int;
+  c_sched_per_plan : int;
+  c_builder : unit -> crash_config;
+}
+
+let bare_crash_config (type a) (module P : Renaming.Protocol.S with type t = a)
+    (make : Layout.t -> a) ~pids ~cycles () : crash_config =
+  let layout = Layout.create () in
+  let inst = make layout in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let spec = Workload.churn ~cycles () in
+  let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+  {
+    ccfg =
+      {
+        MC.layout;
+        procs =
+          Array.map (fun pid -> (pid, Workload.body (module P) inst ~work spec)) pids;
+        monitor = Sim.Checks.uniqueness_monitor u;
+      };
+    held_now = (fun () -> Sim.Checks.held_now u);
+    recovery_stats = None;
+    set_stop = (fun _ -> ());
+  }
+
+let recovered_crash_config (type a) (module P : Renaming.Protocol.S with type t = a)
+    (make : Layout.t -> a) ~pids ~cycles ~lease_ttl () : crash_config =
+  let layout = Layout.create () in
+  let inst = make layout in
+  let rc =
+    Recovery.create
+      (module P)
+      inst ~layout ~pids
+      (Recovery.default_config ~lease_ttl ~capacity:(Array.length pids) ())
+  in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let spec = Workload.churn ~cycles () in
+  let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+  let stop = ref (fun () -> false) in
+  (* never a legal source name here, and the reclaimer never acquires *)
+  let reclaimer_pid = 1 + Array.fold_left max 0 pids in
+  let reclaimer (ops : Store.ops) =
+    (* hard budget so a reclamation bug shows up as a leak in the
+       verdict instead of hanging the run *)
+    let budget = ref 10_000 in
+    while (not (!stop ()) || Recovery.outstanding rc > 0) && !budget > 0 do
+      decr budget;
+      (* the idle read guarantees one shared access per iteration, so
+         the loop always yields to the scheduler even when there is
+         nothing to scan *)
+      ignore (ops.read work);
+      ignore
+        (Recovery.scan rc ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
+             Sim.Sched.emit (Sim.Event.Note ("reclaimed", name)))
+          : int)
+    done
+  in
+  {
+    ccfg =
+      {
+        MC.layout;
+        procs =
+          Array.append
+            (Array.map (fun pid -> (pid, Workload.resilient_body rc ~work spec)) pids)
+            [| (reclaimer_pid, reclaimer) |];
+        monitor = Sim.Checks.uniqueness_monitor u;
+      };
+    held_now = (fun () -> Sim.Checks.held_now u);
+    recovery_stats = Some (fun () -> Recovery.stats rc);
+    set_stop = (fun f -> stop := f);
+  }
+
+let crash_targets () =
+  let family c_name bare recov ~nprocs =
+    let base recovered c_builder name =
+      {
+        c_name = name;
+        recovered;
+        c_nprocs = nprocs;
+        c_max_cycle = 2;
+        c_sched_per_plan = 4;
+        c_builder;
+      }
+    in
+    [ base false bare c_name; base true recov (c_name ^ "+recovery") ]
+  in
+  let filter_make layout =
+    let k = 2 and s = 8 in
+    let (p : Renaming.Params.filter_params) = Renaming.Params.choose ~k ~s in
+    Renaming.Filter.create layout
+      { k; d = p.d; z = p.z; s; participants = [| 1; 5 |] }
+  in
+  let split_make l = Renaming.Split.create l ~k:3 in
+  let ma_make l = Renaming.Ma.create l ~k:2 ~s:4 in
+  let pipeline_make l = Renaming.Pipeline.create l ~k:2 ~s:16 ~participants:[| 3; 11 |] in
+  List.concat
+    [
+      family "split"
+        (bare_crash_config (module Renaming.Split) split_make ~pids:[| 1; 2; 3 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Split)
+           split_make ~pids:[| 1; 2; 3 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:3;
+      family "ma"
+        (bare_crash_config (module Renaming.Ma) ma_make ~pids:[| 0; 2 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Ma)
+           ma_make ~pids:[| 0; 2 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:2;
+      family "filter"
+        (bare_crash_config (module Renaming.Filter) filter_make ~pids:[| 1; 5 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Filter)
+           filter_make ~pids:[| 1; 5 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:2;
+      family "pipeline"
+        (bare_crash_config (module Renaming.Pipeline) pipeline_make ~pids:[| 3; 11 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Pipeline)
+           pipeline_make ~pids:[| 3; 11 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:2;
+    ]
+
+let find_crash name = List.find_opt (fun t -> t.c_name = name) (crash_targets ())
+
+let crash_plan_for tg seed =
+  Sim.Faults.gen_crash
+    (Sim.Rng.make (seed lxor 0x0F_AC_ED))
+    ~nprocs:tg.c_nprocs ~max_cycle:tg.c_max_cycle ()
+
+type crash_run = {
+  crashed : int;  (* crash faults that fired *)
+  leaked : (int * int) list;  (* names still held at the end *)
+  run_reclaimed : int;
+  run_shed : int;
+  failure : (string * int list) option;
+}
+
+let run_crash_once ?(max_steps = 200_000) (tg : crash_target) plan ~sched_seed =
+  let cc = tg.c_builder () in
+  let ctrl = Sim.Faults.controller plan in
+  let monitor = Sim.Checks.combine [ cc.ccfg.MC.monitor; Sim.Faults.monitor ctrl ] in
+  let t = Sim.Sched.create ~monitor cc.ccfg.MC.layout cc.ccfg.MC.procs in
+  (* the reclaimer drains once every worker is finished or frozen *)
+  cc.set_stop (fun () ->
+      let frozen = Sim.Faults.parked ctrl in
+      let rec all i =
+        i >= tg.c_nprocs
+        || ((Sim.Sched.finished t i || List.mem i frozen) && all (i + 1))
+      in
+      all 0);
+  let rng = Sim.Rng.make sched_seed in
+  let taken = ref [] in
+  let strat _ en =
+    let c = Sim.Rng.int rng (Array.length en) in
+    taken := c :: !taken;
+    en.(c)
+  in
+  let failure =
+    match Sim.Faults.run ~max_steps ctrl t strat with
+    | (outcome : Sim.Sched.outcome) ->
+        if outcome.truncated then
+          Some
+            ( Printf.sprintf "run did not settle within %d steps (wait-freedom)"
+                max_steps,
+              List.rev !taken )
+        else None
+    | exception MC.Violation message -> Some (message, List.rev !taken)
+  in
+  Sim.Sched.abort t;
+  let run_reclaimed, run_shed =
+    match cc.recovery_stats with
+    | None -> (0, 0)
+    | Some stats ->
+        let (s : Recovery.stats) = stats () in
+        (s.reclaimed, s.shed)
+  in
+  {
+    crashed = List.length (Sim.Faults.crashed ctrl);
+    leaked = cc.held_now ();
+    run_reclaimed;
+    run_shed;
+    failure;
+  }
+
+type crash_outcome = {
+  crash_target_name : string;
+  crash_recovered : bool;
+  crash_runs : int;
+  crashes_fired : int;
+  leak_runs : int;
+  total_reclaimed : int;
+  total_shed : int;
+  crash_finding : finding option;
+}
+
+let run_crash_target ?(seeds = default_seeds) ?max_steps (tg : crash_target) =
+  let runs = ref 0 in
+  let crashes_fired = ref 0 in
+  let leak_runs = ref 0 in
+  let total_reclaimed = ref 0 in
+  let total_shed = ref 0 in
+  let finding = ref None in
+  List.iter
+    (fun seed ->
+      let plan = crash_plan_for tg seed in
+      for j = 0 to tg.c_sched_per_plan - 1 do
+        incr runs;
+        let sched_seed = sched_seed_for seed j in
+        let r = run_crash_once ?max_steps tg plan ~sched_seed in
+        crashes_fired := !crashes_fired + r.crashed;
+        if r.leaked <> [] then incr leak_runs;
+        total_reclaimed := !total_reclaimed + r.run_reclaimed;
+        total_shed := !total_shed + r.run_shed;
+        let note message schedule =
+          if !finding = None then
+            finding := Some { seed; sched_seed; plan; message; schedule }
+        in
+        match r.failure with
+        | Some (message, schedule) -> note message schedule
+        | None ->
+            if tg.recovered then begin
+              if r.leaked <> [] then
+                note
+                  (Printf.sprintf "%d name(s) still held after the run: reclamation failed"
+                     (List.length r.leaked))
+                  [];
+              if r.run_reclaimed < r.crashed then
+                note
+                  (Printf.sprintf "%d crash(es) fired but only %d lease(s) reclaimed"
+                     r.crashed r.run_reclaimed)
+                  []
+            end
+            else if r.crashed > 0 && r.leaked = [] then
+              (* a bare protocol surviving a crash-holding plan without a
+                 leak means the plan never actually bit — the matrix
+                 proves nothing *)
+              note "crash fired under the bare protocol yet no name leaked" []
+      done)
+    seeds;
+  {
+    crash_target_name = tg.c_name;
+    crash_recovered = tg.recovered;
+    crash_runs = !runs;
+    crashes_fired = !crashes_fired;
+    leak_runs = !leak_runs;
+    total_reclaimed = !total_reclaimed;
+    total_shed = !total_shed;
+    crash_finding = !finding;
+  }
+
+let run_all_crash ?seeds ?max_steps () =
+  List.map (run_crash_target ?seeds ?max_steps) (crash_targets ())
+
+let crash_ok outcomes =
+  List.for_all
+    (fun o -> o.crash_finding = None && o.crashes_fired >= 1)
+    outcomes
+
+let pp_crash_outcome ppf o =
+  match o.crash_finding with
+  | None ->
+      Fmt.pf ppf "%-24s %s  %d runs, %d crashes, %d leak-runs, %d reclaimed, %d shed"
+        o.crash_target_name
+        (if o.crash_recovered then "survived " else "leaked   ")
+        o.crash_runs o.crashes_fired o.leak_runs o.total_reclaimed o.total_shed
+  | Some f ->
+      Fmt.pf ppf "%-24s FAILED (seed %d, sched %d, plan %s): %s" o.crash_target_name
+        f.seed f.sched_seed
+        (Sim.Faults.to_string f.plan)
+        f.message
+
+let crash_outcome_json o =
+  Printf.sprintf
+    {|{"target":%S,"recovered":%b,"runs":%d,"crashes":%d,"leak_runs":%d,"reclaimed":%d,"shed":%d,"as_expected":%b,"finding":%s}|}
+    o.crash_target_name o.crash_recovered o.crash_runs o.crashes_fired o.leak_runs
+    o.total_reclaimed o.total_shed
+    (o.crash_finding = None && o.crashes_fired >= 1)
+    (match o.crash_finding with None -> "null" | Some f -> finding_json f)
+
+let crash_report_json ~seeds outcomes =
+  Printf.sprintf
+    {|{"schema":"renaming.crash/v1","matrix_size":%d,"ok":%b,"targets":[%s]}|}
+    (List.length seeds) (crash_ok outcomes)
+    (String.concat "," (List.map crash_outcome_json outcomes))

@@ -96,3 +96,101 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val report_json : seeds:int list -> outcome list -> string
 (** One JSON document (["renaming.faults/v1"]) with one entry per
     target and the overall verdict. *)
+
+(** {1 Crash campaigns}
+
+    Discrimination along the crash-recovery axis.  The adversary is
+    {!Sim.Faults.gen_crash}: processes dying while holding a name.
+    Expectations are {e paired}: each protocol family appears twice,
+    bare and wrapped in [lib/recovery].
+
+    - A {b bare} target must stay safe (no uniqueness violation) but
+      {b leak}: every run in which a crash fired must end with a name
+      still held — the crashed holder took it to the grave.  A bare
+      target that doesn't leak means the plan never bit, so the matrix
+      proves nothing.
+    - A {b recovered} target ([<family>+recovery]) must end every run
+      with {e zero} names held — each crashed holder's lease expired
+      within one TTL and its footprint was reset — with at least as
+      many reclamations as fired crashes, still no violations, and no
+      truncation.
+
+    Recovered harnesses add a dedicated reclaimer process (excluded
+    from the victim pool) that scans until every worker is finished or
+    frozen and no lease is outstanding; workers run
+    {!Workload.resilient_body}.  Everything is derived from the same
+    seed matrix as the fault campaign, so reports are byte-identical
+    across runs. *)
+
+type crash_config = {
+  ccfg : Sim.Model_check.config;
+  held_now : unit -> (int * int) list;
+      (** Names currently held per the harness's uniqueness monitor. *)
+  recovery_stats : (unit -> Recovery.stats) option;
+      (** [None] for bare targets. *)
+  set_stop : (unit -> bool) -> unit;
+      (** Inject the reclaimer's termination test (true once every
+          worker is finished or frozen); no-op for bare targets. *)
+}
+
+type crash_target = {
+  c_name : string;
+  recovered : bool;
+  c_nprocs : int;  (** Workers only; the reclaimer process is extra. *)
+  c_max_cycle : int;  (** Upper bound for [On_acquire] crash triggers. *)
+  c_sched_per_plan : int;
+  c_builder : unit -> crash_config;
+}
+
+val crash_targets : unit -> crash_target list
+(** The paired matrix: split, ma, filter, pipeline — each bare and
+    [+recovery]. *)
+
+val find_crash : string -> crash_target option
+
+type crash_run = {
+  crashed : int;  (** Crash faults that fired during the run. *)
+  leaked : (int * int) list;  (** [(name, proc)] still held at the end. *)
+  run_reclaimed : int;
+  run_shed : int;
+  failure : (string * int list) option;
+      (** Violation or truncation, with the taken schedule. *)
+}
+
+val run_crash_once :
+  ?max_steps:int ->
+  crash_target ->
+  Sim.Faults.plan ->
+  sched_seed:int ->
+  crash_run
+
+val crash_plan_for : crash_target -> int -> Sim.Faults.plan
+(** The crash plan the matrix derives from one seed (same seed-to-plan
+    derivation as the fault campaign). *)
+
+type crash_outcome = {
+  crash_target_name : string;
+  crash_recovered : bool;
+  crash_runs : int;
+  crashes_fired : int;
+  leak_runs : int;  (** Runs that ended with at least one name held. *)
+  total_reclaimed : int;
+  total_shed : int;
+  crash_finding : finding option;
+}
+
+val run_crash_target :
+  ?seeds:int list -> ?max_steps:int -> crash_target -> crash_outcome
+
+val run_all_crash :
+  ?seeds:int list -> ?max_steps:int -> unit -> crash_outcome list
+
+val crash_ok : crash_outcome list -> bool
+(** Every target met its expectation and every matrix actually fired
+    at least one crash. *)
+
+val pp_crash_outcome : Format.formatter -> crash_outcome -> unit
+
+val crash_report_json : seeds:int list -> crash_outcome list -> string
+(** One JSON document (["renaming.crash/v1"]); deterministic, so
+    byte-identical across runs of the same matrix. *)

@@ -120,6 +120,11 @@ let name_of _ lease = lease.name
 let release_name _ ops lease =
   Array.iter (fun (tree, pos) -> Tournament.release tree ops pos) lease.positions
 
+let reset_footprint =
+  Some
+    (fun _ ops (lease : lease) ->
+      Array.iter (fun (tree, pos) -> Tournament.reset tree ops pos) lease.positions)
+
 let rounds lease = lease.lease_rounds
 let advances lease = lease.lease_advances
 

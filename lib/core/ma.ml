@@ -64,4 +64,8 @@ let name_of _ lease = lease.name
 let release_name t (ops : Store.ops) lease =
   ops.write t.y.(index ~k:t.k ~r:lease.row ~c:lease.col).(ops.pid) 0
 
+(* the footprint is exactly the presence bit release clears, keyed by
+   the (dead) holder's pid *)
+let reset_footprint = Some release_name
+
 let grid_position _ lease = (lease.row, lease.col)

@@ -113,6 +113,9 @@ module Mutant_costly = struct
 
   let name_of t lease = Ma.name_of t.ma lease
   let release_name t (ops : Store.ops) lease = Ma.release_name t.ma ops lease
+
+  (* mutants model broken deployments: no recovery path *)
+  let reset_footprint = None
 end
 
 module Mutant_ma = struct
@@ -166,4 +169,6 @@ module Mutant_ma = struct
 
   let release_name t (ops : Store.ops) lease =
     ops.write t.y.(index ~k:t.k ~r:lease.row ~c:lease.col).(ops.pid) 0
+
+  let reset_footprint = None
 end

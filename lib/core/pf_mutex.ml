@@ -42,3 +42,12 @@ let check t (ops : Store.ops) ~dir own =
   (not (is_present opp)) || own lxor turn_bit opp <> dir
 
 let release t (ops : Store.ops) ~dir own = ops.write t.r.(dir) (absent own)
+
+let reset t (ops : Store.ops) ~dir =
+  (* Crash recovery: drop the direction's presence bit without the
+     corpse's slot.  The current turn bit is recovered by reading the
+     register — it must survive the reset exactly as it survives an
+     ordinary release (clearing it re-admits the Turn_lost_on_release
+     interleavings). *)
+  let v = ops.read t.r.(dir) in
+  ops.write t.r.(dir) (absent (turn_bit v))

@@ -55,3 +55,11 @@ val check : t -> Shared_mem.Store.ops -> dir:int -> slot -> bool
 val release : t -> Shared_mem.Store.ops -> dir:int -> slot -> unit
 (** Leave the block (from the critical section or while waiting),
     preserving the direction's turn bit for its next user. *)
+
+val reset : t -> Shared_mem.Store.ops -> dir:int -> unit
+(** Crash recovery: {!release} direction [dir] on behalf of a dead
+    holder whose slot is lost.  Costs one extra read — the persistent
+    turn bit is recovered from the register instead of the slot.  The
+    dead process must take no further step, and at most one direction
+    may be reset per corpse per block (the usual one-user-per-direction
+    rule). *)

@@ -80,6 +80,13 @@ let get_name t ops = Protocol.Any.get_name t.proto ops
 let name_of t lease = Protocol.Any.name_of t.proto lease
 let release_name t ops lease = Protocol.Any.release_name t.proto ops lease
 
+let reset_footprint =
+  (* every stage kind (split, filter, ma) implements the hook, so the
+     dynamic dispatch inside [Any] cannot fail for pipeline stages *)
+  match Protocol.Any.reset_footprint with
+  | Some reset -> Some (fun t ops lease -> reset t.proto ops lease)
+  | None -> None
+
 let pp_stages ppf t =
   List.iter
     (fun st -> Format.fprintf ppf "%-6s %8d -> %6d  (%s)@." st.kind st.source st.dest st.detail)

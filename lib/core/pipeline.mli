@@ -46,5 +46,10 @@ val get_name : t -> Shared_mem.Store.ops -> lease
 val name_of : t -> lease -> int
 val release_name : t -> Shared_mem.Store.ops -> lease -> unit
 
+val reset_footprint : (t -> Shared_mem.Store.ops -> lease -> unit) option
+(** Always [Some]: every stage kind supports crash recovery, resetting
+    innermost-first under the corpse's per-stage intermediate names
+    (see {!Renaming.Protocol.S.reset_footprint}). *)
+
 val pp_stages : Format.formatter -> t -> unit
 (** One line per stage: [kind S -> D (detail)]. *)

@@ -6,6 +6,7 @@ module type S = sig
   val get_name : t -> Shared_mem.Store.ops -> lease
   val name_of : t -> lease -> int
   val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+  val reset_footprint : (t -> Shared_mem.Store.ops -> lease -> unit) option
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
@@ -26,6 +27,16 @@ module Any = struct
   let name_of _ (Lease ((module P), inst, l)) = P.name_of inst l
 
   let release_name _ ops (Lease ((module P), inst, l)) = P.release_name inst ops l
+
+  (* Always [Some]: the packed module decides at run time.  Raises
+     [Invalid_argument] when the underlying protocol has no recovery
+     path — the dynamic analogue of matching on [P.reset_footprint]. *)
+  let reset_footprint =
+    Some
+      (fun _ ops (Lease ((module P), inst, l)) ->
+        match P.reset_footprint with
+        | Some reset -> reset inst ops l
+        | None -> invalid_arg "Protocol.Any.reset_footprint: protocol has no recovery path")
 end
 
 module Chain (A : S) (B : S) = struct
@@ -49,6 +60,18 @@ module Chain (A : S) (B : S) = struct
     let inner = { ops with pid = A.name_of t.a l.la } in
     B.release_name t.b inner l.lb;
     A.release_name t.a ops l.la
+
+  (* Innermost-first like release, with the corpse's [B]-side identity
+     being the intermediate name it still held in [A]. *)
+  let reset_footprint =
+    match (A.reset_footprint, B.reset_footprint) with
+    | Some reset_a, Some reset_b ->
+        Some
+          (fun t (ops : Shared_mem.Store.ops) l ->
+            let inner = { ops with pid = A.name_of t.a l.la } in
+            reset_b t.b inner l.lb;
+            reset_a t.a ops l.la)
+    | _ -> None
 end
 
 module Chain_any = Chain (Any) (Any)

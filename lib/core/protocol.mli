@@ -27,6 +27,20 @@ module type S = sig
   (** The destination name held by the lease, in [\[0, name_space)]. *)
 
   val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+
+  val reset_footprint : (t -> Shared_mem.Store.ops -> lease -> unit) option
+  (** Crash-recovery hook: clear every shared-register trace a {e dead}
+      holder of [lease] left behind (its [LAST] claims, mutex presence
+      bits, grid presence flags), returning the lease's name to
+      service.  [None] when the protocol has no recovery path.
+
+      The caller (a reclaimer, see [lib/recovery]) must pass [ops] with
+      [pid] set to the dead process's source name, and must guarantee
+      the holder takes no further step: unlike [release_name] this may
+      be executed by a {e different} process on the corpse's behalf, so
+      it reconstructs ownership from the current register contents
+      (e.g. dropping a presence bit while preserving the persistent
+      turn bit) rather than trusting lease-local state alone. *)
 end
 
 type packed = Packed : (module S with type t = 'a) * 'a -> packed

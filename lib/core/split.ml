@@ -48,4 +48,13 @@ let release_name _ ops lease =
     Splitter.release sp ops tok
   done
 
+let reset_footprint =
+  Some
+    (fun _ ops (lease : lease) ->
+      (* deepest-first, like release *)
+      for h = Array.length lease.path - 1 downto 0 do
+        let sp, tok = lease.path.(h) in
+        Splitter.reset sp ops tok
+      done)
+
 let path_string _ lease = Array.map (fun (_, tok) -> Splitter.direction tok) lease.path

@@ -36,3 +36,15 @@ let release t (ops : Store.ops) tok =
   if ops.read t.last = ops.pid then (* 9 *)
     ops.write t.advice1 tok.advice (* 10 *);
   if not tok.adv2 then ops.write t.advice1 bottom (* 11 *)
+
+let reset t (ops : Store.ops) tok =
+  (* Release on the corpse's behalf ([ops.pid] is the dead process's
+     source name), additionally clearing a [LAST] claim it still owns —
+     leaving a dead pid in [LAST] is safe for entrants (they overwrite
+     it) but would keep pointing the interference check at a process
+     that can never answer. *)
+  if ops.read t.last = ops.pid then begin
+    ops.write t.advice1 tok.advice;
+    ops.write t.last (-1)
+  end;
+  if not tok.adv2 then ops.write t.advice1 bottom

@@ -36,3 +36,9 @@ val direction : token -> int
 val release : t -> Shared_mem.Store.ops -> token -> unit
 (** Leave the output set.  A token must be released exactly once,
     before the same process re-enters. *)
+
+val reset : t -> Shared_mem.Store.ops -> token -> unit
+(** Crash recovery: release the token on behalf of a {e dead} holder.
+    [ops.pid] must be the dead process's source name and the holder
+    must take no further step.  Behaves like {!release} and
+    additionally clears a [LAST] claim still owned by the corpse. *)

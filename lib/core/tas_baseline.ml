@@ -22,4 +22,5 @@ let get_name t (ops : Store.ops) =
 
 let name_of _ lease = lease.name
 let release_name t (ops : Store.ops) lease = ops.write t.bits.(lease.name) 0
+let reset_footprint = Some release_name
 let probes lease = lease.lease_probes

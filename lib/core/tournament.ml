@@ -80,3 +80,14 @@ let release t ops pos =
   done;
   pos.level <- 0;
   pos.won <- false
+
+let reset t ops pos =
+  (* crash recovery: same top-down walk, but via Pf_mutex.reset so the
+     turn bits are recovered from the registers, not the dead
+     process's slots *)
+  for level = pos.level downto 1 do
+    let b = t.block ~level ~node:(node_at pos level) in
+    Pf_mutex.reset b ops ~dir:(dir_at pos level)
+  done;
+  pos.level <- 0;
+  pos.won <- false

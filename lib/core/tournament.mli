@@ -63,3 +63,9 @@ val checks : position -> int
 val release : t -> Shared_mem.Store.ops -> position -> unit
 (** Release every entered block, top-down.  The position returns to
     its pristine state and may be reused. *)
+
+val reset : t -> Shared_mem.Store.ops -> position -> unit
+(** Crash recovery: {!release} on behalf of a dead competitor, using
+    {!Pf_mutex.reset} per block so the persistent turn bits come from
+    the registers rather than the corpse's slots.  The dead process
+    must take no further step. *)

@@ -1,0 +1,356 @@
+open Shared_mem
+
+type config = {
+  lease_ttl : int;
+  capacity : int;
+  max_attempts : int;
+  backoff_base : int;
+  backoff_cap : int;
+  seed : int;
+}
+
+let default_config ?(lease_ttl = 8) ?(seed = 0) ~capacity () =
+  { lease_ttl; capacity; max_attempts = 6; backoff_base = 1; backoff_cap = 16; seed }
+
+(* What the reclaimer needs to undo a grant on the corpse's behalf,
+   with the inner lease captured in the closures so [t] stays
+   non-parametric. *)
+type holder = {
+  h_name : int;
+  h_epoch : int;
+  release_inner : Store.ops -> unit;
+  reset_inner : Store.ops -> unit;
+}
+
+type slot = {
+  s_pid : int;
+  hb : Cell.t;  (* heartbeat register, written by the holder *)
+  ep : Cell.t;  (* epoch register, bumped by the reclaimer *)
+  mutable epoch : int;
+  mutable holder : holder option;
+  mutable last_seen : int;  (* heartbeat value at the previous scan *)
+  mutable stale : int;  (* consecutive scans with an unchanged heartbeat *)
+}
+
+type lease = { l_slot : int; l_name : int; l_epoch : int; mutable beats : int }
+
+let name_of l = l.l_name
+
+type acquired = Acquired of lease | Shed
+
+type reclaim_event = { e_pid : int; e_name : int; e_latency : int; e_at : int }
+
+type t = {
+  cfg : config;
+  nspace : int;
+  get : Store.ops -> int * (Store.ops -> unit) * (Store.ops -> unit);
+  slots : slot array;
+  slot_of : (int, int) Hashtbl.t;  (* pid -> slot index *)
+  idle_cell : Cell.t;  (* scratch register for backoff idle reads *)
+  lock : Mutex.t;
+  inflight : int Atomic.t;  (* admitted entrants + held leases *)
+  names_held : (int, int) Hashtbl.t;  (* name -> slot index *)
+  mutable st_acquired : int;
+  mutable st_released : int;
+  mutable st_shed : int;
+  mutable st_retries : int;
+  mutable st_conflicts : int;
+  mutable st_expired : int;
+  mutable st_stale_releases : int;
+  mutable st_scans : int;
+  mutable events_rev : reclaim_event list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create (type a) (module P : Renaming.Protocol.S with type t = a) (inst : a)
+    ~layout ~pids cfg =
+  let reset =
+    match P.reset_footprint with
+    | Some reset -> reset
+    | None -> invalid_arg "Recovery.create: protocol has no reset_footprint"
+  in
+  if Array.length pids = 0 then invalid_arg "Recovery.create: no participants";
+  if cfg.lease_ttl < 1 then invalid_arg "Recovery.create: lease_ttl must be >= 1";
+  if cfg.capacity < 1 then invalid_arg "Recovery.create: capacity must be >= 1";
+  if cfg.max_attempts < 1 then invalid_arg "Recovery.create: max_attempts must be >= 1";
+  if cfg.backoff_base < 1 then invalid_arg "Recovery.create: backoff_base must be >= 1";
+  if cfg.backoff_cap < cfg.backoff_base then
+    invalid_arg "Recovery.create: backoff_cap must be >= backoff_base";
+  let slot_of = Hashtbl.create (Array.length pids) in
+  let slots =
+    Array.mapi
+      (fun i pid ->
+        if Hashtbl.mem slot_of pid then
+          invalid_arg "Recovery.create: duplicate participant";
+        Hashtbl.replace slot_of pid i;
+        {
+          s_pid = pid;
+          hb = Layout.alloc layout ~name:(Printf.sprintf "RECOVERY.HB[%d]" pid) 0;
+          ep = Layout.alloc layout ~name:(Printf.sprintf "RECOVERY.EP[%d]" pid) 0;
+          epoch = 0;
+          holder = None;
+          last_seen = min_int;
+          stale = 0;
+        })
+      pids
+  in
+  let get ops =
+    let l = P.get_name inst ops in
+    ( P.name_of inst l,
+      (fun ops -> P.release_name inst ops l),
+      fun ops -> reset inst ops l )
+  in
+  {
+    cfg;
+    nspace = P.name_space inst;
+    get;
+    slots;
+    slot_of;
+    idle_cell = Layout.alloc layout ~name:"RECOVERY.IDLE" 0;
+    lock = Mutex.create ();
+    inflight = Atomic.make 0;
+    names_held = Hashtbl.create 16;
+    st_acquired = 0;
+    st_released = 0;
+    st_shed = 0;
+    st_retries = 0;
+    st_conflicts = 0;
+    st_expired = 0;
+    st_stale_releases = 0;
+    st_scans = 0;
+    events_rev = [];
+  }
+
+let name_space t = t.nspace
+let lease_ttl t = t.cfg.lease_ttl
+
+let slot_index t pid =
+  match Hashtbl.find_opt t.slot_of pid with
+  | Some i -> i
+  | None -> invalid_arg "Recovery: pid is not a registered participant"
+
+(* Stateless jitter so backoff schedules replay identically from the
+   same seed regardless of interleaving. *)
+let mix a b c =
+  let h = ref 0x9E3779B9 in
+  List.iter
+    (fun v -> h := !h lxor (v + 0x9E3779B9 + (!h lsl 6) + (!h lsr 2)))
+    [ a; b; c ];
+  !h land max_int
+
+let backoff t (ops : Store.ops) attempt =
+  let exp = if attempt >= 30 then t.cfg.backoff_cap else t.cfg.backoff_base lsl attempt in
+  let len = min t.cfg.backoff_cap exp + (mix t.cfg.seed ops.pid attempt mod (t.cfg.backoff_base + 1)) in
+  for _ = 1 to len do
+    ignore (ops.read t.idle_cell)
+  done
+
+let admit t =
+  let rec go () =
+    let v = Atomic.get t.inflight in
+    if v >= t.cfg.capacity then false
+    else if Atomic.compare_and_set t.inflight v (v + 1) then true
+    else go ()
+  in
+  go ()
+
+let acquire ?on_grant t (ops : Store.ops) =
+  let si = slot_index t ops.pid in
+  let slot = t.slots.(si) in
+  locked t (fun () ->
+      if slot.holder <> None then
+        invalid_arg "Recovery.acquire: process already holds a lease");
+  let rec attempt n =
+    if n >= t.cfg.max_attempts then begin
+      locked t (fun () -> t.st_shed <- t.st_shed + 1);
+      Shed
+    end
+    else if not (admit t) then retry n
+    else
+      (* Admitted: run the wrapped protocol (shared accesses, so never
+         under the lock — a suspended fiber must not hold it). *)
+      let name, release_inner, reset_inner = t.get ops in
+      let granted =
+        locked t (fun () ->
+            if Hashtbl.mem t.names_held name then None
+            else begin
+              let epoch = slot.epoch in
+              slot.holder <- Some { h_name = name; h_epoch = epoch; release_inner; reset_inner };
+              slot.last_seen <- min_int;
+              slot.stale <- 0;
+              Hashtbl.replace t.names_held name si;
+              t.st_acquired <- t.st_acquired + 1;
+              Some epoch
+            end)
+      in
+      match granted with
+      | Some epoch ->
+          (* notify before the heartbeat write: no shared access sits
+             between the grant decision and the callback, so observers
+             learn of the grant before any other process can possibly
+             reclaim or re-acquire this name *)
+          (match on_grant with Some f -> f name | None -> ());
+          let lease = { l_slot = si; l_name = name; l_epoch = epoch; beats = 1 } in
+          ops.write slot.hb lease.beats;
+          Acquired lease
+      | None ->
+          (* The inner grant collided with a name the wrapper still
+             tracks as held — hand it back and retry. *)
+          release_inner ops;
+          Atomic.decr t.inflight;
+          locked t (fun () -> t.st_conflicts <- t.st_conflicts + 1);
+          retry n
+  and retry n =
+    locked t (fun () -> t.st_retries <- t.st_retries + 1);
+    backoff t ops n;
+    attempt (n + 1)
+  in
+  attempt 0
+
+let heartbeat t (ops : Store.ops) lease =
+  lease.beats <- lease.beats + 1;
+  ops.write t.slots.(lease.l_slot).hb lease.beats
+
+let release ?on_live t (ops : Store.ops) lease =
+  let slot = t.slots.(lease.l_slot) in
+  (* The epoch register is the fence: reclamation bumps it, so a
+     holder reading its grant epoch back knows it still owns the
+     name. *)
+  let ep_now = ops.read slot.ep in
+  let live =
+    locked t (fun () ->
+        match slot.holder with
+        | Some h when h.h_epoch = lease.l_epoch && ep_now = lease.l_epoch ->
+            slot.holder <- None;
+            Hashtbl.remove t.names_held lease.l_name;
+            t.st_released <- t.st_released + 1;
+            Some h.release_inner
+        | _ ->
+            t.st_stale_releases <- t.st_stale_releases + 1;
+            None)
+  in
+  match live with
+  | Some release_inner ->
+      (* notify before the inner release's register writes: the name
+         only becomes re-grantable once those complete, so observers
+         always see this release before the next acquisition *)
+      (match on_live with Some f -> f lease.l_name | None -> ());
+      release_inner ops;
+      Atomic.decr t.inflight;
+      true
+  | None -> false
+
+let scan ?on_reclaim t (ops : Store.ops) =
+  let scan_at = locked t (fun () -> t.st_scans <- t.st_scans + 1; t.st_scans) in
+  let reclaimed = ref 0 in
+  Array.iter
+    (fun slot ->
+      match locked t (fun () -> slot.holder) with
+      | None -> ()
+      | Some h -> (
+          let hb = ops.read slot.hb in
+          let expired =
+            locked t (fun () ->
+                match slot.holder with
+                | Some h0 when h0 == h ->
+                    if hb <> slot.last_seen then begin
+                      slot.last_seen <- hb;
+                      slot.stale <- 0;
+                      None
+                    end
+                    else begin
+                      slot.stale <- slot.stale + 1;
+                      if slot.stale < t.cfg.lease_ttl then None
+                      else begin
+                        slot.epoch <- slot.epoch + 1;
+                        slot.holder <- None;
+                        Hashtbl.remove t.names_held h0.h_name;
+                        t.st_expired <- t.st_expired + 1;
+                        Some slot.epoch
+                      end
+                    end
+                | _ -> None (* holder changed while we read the heartbeat *))
+          in
+          match expired with
+          | None -> ()
+          | Some new_epoch ->
+              (* Notify before touching shared memory: the name cannot
+                 be re-granted until the footprint reset below
+                 completes, so observers always see the ownership
+                 transfer before the next acquisition.  Then fence,
+                 clear the corpse's footprint under its own source
+                 name, and return the admission slot. *)
+              let latency = t.cfg.lease_ttl in
+              locked t (fun () ->
+                  t.events_rev <-
+                    { e_pid = slot.s_pid; e_name = h.h_name; e_latency = latency; e_at = scan_at }
+                    :: t.events_rev);
+              (match on_reclaim with
+              | Some f -> f ~pid:slot.s_pid ~name:h.h_name ~latency
+              | None -> ());
+              ops.write slot.ep new_epoch;
+              h.reset_inner { ops with pid = slot.s_pid };
+              Atomic.decr t.inflight;
+              incr reclaimed))
+    t.slots;
+  !reclaimed
+
+let outstanding t = locked t (fun () -> Hashtbl.length t.names_held)
+
+type stats = {
+  acquired : int;
+  released : int;
+  shed : int;
+  retries : int;
+  conflicts : int;
+  expired : int;
+  reclaimed : int;
+  stale_releases : int;
+  scans : int;
+  reclaim_latencies : int list;
+}
+
+let stats t =
+  locked t (fun () ->
+      let events = List.rev t.events_rev in
+      {
+        acquired = t.st_acquired;
+        released = t.st_released;
+        shed = t.st_shed;
+        retries = t.st_retries;
+        conflicts = t.st_conflicts;
+        expired = t.st_expired;
+        reclaimed = List.length events;
+        stale_releases = t.st_stale_releases;
+        scans = t.st_scans;
+        reclaim_latencies = List.map (fun e -> e.e_latency) events;
+      })
+
+let publish t shard =
+  let events = locked t (fun () -> List.rev t.events_rev) in
+  let s = stats t in
+  Obs.Registry.count shard "names.acquired" s.acquired;
+  Obs.Registry.count shard "names.released" s.released;
+  Obs.Registry.count shard "names.shed" s.shed;
+  Obs.Registry.count shard "lease.expired" s.expired;
+  Obs.Registry.count shard "recovery.reclaimed" s.reclaimed;
+  Obs.Registry.count shard "recovery.conflicts" s.conflicts;
+  Obs.Registry.count shard "recovery.stale_releases" s.stale_releases;
+  Obs.Registry.count shard "recovery.retries" s.retries;
+  Obs.Registry.count shard "recovery.scans" s.scans;
+  List.iter
+    (fun e ->
+      Obs.Registry.observe shard "recovery.reclaim.latency" e.e_latency;
+      Obs.Registry.span shard
+        {
+          Obs.Span.name = "reclaim";
+          pid = e.e_pid;
+          start_step = e.e_at - e.e_latency;
+          end_step = e.e_at;
+          accesses = 0;
+          annotations = [ ("name", e.e_name) ];
+        })
+    events

@@ -1,0 +1,175 @@
+(** Lease-based crash recovery over any {!Renaming.Protocol.S}.
+
+    The paper's long-lived guarantee (Theorems 5/10) silently assumes
+    every process that acquires a name eventually releases it.  A
+    crashed holder breaks that: the name leaks and the corpse's
+    splitter/mutex footprint stays wedged forever.  This layer makes
+    names {e leases}:
+
+    - every holder maintains a {b heartbeat}: a plain read/write
+      register per source name (consistent with the paper's model) it
+      bumps while holding;
+    - a {b reclaimer} ({!scan}) watches held leases; a lease whose
+      heartbeat register does not change for {!config.lease_ttl}
+      consecutive scans is expired: the per-source {b epoch} register
+      is bumped, the protocol's {!Renaming.Protocol.S.reset_footprint}
+      hook is run on the corpse's behalf, and the name returns to
+      service;
+    - the bumped epoch {b fences} the corpse: a {!release} (or any
+      wrapper-level action) carrying a stale epoch is detected and
+      ignored, so even a holder that was wrongly declared dead cannot
+      corrupt the bookkeeping;
+    - {!acquire} adds {b admission control}: when live concurrency
+      would exceed the configured [ℓ/k] capacity, entrants retry with
+      seeded exponential backoff + jitter and finally {b shed}
+      ([names.shed]) instead of violating the protocol's concurrency
+      bound.
+
+    {b Caveats} (inherent to leases over asynchronous shared memory,
+    not implementation gaps):
+
+    - {e false expiry}: a live holder descheduled for more than
+      [lease_ttl] scans is reclaimed while alive.  The epoch fence
+      makes its subsequent wrapper actions harmless no-ops, but the
+      underlying name may be re-granted while the stale holder still
+      believes it owns it — the classic lease trade-off.  Choose
+      [lease_ttl] generously relative to hold times, and have holders
+      {!heartbeat} at least once per held step.
+    - {e mid-acquire crashes}: a process that dies inside the wrapped
+      [get_name] (before the wrapper records a holder) occupies an
+      admission slot that is never reclaimed — only {e held} leases
+      are.  Budget capacity accordingly.
+
+    The control-plane bookkeeping (holder table, stale counters) lives
+    in OCaml state guarded by a mutex, so one [t] serves simulator
+    fibers and OS domains alike; everything the {e protocols} see —
+    heartbeats, epochs, footprints — goes through [ops], staying inside
+    the paper's shared-register model. *)
+
+type t
+
+type config = {
+  lease_ttl : int;
+      (** Consecutive scans without a heartbeat change before a lease
+          expires; reclamation latency is exactly this many scans. *)
+  capacity : int;
+      (** Maximum concurrently admitted processes (the protocol's
+          [ℓ/k] bound).  Admission counts held leases {e and}
+          in-flight acquires. *)
+  max_attempts : int;  (** Acquire attempts before shedding. *)
+  backoff_base : int;
+      (** Idle steps of the first backoff; doubles per attempt. *)
+  backoff_cap : int;  (** Upper bound on one backoff, pre-jitter. *)
+  seed : int;  (** Seeds the deterministic backoff jitter. *)
+}
+
+val default_config : ?lease_ttl:int -> ?seed:int -> capacity:int -> unit -> config
+(** [lease_ttl] defaults to [8], [seed] to [0]; [max_attempts 6],
+    [backoff_base 1], [backoff_cap 16]. *)
+
+val create :
+  (module Renaming.Protocol.S with type t = 'a) ->
+  'a ->
+  layout:Shared_mem.Layout.t ->
+  pids:int array ->
+  config ->
+  t
+(** Wrap an instance for the given participant source names,
+    allocating one heartbeat ([HB\[i\]]) and one epoch ([EP\[i\]])
+    register per participant from [layout] (so they live in the same
+    store as the protocol's registers — allocate {e before}
+    instantiating the store).
+    @raise Invalid_argument if the protocol has no
+    {!Renaming.Protocol.S.reset_footprint}, if [pids] is empty or
+    contains duplicates, or if the config is malformed. *)
+
+val name_space : t -> int
+val lease_ttl : t -> int
+
+type lease
+(** A held wrapper lease: the inner protocol lease plus the epoch it
+    was granted under. *)
+
+val name_of : lease -> int
+
+type acquired = Acquired of lease | Shed
+
+val acquire : ?on_grant:(int -> unit) -> t -> Shared_mem.Store.ops -> acquired
+(** Admission-controlled, conflict-checked acquire for source name
+    [ops.pid] (which must be one of the [pids] given to {!create} and
+    must not already hold a lease).  Retries admission and inner-grant
+    conflicts with seeded exponential backoff + jitter (idle reads on
+    a scratch register, so backoff is visible simulated time); after
+    [max_attempts] the entrant sheds.
+
+    [on_grant name] fires at the moment of the grant decision, with no
+    shared access between decision and callback — emit your
+    [Acquired] event here, not after [acquire] returns, or an
+    adversarial schedule can reclaim and re-grant the name before your
+    late report and a uniqueness monitor will cry double-hold.  The
+    callback must not call back into [t]. *)
+
+val heartbeat : t -> Shared_mem.Store.ops -> lease -> unit
+(** One write to the holder's heartbeat register.  Call at least once
+    per held step; holding without heartbeats for [lease_ttl] scans
+    gets the lease reclaimed. *)
+
+val release : ?on_live:(int -> unit) -> t -> Shared_mem.Store.ops -> lease -> bool
+(** Release the lease: [true] on a live release (inner
+    [release_name] ran), [false] when the lease's epoch is stale —
+    the holder was reclaimed in the meantime; nothing is written and
+    the caller must {e not} report a release (it no longer owns the
+    name).
+
+    [on_live name] fires when the release is judged live, {e before}
+    the inner protocol's registers are cleared — emit your [Released]
+    event here so it is always observed before the name's next
+    acquisition.  The callback must not call back into [t]. *)
+
+val scan :
+  ?on_reclaim:(pid:int -> name:int -> latency:int -> unit) ->
+  t ->
+  Shared_mem.Store.ops ->
+  int
+(** One reclaimer pass over every held lease (any process may run it;
+    [ops.pid] is remapped per corpse for the resets).  Reads each
+    holder's heartbeat register; a lease stale for [lease_ttl]
+    consecutive scans is expired: epoch register bumped, footprint
+    reset on the corpse's behalf, admission slot freed.  Returns the
+    number of leases reclaimed by this pass and invokes [on_reclaim]
+    for each ([latency] = scans from last observed heartbeat change to
+    reclamation, always [lease_ttl]).  [on_reclaim] fires at the
+    expiry decision, {e before} the footprint reset makes the name
+    re-grantable — emit your ["reclaimed"] note there.  The callback
+    must not call back into [t]. *)
+
+val outstanding : t -> int
+(** Leases currently held (from the wrapper's point of view). *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  acquired : int;
+  released : int;
+  shed : int;  (** Entrants that gave up after [max_attempts]. *)
+  retries : int;  (** Backoffs taken (admission full or conflict). *)
+  conflicts : int;
+      (** Inner grants that collided with a held name and were
+          returned (defense in depth; a correct protocol under its
+          concurrency bound never triggers this). *)
+  expired : int;  (** Leases declared dead. *)
+  reclaimed : int;  (** Footprints reset and names returned. *)
+  stale_releases : int;  (** Epoch-fenced releases ignored. *)
+  scans : int;
+  reclaim_latencies : int list;  (** Oldest first, one per reclaim. *)
+}
+
+val stats : t -> stats
+
+val publish : t -> Obs.Registry.shard -> unit
+(** Export the counters to a metrics shard ([names.shed],
+    [lease.expired], [recovery.reclaimed], [recovery.conflicts],
+    [recovery.stale_releases], [recovery.retries], [names.acquired],
+    [names.released], [recovery.scans]), the
+    [recovery.reclaim.latency] histogram, and one [reclaim] span per
+    reclamation (clocked in scans). *)

@@ -4,6 +4,7 @@ type fault =
   | Park_holding
   | Stall_holding of { cycle : int; spins : int }
   | Slow of int
+  | Crash_holding of { cycle : int }
 
 type result = {
   cycles_done : int array;
@@ -11,6 +12,8 @@ type result = {
   max_concurrent : int;
   max_concurrent_by_name : (int * int) list;
   first_violation : string option;
+  leaked : int;
+  reclaimed : int;
 }
 
 let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with type t = a)
@@ -30,6 +33,9 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
     Array.length pids
     - List.length (List.filter (fun (_, f) -> f = Park_holding) faults)
   in
+  if Array.length pids > 0 && normal_total = 0 then
+    invalid_arg
+      "Domain_runner.run: every worker is Park_holding, nothing can make progress";
   let normal_done = Atomic.make 0 in
   let bump_max a c =
     (* monotone CAS loop *)
@@ -135,6 +141,18 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
           Domain.cpu_relax ()
         done;
         release held
+    | Some (Crash_holding { cycle }) ->
+        for _ = 1 to cycle do
+          let held = acquire () in
+          Domain.cpu_relax ();
+          release held;
+          Atomic.incr cycles_done.(i)
+        done;
+        (* die holding: the domain exits without releasing — the name
+           and its register footprint leak unless a recovery layer
+           reclaims them (see [run_recovered]) *)
+        ignore (acquire ());
+        Atomic.incr normal_done
     | fault ->
         for cy = 0 to cycles - 1 do
           let held = acquire () in
@@ -163,4 +181,191 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
     max_concurrent = Atomic.get max_concurrent;
     max_concurrent_by_name;
     first_violation = Atomic.get first_violation;
+    leaked = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 holders;
+    reclaimed = 0;
+  }
+
+let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
+  let name_space = Recovery.name_space rc in
+  let store = Atomic_store.create layout in
+  let holders = Array.init name_space (fun _ -> Atomic.make 0) in
+  let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let first_violation = Atomic.make None in
+  let concurrent = Atomic.make 0 in
+  let max_concurrent = Atomic.make 0 in
+  let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
+  let normal_total =
+    Array.length pids
+    - List.length (List.filter (fun (_, f) -> f = Park_holding) faults)
+  in
+  if Array.length pids > 0 && normal_total = 0 then
+    invalid_arg
+      "Domain_runner.run_recovered: every worker is Park_holding, nothing can make progress";
+  let normal_done = Atomic.make 0 in
+  let bump_max a c =
+    let rec go () =
+      let m = Atomic.get a in
+      if c > m && not (Atomic.compare_and_set a m c) then go ()
+    in
+    go ()
+  in
+  let note_violation msg =
+    Atomic.incr violations;
+    let cur = Atomic.get first_violation in
+    if cur = None then ignore (Atomic.compare_and_set first_violation cur (Some msg))
+  in
+  let worker i pid () =
+    let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
+    let raw = Atomic_store.ops store ~pid in
+    let c = Store.counter () in
+    let ops =
+      match shard with
+      | None -> raw
+      | Some sh -> Store.counting c (Store.observed sh raw)
+    in
+    let clock = ref 0 in
+    let record sh op annotations =
+      let accesses = Store.accesses c in
+      Obs.Registry.span sh
+        {
+          name = op;
+          pid;
+          start_step = !clock;
+          end_step = !clock + accesses;
+          accesses;
+          annotations;
+        };
+      clock := !clock + accesses;
+      Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
+      Obs.Registry.inc sh ("op." ^ op ^ ".count")
+    in
+    let acquire () =
+      Store.reset c;
+      match Recovery.acquire rc ops with
+      | Recovery.Shed ->
+          (match shard with Some sh -> Obs.Registry.inc sh "names.shed" | None -> ());
+          None
+      | Recovery.Acquired lease ->
+          let n = Recovery.name_of lease in
+          (match shard with Some sh -> record sh "get" [ ("name", n) ] | None -> ());
+          let held =
+            if n < 0 || n >= name_space then begin
+              note_violation
+                (Printf.sprintf "worker %d acquired name %d outside [0,%d)" i n
+                   name_space);
+              0
+            end
+            else begin
+              let held = 1 + Atomic.fetch_and_add holders.(n) 1 in
+              bump_max name_max.(n) held;
+              if held > 1 then
+                note_violation
+                  (Printf.sprintf "name %d held by %d workers at once" n held);
+              held
+            end
+          in
+          let conc = 1 + Atomic.fetch_and_add concurrent 1 in
+          bump_max max_concurrent conc;
+          (match shard with
+          | Some sh ->
+              let g = Obs.Registry.gauge sh "names.held" in
+              Obs.Gauge.incr g;
+              Obs.Gauge.observe g conc;
+              if n >= 0 && n < name_space then begin
+                let gn = Obs.Registry.gauge sh ("names.held." ^ string_of_int n) in
+                Obs.Gauge.incr gn;
+                Obs.Gauge.observe gn held
+              end;
+              Obs.Registry.inc sh "names.acquired"
+          | None -> ());
+          Some (lease, n)
+    in
+    let release (lease, n) =
+      Atomic.decr concurrent;
+      if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
+      (match shard with
+      | Some sh ->
+          Obs.Gauge.decr (Obs.Registry.gauge sh "names.held");
+          if n >= 0 && n < name_space then
+            Obs.Gauge.decr (Obs.Registry.gauge sh ("names.held." ^ string_of_int n));
+          Obs.Registry.inc sh "names.released"
+      | None -> ());
+      Store.reset c;
+      ignore (Recovery.release rc ops lease : bool);
+      match shard with Some sh -> record sh "release" [] | None -> ()
+    in
+    let spin n =
+      for _ = 1 to n do
+        Domain.cpu_relax ()
+      done
+    in
+    let full_cycle fault cy =
+      match acquire () with
+      | None -> () (* shed: skip the cycle, the admission bound held *)
+      | Some ((lease, _) as held) ->
+          (match fault with
+          | Some (Stall_holding { cycle; spins }) when cy = cycle -> spin spins
+          | Some (Slow n) -> spin n
+          | _ -> ());
+          Recovery.heartbeat rc ops lease;
+          release held;
+          (match fault with Some (Slow n) -> spin n | _ -> ());
+          Atomic.incr cycles_done.(i)
+    in
+    match List.assoc_opt i faults with
+    | Some Park_holding -> (
+        match acquire () with
+        | None -> () (* shed before parking: nothing held, just exit *)
+        | Some ((lease, _) as held) ->
+            while Atomic.get normal_done < normal_total do
+              Recovery.heartbeat rc ops lease
+            done;
+            release held)
+    | Some (Crash_holding { cycle }) ->
+        for cy = 0 to cycle - 1 do
+          full_cycle None cy
+        done;
+        ignore (acquire ());
+        Atomic.incr normal_done
+    | fault ->
+        for cy = 0 to cycles - 1 do
+          full_cycle fault cy
+        done;
+        Atomic.incr normal_done
+  in
+  let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
+  Array.iter Domain.join domains;
+  (* Quiescent reclamation: scanning only after the join means a slow
+     live worker can never be falsely expired by real preemption — the
+     only leases left now belong to crashed workers. *)
+  let reclaimed = ref 0 in
+  if Array.length pids > 0 then begin
+    let drain_ops = Atomic_store.ops store ~pid:pids.(0) in
+    let max_rounds = Recovery.lease_ttl rc + Array.length pids + 4 in
+    let rounds = ref 0 in
+    while Recovery.outstanding rc > 0 && !rounds < max_rounds do
+      incr rounds;
+      ignore
+        (Recovery.scan rc drain_ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
+             incr reclaimed;
+             Atomic.decr concurrent;
+             if name >= 0 && name < name_space then
+               ignore (Atomic.fetch_and_add holders.(name) (-1)))
+          : int)
+    done
+  end;
+  let max_concurrent_by_name =
+    Array.to_list name_max
+    |> List.mapi (fun n a -> (n, Atomic.get a))
+    |> List.filter (fun (_, m) -> m > 0)
+  in
+  {
+    cycles_done = Array.map Atomic.get cycles_done;
+    violations = Atomic.get violations;
+    max_concurrent = Atomic.get max_concurrent;
+    max_concurrent_by_name;
+    first_violation = Atomic.get first_violation;
+    leaked = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 holders;
+    reclaimed = !reclaimed;
   }

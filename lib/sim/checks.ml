@@ -45,12 +45,20 @@ let uniqueness_monitor u =
           | Some j when j = i -> Hashtbl.remove u.holders n
           | Some j -> violation "process #%d released name %d held by #%d" i n j
           | None -> violation "process #%d released name %d it does not hold" i n)
+      | Event.Note ("reclaimed", n) ->
+          (* crash recovery: a reclaimer took name [n] back from a dead
+             (or lease-expired) holder — ownership transfers, so the
+             emitter need not be the holder, and an unheld name is fine
+             (holder may have died before Acquired was emitted) *)
+          Hashtbl.remove u.holders n
       | Event.Note _ -> ())
     ()
 
 let names_used u = Hashtbl.length u.distinct
 let max_name u = u.max_name
 let max_concurrent u = u.max_concurrent
+
+let held_now u = List.sort compare (Hashtbl.fold (fun n i acc -> (n, i) :: acc) u.holders [])
 
 type gauge = {
   enter : string;
@@ -143,6 +151,10 @@ let revalidate_intervals items =
                   (Printf.sprintf "trace revalidation: #%d released name %d held by #%d" proc n p)
             | None ->
                 Error (Printf.sprintf "trace revalidation: #%d released unheld name %d" proc n))
+        | Event.Note ("reclaimed", n) ->
+            (* same ownership-transfer semantics as the online monitor *)
+            Hashtbl.remove holders n;
+            go rest
         | Event.Note _ -> go rest)
   in
   go items

@@ -12,7 +12,14 @@ val combine : Sched.monitor list -> Sched.monitor
     The renaming correctness condition: distinct processes never hold
     the same destination name concurrently.  Processes must emit
     [Event.Acquired n] after [GetName] returns [n] and
-    [Event.Released n] after [ReleaseName]. *)
+    [Event.Released n] after [ReleaseName].
+
+    Crash recovery ([lib/recovery]) extends the discipline: a
+    reclaimer emits [Note ("reclaimed", n)] when it expires a lease,
+    which transfers ownership of [n] away from the (presumed-dead)
+    holder — the name may then be re-acquired without a [Released].
+    A lease-expired holder must consequently {e not} emit [Released]
+    when its release is epoch-fenced (wrapper returned [false]). *)
 
 type uniqueness
 
@@ -29,6 +36,12 @@ val max_name : uniqueness -> int
 
 val max_concurrent : uniqueness -> int
 (** Maximum number of names held simultaneously. *)
+
+val held_now : uniqueness -> (int * int) list
+(** Names currently held as [(name, proc)] pairs, sorted.  After a run
+    completes, a non-empty result is a {e leak}: a name acquired by a
+    process that never released it (e.g. a crashed holder) and never
+    reclaimed. *)
 
 (** {1 Gauges}
 

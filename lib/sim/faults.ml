@@ -3,11 +3,12 @@ type trigger =
   | On_note of { tag : string; value : int option; occurrence : int }
   | On_acquire of int
 
-type action = Park | Stall of int | Slow of int
+type action = Park | Stall of int | Slow of int | Crash
 type fault = { victim : int; trigger : trigger; action : action }
 type plan = fault list
 
-let por_safe = List.for_all (fun f -> f.action = Park)
+let por_safe =
+  List.for_all (fun f -> match f.action with Park | Crash -> true | Stall _ | Slow _ -> false)
 
 let victims plan =
   List.sort_uniq compare (List.map (fun f -> f.victim) plan)
@@ -26,6 +27,7 @@ let fault_to_string f =
   let a =
     match f.action with
     | Park -> "park"
+    | Crash -> "crash"
     | Stall n -> Printf.sprintf "stall%d" n
     | Slow n -> Printf.sprintf "slow%d" n
   in
@@ -45,6 +47,7 @@ let parse_fault s =
       let rest = String.sub s (at + 1) (String.length s - at - 1) in
       let action =
         if action_s = "park" then Ok Park
+        else if action_s = "crash" then Ok Crash
         else
           let num pfx k =
             let l = String.length pfx in
@@ -59,7 +62,7 @@ let parse_fault s =
           | None -> (
               match num "slow" (fun n -> Slow n) with
               | Some r -> r
-              | None -> fail "%S: unknown action (park | stallN | slowN)" action_s)
+              | None -> fail "%S: unknown action (park | crash | stallN | slowN)" action_s)
       in
       match action with
       | Error _ as e -> e
@@ -154,6 +157,7 @@ type t = {
   slots : slot list;
   mutable nfired : int;
   mutable frozen : int list;  (* currently paused victims (any action) *)
+  mutable dead : int list;  (* crashed victims: frozen and never resumed *)
   mutable resumes : (int * int) list;  (* (due global step, victim), due ascending *)
   mutable slow : (int * int) list;  (* (victim, stall length) active slow lanes *)
 }
@@ -163,12 +167,14 @@ let controller plan =
     slots = List.map (fun fault -> { fault; done_ = false; seen = 0 }) plan;
     nfired = 0;
     frozen = [];
+    dead = [];
     resumes = [];
     slow = [];
   }
 
 let fired c = c.nfired
 let parked c = List.sort compare c.frozen
+let crashed c = List.sort compare c.dead
 let pending_resumes c = c.resumes <> []
 
 let freeze c (sim : Sched.t) i =
@@ -201,6 +207,13 @@ let fire c (sim : Sched.t) slot i =
   c.nfired <- c.nfired + 1;
   match slot.fault.action with
   | Park -> freeze c sim i
+  | Crash ->
+      (* operationally a permanent park — the asynchronous model cannot
+         distinguish a crashed process from an arbitrarily slow one —
+         but recorded separately so harnesses know the victim will
+         never release what it holds *)
+      freeze c sim i;
+      if not (List.mem i c.dead) then c.dead <- i :: c.dead
   | Stall n ->
       freeze c sim i;
       schedule_resume c (Sched.total_steps sim + n) i
@@ -303,4 +316,18 @@ let gen rng ~nprocs ?(tags = []) ?(max_access = 32) () =
           | _ -> Park  (* weighted: half the faults are parks *)
         in
         { victim; trigger; action })
+  end
+
+let gen_crash rng ~nprocs ?(max_cycle = 3) () =
+  if nprocs <= 1 then []
+  else begin
+    let n_faults = 1 + Rng.int rng (nprocs - 1) (* 1 .. nprocs-1: >= 1 survivor *) in
+    let order = Array.init nprocs Fun.id in
+    Rng.shuffle rng order;
+    List.init n_faults (fun j ->
+        {
+          victim = order.(j);
+          trigger = On_acquire (1 + Rng.int rng max_cycle);
+          action = Crash;
+        })
   end

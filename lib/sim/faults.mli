@@ -26,6 +26,12 @@
       release/re-acquire lands in the middle of other operations.
     - [Slow n]: from the trigger on, the victim pauses for [n] global
       steps after {e every} access — a slow-lane process.
+    - [Crash]: process death.  Operationally identical to [Park] — in
+      the asynchronous model a crashed process is indistinguishable
+      from an arbitrarily slow one — but recorded separately
+      ({!crashed}) so harnesses know the victim will {e never} release
+      what it holds: a crash while holding a name leaks it forever
+      unless a recovery layer ([lib/recovery]) reclaims it.
 
     Timed actions depend on global time, so they are {e not} POR-safe;
     {!Model_check} automatically falls back to unreduced search for
@@ -49,6 +55,7 @@ type action =
   | Park
   | Stall of int  (** Resume after this many further global steps. *)
   | Slow of int  (** Stall this many global steps after every access. *)
+  | Crash  (** Permanent park recorded as process death. *)
 
 type fault = { victim : int; trigger : trigger; action : action }
 (** [victim] is the process {e index} (into the [procs] array). *)
@@ -56,8 +63,9 @@ type fault = { victim : int; trigger : trigger; action : action }
 type plan = fault list
 
 val por_safe : plan -> bool
-(** [true] iff every action is [Park] — the only case in which the
-    plan commutes with partial-order reduction and state caching. *)
+(** [true] iff every action is [Park] or [Crash] — the only cases in
+    which the plan commutes with partial-order reduction and state
+    caching (both just freeze a transition forever). *)
 
 val victims : plan -> int list
 (** Sorted distinct victim indices. *)
@@ -70,7 +78,7 @@ val victims : plan -> int list
     {v
     plan    := "none" | fault { "," fault }
     fault   := action "@p" INT ":" trigger
-    action  := "park" | "stall" INT | "slow" INT
+    action  := "park" | "crash" | "stall" INT | "slow" INT
     trigger := "acc" INT
              | "note(" TAG [ "=" INT ] ")" [ "#" INT ]
              | "acquire" [ "#" INT ]
@@ -101,8 +109,12 @@ val fired : t -> int
 (** Faults triggered so far. *)
 
 val parked : t -> int list
-(** Victims currently frozen (parked, stalling, or in a slow-lane
-    pause), sorted. *)
+(** Victims currently frozen (parked, crashed, stalling, or in a
+    slow-lane pause), sorted. *)
+
+val crashed : t -> int list
+(** Victims whose [Crash] fault has fired, sorted.  Always a subset of
+    {!parked}: crashed processes never resume. *)
 
 val pending_resumes : t -> bool
 (** A timed resume is scheduled but not yet due. *)
@@ -137,4 +149,21 @@ val gen :
     always left fault-free), triggers drawn over access counts in
     [\[0, max_access\]] (default [32]), the given note [tags], and
     acquire counts; actions weighted towards [Park].  Deterministic in
-    the generator state — the same seed reproduces the same plan. *)
+    the generator state — the same seed reproduces the same plan.
+    Never generates [Crash]: crash campaigns use {!gen_crash}, and
+    keeping this distribution fixed preserves the plans baked into
+    existing campaign seeds. *)
+
+val gen_crash :
+  Rng.t ->
+  nprocs:int ->
+  ?max_cycle:int ->
+  unit ->
+  plan
+(** A random {e crash} plan: between [1] and [nprocs - 1] victims (at
+    least one process always survives), each crashed while {b holding}
+    a name — trigger [On_acquire occ] with [occ] drawn from
+    [\[1, max_cycle\]] (default [3]).  This is the adversary the
+    recovery layer exists for: every fired fault leaks a held name
+    until something reclaims it.  Deterministic in the generator
+    state. *)

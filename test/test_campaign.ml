@@ -83,6 +83,74 @@ let test_report_json_shape () =
   contains "\"splitter\"";
   contains "\"mutant:ma-costly\""
 
+(* ----- the crash matrix ----- *)
+
+let crash_seeds = [ 0xFA17; 0xFA17 + 104729 ]
+
+let test_crash_targets_paired () =
+  let ts = Campaign.crash_targets () in
+  List.iter
+    (fun (t : Campaign.crash_target) ->
+      Alcotest.(check bool) (t.c_name ^ " nprocs") true (t.c_nprocs >= 2);
+      let suffix = "+recovery" in
+      let has_suffix =
+        let n = String.length suffix and l = String.length t.c_name in
+        l >= n && String.sub t.c_name (l - n) n = suffix
+      in
+      Alcotest.(check bool) (t.c_name ^ " naming convention") t.recovered has_suffix;
+      (* every bare target has its recovered twin and vice versa *)
+      let twin =
+        if t.recovered then String.sub t.c_name 0 (String.length t.c_name - String.length suffix)
+        else t.c_name ^ suffix
+      in
+      Alcotest.(check bool) (t.c_name ^ " has twin " ^ twin) true
+        (Campaign.find_crash twin <> None))
+    ts;
+  Alcotest.(check bool) "rejects junk" true (Campaign.find_crash "no-such" = None)
+
+let test_crash_matrix_discriminates () =
+  let outcomes = Campaign.run_all_crash ~seeds:crash_seeds () in
+  List.iter
+    (fun (o : Campaign.crash_outcome) ->
+      (match o.crash_finding with
+      | Some f ->
+          Alcotest.failf "%s failed under %s (seed %d): %s" o.crash_target_name
+            (Sim.Faults.to_string f.plan) f.seed f.message
+      | None -> ());
+      Alcotest.(check bool) (o.crash_target_name ^ " crashes fired") true
+        (o.crashes_fired >= 1);
+      if o.crash_recovered then begin
+        Alcotest.(check int) (o.crash_target_name ^ " leak-free") 0 o.leak_runs;
+        Alcotest.(check bool) (o.crash_target_name ^ " reclaims >= crashes") true
+          (o.total_reclaimed >= o.crashes_fired)
+      end
+      else begin
+        Alcotest.(check bool) (o.crash_target_name ^ " leaks") true (o.leak_runs >= 1);
+        Alcotest.(check int) (o.crash_target_name ^ " reclaims nothing") 0
+          o.total_reclaimed
+      end)
+    outcomes;
+  Alcotest.(check bool) "crash_ok agrees" true (Campaign.crash_ok outcomes);
+  Alcotest.(check int) "all crash targets ran"
+    (List.length (Campaign.crash_targets ()))
+    (List.length outcomes)
+
+let test_crash_report_byte_identical () =
+  (* the ISSUE's reproducibility bar: the whole report is a pure
+     function of the seed list, byte for byte *)
+  let seeds = [ 0xFA17 ] in
+  let render () = Campaign.crash_report_json ~seeds (Campaign.run_all_crash ~seeds ()) in
+  let a = render () in
+  Alcotest.(check string) "byte-identical reports" a (render ());
+  let contains needle =
+    let n = String.length needle and h = String.length a in
+    let rec go i = i + n <= h && (String.sub a i n = needle || go (i + 1)) in
+    Alcotest.(check bool) ("report contains " ^ needle) true (go 0)
+  in
+  contains "renaming.crash/v1";
+  contains "\"split+recovery\"";
+  contains "\"pipeline\""
+
 let () =
   Alcotest.run "campaign"
     [
@@ -97,5 +165,13 @@ let () =
           Alcotest.test_case "discriminates" `Slow test_matrix_discriminates;
           Alcotest.test_case "deterministic" `Slow test_determinism;
           Alcotest.test_case "shrink + replay" `Slow test_shrink_replays;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "targets paired" `Quick test_crash_targets_paired;
+          Alcotest.test_case "bare leaks, recovered reclaims" `Slow
+            test_crash_matrix_discriminates;
+          Alcotest.test_case "report byte-identical" `Slow
+            test_crash_report_byte_identical;
         ] );
     ]

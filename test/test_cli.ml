@@ -80,6 +80,27 @@ let test_faults_unknown_target () =
   let code, _ = run "faults --target no-such --plan 'park@p0:acc1'" in
   Alcotest.(check int) "unknown target => exit 2" 2 code
 
+(* ----- recover: single run and crash matrix ----- *)
+
+let test_recover_ok () =
+  let code, out = run "recover -p split --crash --seed 5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "recover" out "reclaimed";
+  check_contains "recover" out "verdict        : OK"
+
+let test_recover_json () =
+  let code, out = run "recover -p ma -k 2 -s 16 --crash --json" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "recover --json" out "renaming.recovery/v1";
+  check_contains "recover --json" out "\"ok\":true"
+
+let test_recover_campaign () =
+  let code, out = run "recover --campaign --matrix 1 --json" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "recover --campaign" out "renaming.recovery/v1";
+  check_contains "recover --campaign" out "renaming.crash/v1";
+  check_contains "recover --campaign" out "split+recovery"
+
 let () =
   Alcotest.run "cli"
     [
@@ -98,5 +119,11 @@ let () =
           Alcotest.test_case "reproduction clean" `Quick test_faults_repro_clean;
           Alcotest.test_case "bad plan" `Quick test_faults_bad_plan;
           Alcotest.test_case "unknown target" `Quick test_faults_unknown_target;
+        ] );
+      ( "recover",
+        [
+          Alcotest.test_case "crash run reclaims" `Quick test_recover_ok;
+          Alcotest.test_case "json document" `Quick test_recover_json;
+          Alcotest.test_case "crash campaign" `Quick test_recover_campaign;
         ] );
     ]

@@ -23,6 +23,9 @@ let test_plan_roundtrip () =
       "park@p0:acquire#3";
       "park@p2:note(cycle=4)";
       "park@p1:acc7,stall8@p0:acquire,slow2@p3:note(cs)";
+      "crash@p1:acc7";
+      "crash@p2:acquire#2";
+      "crash@p0:acquire,crash@p1:acc3";
     ]
 
 let test_plan_rejects () =
@@ -59,6 +62,8 @@ let test_por_safe () =
   Alcotest.(check bool) "parks only" true (F.por_safe (get "park@p1:acc7,park@p0:acquire"));
   Alcotest.(check bool) "stall is timed" false (F.por_safe (get "stall3@p1:acc7"));
   Alcotest.(check bool) "slow is timed" false (F.por_safe (get "slow2@p1:acc7"));
+  Alcotest.(check bool) "crash freezes like park" true
+    (F.por_safe (get "crash@p1:acc3,park@p0:acquire"));
   Alcotest.(check bool) "empty" true (F.por_safe [])
 
 let test_gen_deterministic () =
@@ -70,6 +75,42 @@ let test_gen_deterministic () =
     let vs = F.victims plan in
     Alcotest.(check bool) "≤ nprocs-1 victims" true (List.length vs <= 2);
     Alcotest.(check bool) "victims in range" true (List.for_all (fun v -> v >= 0 && v < 3) vs)
+  done
+
+let test_gen_crash () =
+  let plan_of seed =
+    F.to_string (F.gen_crash (Sim.Rng.make seed) ~nprocs:4 ~max_cycle:2 ())
+  in
+  Alcotest.(check string) "same seed, same plan" (plan_of 42) (plan_of 42);
+  Alcotest.(check string) "nprocs 1 generates nothing" "none"
+    (F.to_string (F.gen_crash (Sim.Rng.make 0) ~nprocs:1 ()));
+  for seed = 0 to 99 do
+    let plan = F.gen_crash (Sim.Rng.make seed) ~nprocs:4 ~max_cycle:2 () in
+    let vs = F.victims plan in
+    Alcotest.(check bool) "at least one crash" true (List.length vs >= 1);
+    Alcotest.(check bool) "at least one survivor" true (List.length vs <= 3);
+    Alcotest.(check bool) "victims distinct" true
+      (List.length (List.sort_uniq compare vs) = List.length vs);
+    Alcotest.(check bool) "victims in range" true
+      (List.for_all (fun v -> v >= 0 && v < 4) vs);
+    (* every generated fault is a crash on an acquire trigger *)
+    let contains h n =
+      let hn = String.length h and nn = String.length n in
+      let rec go i = i + nn <= hn && (String.sub h i nn = n || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun f ->
+        let s = F.to_string [ f ] in
+        Alcotest.(check bool) (s ^ " is a crash@acquire") true
+          (String.length s >= 7
+          && String.sub s 0 7 = "crash@p"
+          && contains s ":acquire"))
+      plan;
+    (* and the whole plan round-trips *)
+    match F.of_string (F.to_string plan) with
+    | Ok plan' -> Alcotest.(check string) "round-trip" (F.to_string plan) (F.to_string plan')
+    | Error e -> Alcotest.failf "gen_crash plan did not parse: %s" e
   done
 
 (* ----- controller semantics on a hand-made config ----- *)
@@ -130,6 +171,20 @@ let test_unstick_deadlock () =
   Alcotest.(check bool) "p0 completed" true outcome.completed.(0);
   Alcotest.(check bool) "p1 completed" true outcome.completed.(1);
   Alcotest.(check bool) "no pending resumes" false (F.pending_resumes ctrl)
+
+let test_crash_freezes_and_records () =
+  (* operationally a crash is a park — frozen forever — but the
+     controller reports it in [crashed] so harnesses can tell process
+     death from a mere stall *)
+  let outcome, ctrl = run_with (plan "crash@p1:acquire") (writers ()) in
+  Alcotest.(check bool) "p0 completed" true outcome.completed.(0);
+  Alcotest.(check bool) "p1 died holding" false outcome.completed.(1);
+  Alcotest.(check (list int)) "reported crashed" [ 1 ] (F.crashed ctrl);
+  Alcotest.(check (list int)) "crashed is frozen" [ 1 ] (F.parked ctrl);
+  Alcotest.(check int) "one fault fired" 1 (F.fired ctrl);
+  (* a parked process is frozen but not dead *)
+  let _, ctrl' = run_with (plan "park@p1:acquire") (writers ()) in
+  Alcotest.(check (list int)) "park is not a crash" [] (F.crashed ctrl')
 
 let test_note_occurrence () =
   (* a note trigger with occurrence 2 must not fire on the first hit *)
@@ -256,6 +311,7 @@ let () =
           test_plan_roundtrip_prop;
           Alcotest.test_case "por_safe" `Quick test_por_safe;
           Alcotest.test_case "gen deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "gen_crash" `Quick test_gen_crash;
         ] );
       ( "controller",
         [
@@ -263,6 +319,7 @@ let () =
           Alcotest.test_case "stall resumes" `Quick test_stall_resumes;
           Alcotest.test_case "slow lane completes" `Quick test_slow_lane_completes;
           Alcotest.test_case "acquire trigger" `Quick test_acquire_trigger;
+          Alcotest.test_case "crash freezes + records" `Quick test_crash_freezes_and_records;
           Alcotest.test_case "deadlock fast-forward" `Quick test_unstick_deadlock;
           Alcotest.test_case "note occurrence" `Quick test_note_occurrence;
         ] );

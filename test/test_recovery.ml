@@ -1,0 +1,355 @@
+(* The crash-recovery layer: lease lifecycle, admission control,
+   epoch-fenced stale releases, footprint resets on behalf of corpses,
+   and crash faults composed with the model checker.
+
+   The unit tests drive Recovery directly on the sequential store (one
+   caller, fully deterministic); the simulator tests add adversarial
+   interleavings and real crash faults. *)
+
+open Shared_mem
+module F = Sim.Faults
+module MC = Sim.Model_check
+module Split = Renaming.Split
+
+(* Fresh recovery-wrapped 2-process split; returns the wrapper and the
+   sequential store its registers live in. *)
+let wrap ?(capacity = 2) ?(lease_ttl = 2) () =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:2 in
+  let rc =
+    Recovery.create
+      (module Split)
+      sp ~layout ~pids:[| 1; 2 |]
+      (Recovery.default_config ~lease_ttl ~capacity ())
+  in
+  (rc, Store.seq_create layout)
+
+let acquired = function
+  | Recovery.Acquired l -> l
+  | Recovery.Shed -> Alcotest.fail "unexpected shed"
+
+(* ----- lease lifecycle on the sequential store ----- *)
+
+let test_lifecycle () =
+  let rc, seq = wrap () in
+  let ops = Store.seq_ops seq ~pid:1 in
+  let granted = ref (-1) in
+  let l = acquired (Recovery.acquire rc ops ~on_grant:(fun n -> granted := n)) in
+  Alcotest.(check int) "on_grant saw the name" (Recovery.name_of l) !granted;
+  Alcotest.(check bool) "name in space" true
+    (Recovery.name_of l >= 0 && Recovery.name_of l < Recovery.name_space rc);
+  Alcotest.(check int) "one outstanding" 1 (Recovery.outstanding rc);
+  Recovery.heartbeat rc ops l;
+  let live = ref (-1) in
+  Alcotest.(check bool) "live release" true
+    (Recovery.release rc ops l ~on_live:(fun n -> live := n));
+  Alcotest.(check int) "on_live saw the name" (Recovery.name_of l) !live;
+  Alcotest.(check int) "none outstanding" 0 (Recovery.outstanding rc);
+  let st = Recovery.stats rc in
+  Alcotest.(check int) "acquired" 1 st.acquired;
+  Alcotest.(check int) "released" 1 st.released;
+  Alcotest.(check int) "no shed" 0 st.shed;
+  Alcotest.(check int) "no stale release" 0 st.stale_releases
+
+let test_shed_over_capacity () =
+  let rc, seq = wrap ~capacity:1 () in
+  let _held = acquired (Recovery.acquire rc (Store.seq_ops seq ~pid:1)) in
+  (match Recovery.acquire rc (Store.seq_ops seq ~pid:2) with
+  | Recovery.Shed -> ()
+  | Recovery.Acquired _ -> Alcotest.fail "admission over capacity");
+  let st = Recovery.stats rc in
+  Alcotest.(check int) "one shed" 1 st.shed;
+  Alcotest.(check bool) "backoff retries happened" true (st.retries >= 1);
+  Alcotest.(check int) "holder unaffected" 1 (Recovery.outstanding rc)
+
+(* The tentpole sequence in one deterministic scenario: a holder stops
+   heartbeating (crash), its lease expires after exactly lease_ttl
+   scans, the reclaim frees the admission slot (capacity 1!) so the
+   other process can acquire, and the corpse's stale release is fenced
+   even after the re-grant. *)
+let test_reclaim_frees_and_fences () =
+  let lease_ttl = 3 in
+  let rc, seq = wrap ~capacity:1 ~lease_ttl () in
+  let corpse_ops = Store.seq_ops seq ~pid:1 in
+  let l = acquired (Recovery.acquire rc corpse_ops) in
+  (* capacity is taken: the other process sheds *)
+  (match Recovery.acquire rc (Store.seq_ops seq ~pid:2) with
+  | Recovery.Shed -> ()
+  | Recovery.Acquired _ -> Alcotest.fail "slot should be occupied");
+  (* the corpse takes no further step; scan until expiry *)
+  let scan_ops = Store.seq_ops seq ~pid:2 in
+  let events = ref [] in
+  let total = ref 0 in
+  for _ = 1 to lease_ttl + 2 do
+    total :=
+      !total
+      + Recovery.scan rc scan_ops ~on_reclaim:(fun ~pid ~name ~latency ->
+            events := (pid, name, latency) :: !events)
+  done;
+  Alcotest.(check int) "exactly one reclaim" 1 !total;
+  (match !events with
+  | [ (pid, name, latency) ] ->
+      Alcotest.(check int) "corpse pid" 1 pid;
+      Alcotest.(check int) "corpse name" (Recovery.name_of l) name;
+      Alcotest.(check int) "latency = ttl" lease_ttl latency
+  | _ -> Alcotest.fail "one on_reclaim expected");
+  Alcotest.(check int) "nothing outstanding" 0 (Recovery.outstanding rc);
+  (* the freed slot admits the survivor *)
+  let ops2 = Store.seq_ops seq ~pid:2 in
+  let l2 = acquired (Recovery.acquire rc ops2) in
+  (* the corpse's lease is epoch-fenced: releasing it must not touch
+     the re-granted bookkeeping *)
+  Alcotest.(check bool) "stale release fenced" false (Recovery.release rc corpse_ops l);
+  Alcotest.(check int) "survivor unaffected" 1 (Recovery.outstanding rc);
+  Alcotest.(check bool) "survivor's release is live" true (Recovery.release rc ops2 l2);
+  let st = Recovery.stats rc in
+  Alcotest.(check int) "expired" 1 st.expired;
+  Alcotest.(check int) "reclaimed" 1 st.reclaimed;
+  Alcotest.(check int) "stale_releases" 1 st.stale_releases;
+  Alcotest.(check (list int)) "latency accounting" [ lease_ttl ] st.reclaim_latencies
+
+let test_create_rejects () =
+  let reject name f =
+    match f () with
+    | (_ : Recovery.t) -> Alcotest.failf "%s: Invalid_argument expected" name
+    | exception Invalid_argument _ -> ()
+  in
+  reject "empty pids" (fun () ->
+      let layout = Layout.create () in
+      let sp = Split.create layout ~k:2 in
+      Recovery.create (module Split) sp ~layout ~pids:[||]
+        (Recovery.default_config ~capacity:1 ()));
+  reject "duplicate pids" (fun () ->
+      let layout = Layout.create () in
+      let sp = Split.create layout ~k:2 in
+      Recovery.create (module Split) sp ~layout ~pids:[| 1; 1 |]
+        (Recovery.default_config ~capacity:2 ()));
+  reject "no reset_footprint hook" (fun () ->
+      let layout = Layout.create () in
+      let m =
+        Renaming.Mutations.Mutant_ma.create layout Renaming.Mutations.Mutant_ma.No_recheck
+          ~k:2 ~s:3
+      in
+      Recovery.create
+        (module Renaming.Mutations.Mutant_ma)
+        m ~layout ~pids:[| 0; 2 |]
+        (Recovery.default_config ~capacity:2 ()))
+
+(* ----- reset on behalf of a corpse, per building block ----- *)
+
+(* A corpse in the critical section of a PF block wedges the opposite
+   direction forever; reset must free it. *)
+let test_pf_mutex_reset () =
+  let layout = Layout.create () in
+  let b = Renaming.Pf_mutex.create layout in
+  let seq = Store.seq_create layout in
+  let ops0 = Store.seq_ops seq ~pid:0 in
+  let ops1 = Store.seq_ops seq ~pid:1 in
+  let s0 = Renaming.Pf_mutex.enter b ops0 ~dir:0 in
+  Alcotest.(check bool) "corpse won" true (Renaming.Pf_mutex.check b ops0 ~dir:0 s0);
+  let s1 = Renaming.Pf_mutex.enter b ops1 ~dir:1 in
+  Alcotest.(check bool) "opponent blocked" false (Renaming.Pf_mutex.check b ops1 ~dir:1 s1);
+  (* direction 0's holder dies; recover its direction from the register *)
+  Renaming.Pf_mutex.reset b ops0 ~dir:0;
+  Alcotest.(check bool) "opponent freed" true (Renaming.Pf_mutex.check b ops1 ~dir:1 s1)
+
+let test_tournament_reset () =
+  let layout = Layout.create () in
+  let t = Renaming.Tournament.create layout ~inputs:2 in
+  let seq = Store.seq_create layout in
+  let ops0 = Store.seq_ops seq ~pid:0 in
+  let ops1 = Store.seq_ops seq ~pid:1 in
+  let p0 = Renaming.Tournament.position t ~input:0 in
+  Alcotest.(check bool) "corpse owns the tree" true (Renaming.Tournament.try_advance t ops0 p0);
+  let p1 = Renaming.Tournament.position t ~input:1 in
+  Alcotest.(check bool) "challenger blocked" false (Renaming.Tournament.try_advance t ops1 p1);
+  Renaming.Tournament.reset t ops0 p0;
+  Alcotest.(check bool) "challenger wins after reset" true
+    (Renaming.Tournament.try_advance t ops1 p1)
+
+let test_splitter_reset () =
+  let layout = Layout.create () in
+  let s = Renaming.Splitter.create layout in
+  let seq = Store.seq_create layout in
+  let ops0 = Store.seq_ops seq ~pid:0 in
+  let ops1 = Store.seq_ops seq ~pid:1 in
+  let tok0 = Renaming.Splitter.enter s ops0 in
+  Alcotest.(check bool) "solo entry is non-zero" true
+    (Renaming.Splitter.direction tok0 <> 0);
+  (* the holder dies with its LAST claim in place *)
+  Renaming.Splitter.reset s ops0 tok0;
+  let tok1 = Renaming.Splitter.enter s ops1 in
+  Alcotest.(check bool) "next solo entry sees no interference" true
+    (Renaming.Splitter.direction tok1 <> 0);
+  Renaming.Splitter.release s ops1 tok1
+
+(* ----- crash faults through the model checker ----- *)
+
+(* Bare 2-process split, one acquire/release cycle each.  For every
+   access point of the victim, kill it there and explore all
+   interleavings: uniqueness must hold in every one (the bare protocol
+   leaks the crashed name but never double-grants).  Crash freezes a
+   transition, so partial-order reduction stays sound and exploration
+   must report completeness. *)
+let split2_builder () : MC.config =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:2 in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let u = Sim.Checks.uniqueness ~name_space:(Split.name_space sp) () in
+  {
+    MC.layout;
+    procs =
+      Array.map
+        (fun pid -> (pid, Test_util.protocol_cycles (module Split) sp ~work ~cycles:1))
+        [| 1; 2 |];
+    monitor = Sim.Checks.uniqueness_monitor u;
+  }
+
+let test_modelcheck_crash_every_access () =
+  for acc = 1 to 12 do
+    let faults = Result.get_ok (F.of_string (Printf.sprintf "crash@p1:acc%d" acc)) in
+    let rep = MC.check ~faults split2_builder in
+    Test_util.check_no_violation (Printf.sprintf "crash at access %d" acc) rep.outcome;
+    Alcotest.(check bool)
+      (Printf.sprintf "complete at access %d" acc)
+      true rep.outcome.complete
+  done;
+  (* and right at the grant, where the name is definitely held *)
+  let faults = Result.get_ok (F.of_string "crash@p1:acquire") in
+  let rep = MC.check ~faults split2_builder in
+  Test_util.check_no_violation "crash at acquire" rep.outcome;
+  Alcotest.(check bool) "complete at acquire" true rep.outcome.complete
+
+let test_modelcheck_crash_por_sound () =
+  let faults = Result.get_ok (F.of_string "crash@p1:acc5") in
+  let reduced = MC.check ~faults split2_builder in
+  let plain =
+    MC.check ~options:{ MC.default_options with por = false; cache_bound = 0 } ~faults
+      split2_builder
+  in
+  Test_util.check_no_violation "reduced" reduced.outcome;
+  Test_util.check_no_violation "plain" plain.outcome;
+  Alcotest.(check bool) "same completeness" plain.outcome.complete reduced.outcome.complete;
+  Alcotest.(check bool) "reduction pruned" true
+    (reduced.outcome.paths <= plain.outcome.paths)
+
+(* ----- deterministic post-reclamation re-acquisition ----- *)
+
+(* Capacity 1, two processes, round-robin schedule.  The victim takes
+   the only admission slot, is granted a name and crashes on the spot;
+   the survivor can be granted only after the reclaimer expires the
+   corpse's lease and frees the slot.  The event log must show exactly
+   grant(corpse) -> reclaim(corpse's name) -> grants(survivor). *)
+let test_sim_reacquire_after_reclaim () =
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:2 in
+  let pids = [| 1; 2 |] in
+  let rc =
+    Recovery.create
+      (module Split)
+      sp ~layout ~pids
+      (Recovery.default_config ~lease_ttl:2 ~capacity:1 ())
+  in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let log = ref [] in
+  let push e = log := e :: !log in
+  let worker want (ops : Store.ops) =
+    let got = ref 0 in
+    while !got < want do
+      match
+        Recovery.acquire rc ops ~on_grant:(fun n ->
+            push (`Grant (ops.pid, n));
+            Sim.Sched.emit (Sim.Event.Acquired n))
+      with
+      | Recovery.Shed -> () (* the failed attempt itself performed accesses *)
+      | Recovery.Acquired l ->
+          incr got;
+          Recovery.heartbeat rc ops l;
+          ignore
+            (Recovery.release rc ops l ~on_live:(fun n ->
+                 Sim.Sched.emit (Sim.Event.Released n))
+              : bool)
+    done
+  in
+  let stop = ref (fun () -> false) in
+  let reclaimer (ops : Store.ops) =
+    let budget = ref 10_000 in
+    while (not (!stop ()) || Recovery.outstanding rc > 0) && !budget > 0 do
+      decr budget;
+      ignore (ops.read work);
+      ignore
+        (Recovery.scan rc ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
+             push (`Reclaim name);
+             Sim.Sched.emit (Sim.Event.Note ("reclaimed", name)))
+          : int)
+    done
+  in
+  let ctrl = F.controller (Result.get_ok (F.of_string "crash@p0:acquire")) in
+  let u = Sim.Checks.uniqueness ~name_space:(Split.name_space sp) () in
+  let t =
+    Sim.Sched.create
+      ~monitor:(Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; F.monitor ctrl ])
+      layout
+      [| (pids.(0), worker 1); (pids.(1), worker 2); (3, reclaimer) |]
+  in
+  stop :=
+    (fun () ->
+      let frozen = F.parked ctrl in
+      let ok i = Sim.Sched.finished t i || List.mem i frozen in
+      ok 0 && ok 1);
+  let outcome = F.run ~max_steps:100_000 ctrl t Sim.Sched.round_robin in
+  Sim.Sched.abort t;
+  Alcotest.(check bool) "not truncated" false outcome.truncated;
+  Alcotest.(check (list int)) "victim crashed" [ 0 ] (F.crashed ctrl);
+  Alcotest.(check bool) "survivor finished" true outcome.completed.(1);
+  Alcotest.(check (list (pair int int))) "nothing held at the end" [] (Sim.Checks.held_now u);
+  let st = Recovery.stats rc in
+  Alcotest.(check int) "one reclaim" 1 st.reclaimed;
+  (* the log, oldest first *)
+  let log = List.rev !log in
+  (match log with
+  | `Grant (p, n0) :: rest ->
+      Alcotest.(check int) "victim granted first" pids.(0) p;
+      (match rest with
+      | `Reclaim n :: grants ->
+          Alcotest.(check int) "corpse's name reclaimed" n0 n;
+          Alcotest.(check int) "survivor re-acquired twice" 2 (List.length grants);
+          List.iter
+            (function
+              | `Grant (p, _) ->
+                  Alcotest.(check int) "grants after the reclaim are the survivor's"
+                    pids.(1) p
+              | `Reclaim _ -> Alcotest.fail "second reclaim")
+            grants
+      | _ -> Alcotest.fail "reclaim must precede any further grant")
+  | _ -> Alcotest.fail "empty log");
+  Alcotest.(check int) "survivor acquired 2, corpse 1" 3 st.acquired
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "leases",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "shed over capacity" `Quick test_shed_over_capacity;
+          Alcotest.test_case "reclaim frees + fences" `Quick test_reclaim_frees_and_fences;
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+        ] );
+      ( "resets",
+        [
+          Alcotest.test_case "pf_mutex" `Quick test_pf_mutex_reset;
+          Alcotest.test_case "tournament" `Quick test_tournament_reset;
+          Alcotest.test_case "splitter" `Quick test_splitter_reset;
+        ] );
+      ( "modelcheck",
+        [
+          Alcotest.test_case "crash at every access point" `Slow
+            test_modelcheck_crash_every_access;
+          Alcotest.test_case "crash keeps POR sound" `Slow test_modelcheck_crash_por_sound;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "re-acquire after reclaim" `Quick
+            test_sim_reacquire_after_reclaim;
+        ] );
+    ]

@@ -127,6 +127,72 @@ let test_park_two_of_four () =
   Alcotest.(check int) "worker 0 finished" 80 r.cycles_done.(0);
   Alcotest.(check int) "worker 2 finished" 80 r.cycles_done.(2)
 
+let test_all_park_raises () =
+  (* every worker parked => each waits on the others forever; the
+     runner must refuse instead of deadlocking *)
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:2 in
+  let pids = [| 1; 2 |] in
+  match
+    Runtime.Domain_runner.run
+      ~faults:
+        [
+          (0, Runtime.Domain_runner.Park_holding);
+          (1, Runtime.Domain_runner.Park_holding);
+        ]
+      (module Split) sp ~layout ~pids ~cycles:10 ~name_space:(Split.name_space sp)
+  with
+  | (_ : Runtime.Domain_runner.result) ->
+      Alcotest.fail "all-Park_holding run should raise Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ----- crash recovery across real domains ----- *)
+
+let test_crash_holding_leaks () =
+  (* the bare runner: a worker dying mid-hold takes its name to the
+     grave and nothing brings it back *)
+  let k = 3 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let pids = [| 1; 2; 3 |] in
+  let r =
+    Runtime.Domain_runner.run
+      ~faults:[ (1, Runtime.Domain_runner.Crash_holding { cycle = 2 }) ]
+      (module Split) sp ~layout ~pids ~cycles:50 ~name_space:(Split.name_space sp)
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Alcotest.(check int) "one name leaked" 1 r.leaked;
+  Alcotest.(check int) "nothing reclaimed" 0 r.reclaimed;
+  Alcotest.(check int) "victim stopped after 2 cycles" 2 r.cycles_done.(1);
+  Alcotest.(check int) "worker 0 finished" 50 r.cycles_done.(0);
+  Alcotest.(check int) "worker 2 finished" 50 r.cycles_done.(2)
+
+let test_run_recovered_reclaims () =
+  (* the same crash under the recovery wrapper: the post-join drain
+     must reclaim every lease the corpse left behind *)
+  let k = 3 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k in
+  let pids = [| 1; 2; 3 |] in
+  let rc =
+    Recovery.create
+      (module Split)
+      sp ~layout ~pids
+      (Recovery.default_config ~lease_ttl:4 ~capacity:k ())
+  in
+  let r =
+    Runtime.Domain_runner.run_recovered
+      ~faults:[ (1, Runtime.Domain_runner.Crash_holding { cycle = 2 }) ]
+      rc ~layout ~pids ~cycles:40
+  in
+  Alcotest.(check int) "no violations" 0 r.violations;
+  Alcotest.(check int) "no leak after the drain" 0 r.leaked;
+  Alcotest.(check bool) "the corpse's lease was reclaimed" true (r.reclaimed >= 1);
+  Alcotest.(check int) "victim stopped after 2 cycles" 2 r.cycles_done.(1);
+  Alcotest.(check int) "worker 0 finished" 40 r.cycles_done.(0);
+  Alcotest.(check int) "worker 2 finished" 40 r.cycles_done.(2);
+  Alcotest.(check int) "nothing outstanding" 0 (Recovery.outstanding rc)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -144,5 +210,11 @@ let () =
             test_park_holding_domains;
           Alcotest.test_case "stall + slow lane" `Slow test_stall_and_slow_domains;
           Alcotest.test_case "two parked of four" `Slow test_park_two_of_four;
+          Alcotest.test_case "all parked rejected" `Quick test_all_park_raises;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "bare crash leaks" `Slow test_crash_holding_leaks;
+          Alcotest.test_case "recovered crash reclaims" `Slow test_run_recovered_reclaims;
         ] );
     ]
