@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- modelcheck -- model-checker throughput only
      dune exec bench/main.exe -- obs      -- lib/obs instrumentation overhead only
      dune exec bench/main.exe -- obs --smoke -- same, with a short measurement quota
+     dune exec bench/main.exe -- trace    -- flight-recorder overhead only
      dune exec bench/main.exe -- recovery -- lib/recovery lease-wrapper overhead only
      dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv
 
@@ -17,6 +18,9 @@
    paths/sec).  The obs bench writes BENCH_obs.json (bare vs
    instrumented ns/cycle and their ratio) and fails if the ratio
    regresses to more than 2x the recorded bench/obs_baseline.json.
+   The trace bench ("trace") does the same for the structural flight
+   recorder — BENCH_trace.json, gated at 2x
+   bench/trace_baseline.json.
    The recovery bench ("recovery") writes BENCH_recovery.json (bare vs
    lease-wrapped ns/cycle plus deterministic simulated reclamation
    latencies) and fails if the wrapper overhead regresses to more than
@@ -332,6 +336,74 @@ let run_obs_bench ~smoke ~rebaseline () =
           (if ok then "OK" else "REGRESSED");
         ok
 
+(* ----- flight-recorder overhead ----- *)
+
+(* The recorded flight-recorder overhead ratio this machine class is
+   expected to stay within 2x of; regenerate with
+   [bench trace --rebaseline]. *)
+let trace_baseline_path = "bench/trace_baseline.json"
+
+let run_trace_bench ~smoke ~rebaseline () =
+  Printf.printf "\n=== flight-recorder overhead (split k=8, sequential store)%s ===\n"
+    (if smoke then " [smoke]" else "");
+  let quota = if smoke then 0.1 else 0.5 in
+  let layout = Layout.create () in
+  let sp = Split.create layout ~k:8 in
+  let mem = Store.seq_create layout in
+  let pid = 123_456_789 in
+  let bare_ops = Store.seq_ops mem ~pid in
+  let ring = Obs.Flight.create () in
+  let clock = ref 0 in
+  let traced_ops =
+    Store.probed (Obs.Flight.probe ring ~pid ~clock:(fun () -> !clock)) bare_ops
+  in
+  let bare () =
+    let lease = Split.get_name sp bare_ops in
+    Split.release_name sp bare_ops lease
+  in
+  let traced () =
+    incr clock;
+    let lease = Split.get_name sp traced_ops in
+    Obs.Flight.record ring ~clock:!clock ~pid
+      (Obs.Flight.Acquired (Split.name_of sp lease));
+    Split.release_name sp traced_ops lease;
+    Obs.Flight.record ring ~clock:!clock ~pid
+      (Obs.Flight.Released (Split.name_of sp lease))
+  in
+  let bare_ns = measure_ns ~quota ~name:"bare" bare in
+  let traced_ns = measure_ns ~quota ~name:"traced" traced in
+  let overhead = traced_ns /. bare_ns in
+  Printf.printf "bare          : %8.1f ns/cycle\n" bare_ns;
+  (* per cycle: 7 splitters x (Enter + Exit + Release) + Acquired + Released *)
+  Printf.printf "traced        : %8.1f ns/cycle (23 ring record(s)/cycle)\n" traced_ns;
+  Printf.printf "overhead      : %8.2fx\n" overhead;
+  let json =
+    Printf.sprintf
+      "{\"id\":\"trace\",\"smoke\":%b,\"bare_ns\":%.1f,\"traced_ns\":%.1f,\"overhead\":%.3f}\n"
+      smoke bare_ns traced_ns overhead
+  in
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_trace.json";
+  if rebaseline then begin
+    let oc = open_out trace_baseline_path in
+    Printf.fprintf oc "{\"id\":\"trace_baseline\",\"overhead\":%.3f}\n" overhead;
+    close_out oc;
+    Printf.printf "recorded new baseline %.3fx in %s\n" overhead trace_baseline_path;
+    true
+  end
+  else
+    match read_baseline_from trace_baseline_path with
+    | None ->
+        Printf.printf "no %s; skipping the regression gate\n" trace_baseline_path;
+        true
+    | Some base ->
+        let ok = Float.is_nan overhead || overhead <= 2.0 *. base in
+        Printf.printf "baseline      : %8.2fx (gate: <= %.2fx) -> %s\n" base (2.0 *. base)
+          (if ok then "OK" else "REGRESSED");
+        ok
+
 (* ----- lib/recovery wrapper overhead + reclamation latency ----- *)
 
 (* The recorded wrapper overhead ratio the gate allows 1.5x of;
@@ -510,13 +582,16 @@ let () =
       else if String.equal id "obs" then begin
         if not (run_obs_bench ~smoke ~rebaseline ()) then incr failures
       end
+      else if String.equal id "trace" then begin
+        if not (run_trace_bench ~smoke ~rebaseline ()) then incr failures
+      end
       else if String.equal id "recovery" then begin
         if not (run_recovery_bench ~smoke ~rebaseline ()) then incr failures
       end
       else
         match Experiments.find id with
         | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, recovery)\n"
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery)\n"
               id
         | Some run ->
             let r = run () in
@@ -529,6 +604,7 @@ let () =
     run_wall_clock ();
     run_modelcheck_bench ();
     if not (run_obs_bench ~smoke ~rebaseline ()) then incr failures;
+    if not (run_trace_bench ~smoke ~rebaseline ()) then incr failures;
     if not (run_recovery_bench ~smoke ~rebaseline ()) then incr failures
   end;
   (match !reports with

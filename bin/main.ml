@@ -715,6 +715,236 @@ let trace protocol k s procs cycles seed tail =
   Fmt.pr "@.%s@." (Sim.Trace.timeline tr);
   0
 
+(* ----- trace record/analyze/export/provenance ----- *)
+
+(* Run a workload with the structural flight recorder installed;
+   returns the ring and a human label.  Three run modes mirror the
+   rest of the CLI: the deterministic simulator (default), real OS
+   domains (--domains N), and the crash-recovery wrapper under a
+   generated crash plan (--recover, simulator). *)
+let record_ring protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode =
+  let layout = Layout.create () in
+  if ndomains > 0 then begin
+    let Setup { proto = (module P); inst; label }, pids =
+      build protocol layout ~k ~s ~procs:ndomains
+    in
+    let ring = Obs.Flight.create () in
+    let r =
+      Runtime.Domain_runner.run ~flight:ring (module P) inst ~layout ~pids ~cycles
+        ~name_space:(P.name_space inst)
+    in
+    if r.violations > 0 then
+      Fmt.epr "warning: %d uniqueness violation(s) while recording@." r.violations;
+    (ring, Printf.sprintf "%s across %d OS domains" label ndomains)
+  end
+  else if recover_mode then begin
+    let Setup { proto = (module P); inst; label }, pids =
+      build protocol layout ~k ~s ~procs
+    in
+    let rc =
+      Recovery.create
+        (module P)
+        inst ~layout ~pids
+        (Recovery.default_config ~lease_ttl:4 ~seed ~capacity:(Array.length pids) ())
+    in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let spec = Workload.churn ~cycles () in
+    let fr = Sim.Flight_rec.create () in
+    let plan =
+      Sim.Faults.gen_crash
+        (Sim.Rng.make (seed lxor 0x0F_AC_ED))
+        ~nprocs:(Array.length pids)
+        ~max_cycle:(max 1 (min 3 cycles))
+        ()
+    in
+    let stop = ref (fun () -> false) in
+    let reclaimer_pid = 1 + Array.fold_left max 0 pids in
+    let reclaimer (ops : Store.ops) =
+      let budget = ref 100_000 in
+      while (not (!stop ()) || Recovery.outstanding rc > 0) && !budget > 0 do
+        decr budget;
+        ignore (ops.read work);
+        ignore
+          (Recovery.scan rc ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
+               Sim.Sched.emit (Sim.Event.Note ("reclaimed", name)))
+            : int)
+      done
+    in
+    let ctrl = Sim.Faults.controller plan in
+    let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+    let monitor =
+      Sim.Flight_rec.monitor
+        ~chain:
+          (Sim.Checks.combine [ Sim.Checks.uniqueness_monitor u; Sim.Faults.monitor ctrl ])
+        fr
+    in
+    let body ops = Workload.resilient_body rc ~work spec (Sim.Flight_rec.wrap fr ops) in
+    let t =
+      Sim.Sched.create ~monitor layout
+        (Array.append
+           (Array.map (fun pid -> (pid, body)) pids)
+           [| (reclaimer_pid, reclaimer) |])
+    in
+    stop :=
+      (fun () ->
+        let frozen = Sim.Faults.parked ctrl in
+        let n = Array.length pids in
+        let rec all i =
+          i >= n || ((Sim.Sched.finished t i || List.mem i frozen) && all (i + 1))
+        in
+        all 0);
+    (match Sim.Faults.run ~max_steps:1_000_000 ctrl t (Sim.Sched.random (Sim.Rng.make seed)) with
+    | (_ : Sim.Sched.outcome) -> ()
+    | exception Sim.Model_check.Violation m -> Fmt.epr "violation: %s@." m);
+    Sim.Sched.abort t;
+    (Sim.Flight_rec.ring fr, Printf.sprintf "%s + recovery on the simulator" label)
+  end
+  else begin
+    let Setup { proto = (module P); inst; label }, pids =
+      build protocol layout ~k ~s ~procs
+    in
+    let work = Layout.alloc layout ~name:"work" 0 in
+    let fr = Sim.Flight_rec.create () in
+    let body (ops : Store.ops) =
+      let ops = Sim.Flight_rec.wrap fr ops in
+      for _ = 1 to cycles do
+        let lease = P.get_name inst ops in
+        Sim.Sched.emit (Sim.Event.Acquired (P.name_of inst lease));
+        ignore (ops.read work);
+        Sim.Sched.emit (Sim.Event.Released (P.name_of inst lease));
+        P.release_name inst ops lease
+      done
+    in
+    let u = Sim.Checks.uniqueness ~name_space:(P.name_space inst) () in
+    let monitor = Sim.Flight_rec.monitor ~chain:(Sim.Checks.uniqueness_monitor u) fr in
+    let t = Sim.Sched.create ~monitor layout (Array.map (fun pid -> (pid, body)) pids) in
+    let outcome =
+      Sim.Sched.run ~max_steps:50_000_000 t (Sim.Sched.random (Sim.Rng.make seed))
+    in
+    if outcome.truncated then Fmt.epr "warning: run truncated at the step budget@.";
+    (Sim.Flight_rec.ring fr, Printf.sprintf "%s on the simulator" label)
+  end
+
+(* --file FILE re-analyzes a saved renaming.flight/v1 document instead
+   of recording a fresh run. *)
+let load_ring file protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode =
+  match file with
+  | Some path ->
+      let ic = open_in_bin path in
+      let doc = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Obs.Flight.of_string doc with
+      | Ok ring -> (ring, path)
+      | Error e ->
+          Fmt.epr "error: %s: %s@." path e;
+          exit 2)
+  | None -> record_ring protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
+
+let trace_record protocol k s procs cycles seed ndomains recover_mode out =
+  let ring, label =
+    record_ring protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
+  in
+  let doc = Obs.Flight.to_string ring in
+  (match out with
+  | Some path ->
+      write_file path doc;
+      Fmt.epr "recorded %d event(s) (%d dropped) from %s -> %s@." (Obs.Flight.length ring)
+        (Obs.Flight.dropped ring) label path
+  | None -> print_string doc);
+  0
+
+let trace_analyze protocol k s procs cycles seed ndomains recover_mode file bound =
+  let ring, label =
+    load_ring file protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
+  in
+  let report = Obs.Analyze.analyze (Obs.Flight.items ring) in
+  (* The Lemma 9 bound d(k-1) on simultaneously-blocked trees applies
+     to paper-constraint FILTER instances; compute it only when we know
+     the parameters (an inline FILTER run), or take it from --bound. *)
+  let blocked_bound =
+    match bound with
+    | Some b -> Some b
+    | None ->
+        if file = None && ndomains = 0 && String.equal protocol "filter" then
+          let (p : Params.filter_params) = Params.choose ~k ~s in
+          Some (p.d * (k - 1))
+        else None
+  in
+  Fmt.pr "source         : %s@." label;
+  Fmt.pr "events         : %d recorded, %d dropped@." (Obs.Flight.length ring)
+    (Obs.Flight.dropped ring);
+  Fmt.pr "acquisitions   : %d (max simultaneously-blocked trees %d%s)@."
+    (List.length report.acquisitions)
+    report.max_blocked_trees
+    (match blocked_bound with
+    | Some b -> Printf.sprintf ", bound %d" b
+    | None -> "");
+  Fmt.pr "@.%s@." (Obs.Analyze.heatmap report);
+  match Obs.Analyze.check ?blocked_bound report with
+  | [] ->
+      Fmt.pr "occupancy      : OK (all structural bounds hold over the recorded run)@.";
+      0
+  | violations ->
+      List.iter (fun v -> Fmt.pr "VIOLATION      : %s@." v) violations;
+      1
+
+let trace_export protocol k s procs cycles seed ndomains recover_mode file out =
+  let ring, _ =
+    load_ring file protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
+  in
+  let doc = Obs.Perfetto.to_chrome_json (Obs.Flight.items ring) in
+  (match out with
+  | Some path ->
+      write_file path doc;
+      Fmt.epr "wrote %d event(s) as Chrome trace JSON -> %s (open in ui.perfetto.dev)@."
+        (Obs.Flight.length ring) path
+  | None -> print_endline doc);
+  0
+
+let trace_provenance protocol k s procs cycles seed ndomains recover_mode file pid_filter
+    name_filter =
+  let ring, label =
+    load_ring file protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
+  in
+  let report = Obs.Analyze.analyze (Obs.Flight.items ring) in
+  let keep (a : Obs.Analyze.acquisition) =
+    (match pid_filter with Some p -> a.pid = p | None -> true)
+    && match name_filter with Some n -> a.name = n | None -> true
+  in
+  let acqs = List.filter keep report.acquisitions in
+  Fmt.pr "%s: %d acquisition(s)%s@." label (List.length acqs)
+    (if List.length acqs <> List.length report.acquisitions then
+       Printf.sprintf " (of %d)" (List.length report.acquisitions)
+     else "");
+  List.iter
+    (fun (a : Obs.Analyze.acquisition) ->
+      Fmt.pr "@.p%d acquired name %d  [clock %d..%s]@." a.pid a.name a.start_clock
+        (if a.end_clock = max_int then "end" else string_of_int a.end_clock);
+      (match a.path with
+      | [] -> ()
+      | path ->
+          Fmt.pr "  path    : %s@."
+            (String.concat " -> "
+               (List.map
+                  (fun (loc, d) -> Printf.sprintf "%s(%+d)" (Obs.Loc.to_string loc) d)
+                  path)));
+      (match a.won_tree with
+      | Some m -> Fmt.pr "  won tree: %d@." m
+      | None -> ());
+      (match a.blocked_trees with
+      | [] -> ()
+      | ts ->
+          Fmt.pr "  blocked : %d tree(s) (%s)@." (List.length ts)
+            (String.concat "," (List.map string_of_int ts)));
+      List.iter
+        (fun (loc, pids) ->
+          if pids <> [] then
+            Fmt.pr "  overlap : %s with %s@." (Obs.Loc.to_string loc)
+              (String.concat "," (List.map (fun p -> Printf.sprintf "p%d" p) pids)))
+        a.interference)
+    acqs;
+  if acqs = [] && (pid_filter <> None || name_filter <> None) then 1 else 0
+
 (* ----- cmdliner wiring ----- *)
 
 let protocol_arg =
@@ -792,10 +1022,87 @@ let trace_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed.") in
   let tail = Arg.(value & opt int 120 & info [ "tail" ] ~docv:"N"
                   ~doc:"Show only the last $(docv) trace items.") in
-  Cmd.v
-    (Cmd.info "trace" ~doc:"Print the access-by-access execution trace of a small run")
+  let dump_term =
     Term.(const trace $ protocol_arg $ k_arg 2 $ s_arg 16 $ procs $ cycles_arg 1 $ seed
           $ tail)
+  in
+  (* Shared arguments of the flight-recorder subcommands. *)
+  let fprocs = Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N"
+                    ~doc:"Concurrent processes (default $(b,k)).") in
+  let ndomains = Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+                      ~doc:"Record across $(docv) real OS domains instead of the \
+                            simulator (per-domain clocks; no cross-pid ordering).") in
+  let recover_flag = Arg.(value & flag & info [ "recover" ]
+                          ~doc:"Record a crash-recovery run: a generated crash plan \
+                                plus a reclaimer (simulator only).") in
+  let file_arg = Arg.(value & opt (some string) None
+                      & info [ "file" ] ~docv:"FILE"
+                        ~doc:"Analyze a saved renaming.flight/v1 document instead of \
+                              recording a fresh run.") in
+  let out_arg = Arg.(value & opt (some string) None
+                     & info [ "o"; "out" ] ~docv:"FILE"
+                       ~doc:"Write to $(docv) instead of stdout.") in
+  let with_run f =
+    Term.(f $ protocol_arg $ k_arg 4 $ s_arg 81 $ fprocs $ cycles_arg 3 $ seed $ ndomains
+          $ recover_flag)
+  in
+  let record_cmd =
+    let run protocol k s procs cycles seed ndomains recover out =
+      trace_record protocol k s (if procs <= 0 then k else procs) cycles seed ndomains
+        recover out
+    in
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:"Run with the flight recorder on and save the renaming.flight/v1 ring")
+      Term.(with_run (const run) $ out_arg)
+  in
+  let analyze_cmd =
+    let bound = Arg.(value & opt (some int) None
+                     & info [ "bound" ] ~docv:"B"
+                       ~doc:"Check at most $(docv) simultaneously-blocked trees per \
+                             acquisition (default: d(k-1) for inline FILTER runs).") in
+    let run protocol k s procs cycles seed ndomains recover file bound =
+      trace_analyze protocol k s (if procs <= 0 then k else procs) cycles seed ndomains
+        recover file bound
+    in
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Reconstruct per-splitter/per-tree occupancy from a flight ring; exits \
+               nonzero if a structural bound is violated")
+      Term.(with_run (const run) $ file_arg $ bound)
+  in
+  let export_cmd =
+    let run protocol k s procs cycles seed ndomains recover file out =
+      trace_export protocol k s (if procs <= 0 then k else procs) cycles seed ndomains
+        recover file out
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:"Export a flight ring as Chrome trace-event JSON (open in ui.perfetto.dev)")
+      Term.(with_run (const run) $ file_arg $ out_arg)
+  in
+  let provenance_cmd =
+    let pid_f = Arg.(value & opt (some int) None
+                     & info [ "pid" ] ~docv:"PID" ~doc:"Only acquisitions by $(docv).") in
+    let name_f = Arg.(value & opt (some int) None
+                      & info [ "name" ] ~docv:"NAME"
+                        ~doc:"Only acquisitions of destination name $(docv).") in
+    let run protocol k s procs cycles seed ndomains recover file pid name =
+      trace_provenance protocol k s (if procs <= 0 then k else procs) cycles seed ndomains
+        recover file pid name
+    in
+    Cmd.v
+      (Cmd.info "provenance"
+         ~doc:"Reconstruct how each granted name was acquired: splitter path, trees \
+               blocked, processes overlapped")
+      Term.(with_run (const run) $ file_arg $ pid_f $ name_f)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Execution traces: the access-by-access dump (default), plus the \
+             structural flight recorder (record/analyze/export/provenance)")
+    ~default:dump_term
+    [ record_cmd; analyze_cmd; export_cmd; provenance_cmd ]
 
 let domains_cmd =
   Cmd.v

@@ -19,7 +19,7 @@ type lease = {
   lease_advances : int list; (* trees advanced per completed round, oldest first *)
 }
 
-let create ?(tight = false) layout cfg =
+let create ?(tight = false) ?(stage = 0) layout cfg =
   let family = Numeric.Cover_free.create ~tight ~k:cfg.k ~d:cfg.d ~z:cfg.z () in
   if not (Numeric.Cover_free.admits_source family cfg.s) then
     invalid_arg "Filter.create: requirement (1) violated: need S <= z^(d+1)";
@@ -48,7 +48,9 @@ let create ?(tight = false) layout cfg =
     match Hashtbl.find_opt blocks key with
     | Some b -> b
     | None ->
-        let b = Pf_mutex.create layout in
+        let b =
+          Pf_mutex.create ~loc:(Obs.Loc.Mutex { stage; tree = m; level; node }) layout
+        in
         Hashtbl.add blocks key b;
         t.blocks <- t.blocks + 1;
         b

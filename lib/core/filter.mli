@@ -28,11 +28,13 @@ type config = {
           [k] may be active concurrently. *)
 }
 
-val create : ?tight:bool -> Shared_mem.Layout.t -> config -> t
+val create : ?tight:bool -> ?stage:int -> Shared_mem.Layout.t -> config -> t
 (** Allocates every mutex block on a participant's path in a tree of a
     name of its [N_p] set.  [~tight:true] selects the §4.1 remark's
     relaxed requirement (2) — [z > d(k-1)] with a [z]-point probe set —
-    used by the E8 ablation.
+    used by the E8 ablation.  Each block is labelled
+    [Obs.Loc.Mutex {stage; tree = destination name; level; node}]
+    ([stage] default 0) for trace attribution.
     @raise Invalid_argument if the parameters violate the paper's
     requirements (1) [s ≤ z^(d+1)] or (2) [z ≥ 2d(k-1)], if [z] is not
     prime, or if a participant is outside [\[0, s)]. *)

@@ -19,14 +19,23 @@ let is_present v = v land 2 <> 0
 let present t = 2 lor t
 let absent t = t
 
-type t = { r : Cell.t array (* r.(0), r.(1): one register per direction *) }
+type t = {
+  r : Cell.t array; (* r.(0), r.(1): one register per direction *)
+  loc : Obs.Loc.t;
+}
 type slot = int (* own turn bit *)
 
 let dummy = 0
 
-let create layout = { r = Layout.alloc_array layout ~name:"R" 2 (absent 0) }
+let default_loc = Obs.Loc.Mutex { stage = 0; tree = 0; level = 0; node = 0 }
+
+let create ?(loc = default_loc) layout =
+  { r = Layout.alloc_array layout ~name:"R" 2 (absent 0); loc }
+
+let loc t = t.loc
 
 let enter t (ops : Store.ops) ~dir =
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Enter t.loc);
   (* Recover the persisted turn bit (a previous process may have used
      this direction), raise presence without disturbing it, then point
      the combined turn at ourselves — yielding to any opponent. *)
@@ -39,9 +48,13 @@ let enter t (ops : Store.ops) ~dir =
 
 let check t (ops : Store.ops) ~dir own =
   let opp = ops.read t.r.(1 - dir) in
-  (not (is_present opp)) || own lxor turn_bit opp <> dir
+  let ok = (not (is_present opp)) || own lxor turn_bit opp <> dir in
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Check (t.loc, ok));
+  ok
 
-let release t (ops : Store.ops) ~dir own = ops.write t.r.(dir) (absent own)
+let release t (ops : Store.ops) ~dir own =
+  ops.write t.r.(dir) (absent own);
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Release t.loc)
 
 let reset t (ops : Store.ops) ~dir =
   (* Crash recovery: drop the direction's presence bit without the
@@ -50,4 +63,5 @@ let reset t (ops : Store.ops) ~dir =
      ordinary release (clearing it re-admits the Turn_lost_on_release
      interleavings). *)
   let v = ops.read t.r.(dir) in
-  ops.write t.r.(dir) (absent (turn_bit v))
+  ops.write t.r.(dir) (absent (turn_bit v));
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Release t.loc)

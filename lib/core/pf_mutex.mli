@@ -35,7 +35,16 @@
 
 type t
 
-val create : Shared_mem.Layout.t -> t
+val create : ?loc:Obs.Loc.t -> Shared_mem.Layout.t -> t
+(** [loc] is the stable structural label reported on every traced step
+    (default [Mutex {stage = 0; tree = 0; level = 0; node = 0}]);
+    {!Renaming.Tournament} and {!Renaming.Filter} label each block with
+    its tree/level/node coordinates.  Probes: [Enter loc] on {!enter},
+    [Check (loc, result)] on {!check}, [Release loc] on {!release} and
+    {!reset}. *)
+
+val loc : t -> Obs.Loc.t
+(** The structural label given at {!create} time. *)
 
 type slot
 (** The turn bit written by [enter]; needed by [check] and [release]

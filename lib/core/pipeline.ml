@@ -2,8 +2,8 @@ type stage_info = { kind : string; source : int; dest : int; detail : string }
 type t = { stages : stage_info list; proto : Protocol.Any.t }
 type lease = Protocol.Any.lease
 
-let split_stage layout ~k ~s =
-  let sp = Split.create layout ~k in
+let split_stage ?stage layout ~k ~s =
+  let sp = Split.create ?stage layout ~k in
   let info =
     {
       kind = "split";
@@ -14,8 +14,8 @@ let split_stage layout ~k ~s =
   in
   (info, Protocol.Any.pack (module Split) sp)
 
-let filter_stage layout ~k ~s ~participants (p : Params.filter_params) =
-  let f = Filter.create layout { k; d = p.d; z = p.z; s; participants } in
+let filter_stage ?stage layout ~k ~s ~participants (p : Params.filter_params) =
+  let f = Filter.create ?stage layout { k; d = p.d; z = p.z; s; participants } in
   let info =
     {
       kind = "filter";
@@ -41,6 +41,8 @@ let create layout ~k ~s ~participants =
     participants;
   let stages = ref [] in
   let push st = stages := st :: !stages in
+  (* trace label: each stage gets its 1-based pipeline position *)
+  let next_stage () = List.length !stages + 1 in
   (* Stage 1: SPLIT if the source space is beyond every FILTER regime
      we could afford directly. *)
   let pow3 = Numeric.Intmath.pow 3 in
@@ -48,7 +50,7 @@ let create layout ~k ~s ~participants =
   let cur_s, cur_participants =
     if s > split_dest then begin
       if k > 12 then invalid_arg "Pipeline.create: SPLIT needed but k > 12";
-      push (split_stage layout ~k ~s);
+      push (split_stage ~stage:(next_stage ()) layout ~k ~s);
       (split_dest, Array.init split_dest Fun.id)
     end
     else (s, participants)
@@ -61,7 +63,7 @@ let create layout ~k ~s ~participants =
       let dest = Params.name_space ~k p in
       if dest >= cur_s then (cur_s, cur_participants)
       else begin
-        push (filter_stage layout ~k ~s:cur_s ~participants:cur_participants p);
+        push (filter_stage ~stage:(next_stage ()) layout ~k ~s:cur_s ~participants:cur_participants p);
         filters dest (Array.init dest Fun.id)
       end
   in

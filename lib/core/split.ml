@@ -9,11 +9,16 @@ type lease = { name : int; path : (Splitter.t * Splitter.token) array }
 
 let pow3 n = Numeric.Intmath.pow 3 n
 
-let create layout ~k =
+let create ?(stage = 0) layout ~k =
   if k < 1 then invalid_arg "Split.create: k must be >= 1";
   if k > 12 then invalid_arg "Split.create: k > 12 needs a 3^k-node tree";
   let interior = (pow3 (k - 1) - 1) / 2 in
-  { k; nodes = Array.init interior (fun _ -> Splitter.create layout) }
+  {
+    k;
+    nodes =
+      Array.init interior (fun i ->
+          Splitter.create ~loc:(Obs.Loc.Splitter { stage; node = i }) layout);
+  }
 
 let k t = t.k
 let name_space t = pow3 (t.k - 1)

@@ -20,8 +20,11 @@
 
 include Protocol.S
 
-val create : Shared_mem.Layout.t -> k:int -> t
-(** Allocates the [(3^(k-1) - 1) / 2] interior splitters.
+val create : ?stage:int -> Shared_mem.Layout.t -> k:int -> t
+(** Allocates the [(3^(k-1) - 1) / 2] interior splitters, each
+    labelled [Obs.Loc.Splitter {stage; node}] with its heap index
+    (children of node [i] are [3i+1..3i+3]); [stage] (default 0)
+    distinguishes pipeline stages in traces.
     @raise Invalid_argument if [k < 1] or [k > 12] (the tree would
     exceed ~265k registers). *)
 

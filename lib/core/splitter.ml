@@ -3,17 +3,21 @@ open Shared_mem
 (* ADVICE registers hold -1, 1 or "bottom", encoded as 0. *)
 let bottom = 0
 
-type t = { last : Cell.t; advice1 : Cell.t; advice2 : Cell.t }
+type t = { last : Cell.t; advice1 : Cell.t; advice2 : Cell.t; loc : Obs.Loc.t }
 type token = { advice : int; adv2 : bool; direction : int }
 
-let create layout =
+let create ?(loc = Obs.Loc.Splitter { stage = 0; node = 0 }) layout =
   {
     last = Layout.alloc layout ~name:"LAST" (-1);
     advice1 = Layout.alloc layout ~name:"ADVICE1" 1;
     advice2 = Layout.alloc layout ~name:"ADVICE2" 1;
+    loc;
   }
 
+let loc t = t.loc
+
 let enter t (ops : Store.ops) =
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Enter t.loc);
   ops.write t.last ops.pid;
   (* 1 *)
   let a = ops.read t.advice1 in
@@ -28,6 +32,7 @@ let enter t (ops : Store.ops) =
   (* 6 *)
   let direction = if ops.read t.last = ops.pid then a else 0 in
   (* 7 *)
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Exit (t.loc, direction));
   { advice = a; adv2; direction }
 
 let direction tok = tok.direction
@@ -35,7 +40,8 @@ let direction tok = tok.direction
 let release t (ops : Store.ops) tok =
   if ops.read t.last = ops.pid then (* 9 *)
     ops.write t.advice1 tok.advice (* 10 *);
-  if not tok.adv2 then ops.write t.advice1 bottom (* 11 *)
+  if not tok.adv2 then ops.write t.advice1 bottom (* 11 *);
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Release t.loc)
 
 let reset t (ops : Store.ops) tok =
   (* Release on the corpse's behalf ([ops.pid] is the dead process's
@@ -47,4 +53,5 @@ let reset t (ops : Store.ops) tok =
     ops.write t.advice1 tok.advice;
     ops.write t.last (-1)
   end;
-  if not tok.adv2 then ops.write t.advice1 bottom
+  if not tok.adv2 then ops.write t.advice1 bottom;
+  if not (Obs.Probe.is_null ops.probe) then ops.probe (Obs.Probe.Release t.loc)

@@ -24,18 +24,26 @@ type t
 type token
 (** Per-entry bookkeeping ([advice], [adv2]) needed by [release]. *)
 
-val create : Shared_mem.Layout.t -> t
-(** Allocates [LAST], [ADVICE[1]], [ADVICE[2]]. *)
+val create : ?loc:Obs.Loc.t -> Shared_mem.Layout.t -> t
+(** Allocates [LAST], [ADVICE[1]], [ADVICE[2]].  [loc] is the stable
+    structural label reported on every traced step (default
+    [Splitter {stage = 0; node = 0}]); {!Renaming.Split} labels each
+    node with its heap index. *)
+
+val loc : t -> Obs.Loc.t
+(** The structural label given at {!create} time. *)
 
 val enter : t -> Shared_mem.Store.ops -> token
-(** Join an output set; the set joined is [direction] of the token. *)
+(** Join an output set; the set joined is [direction] of the token.
+    Probes: [Enter loc] before the first access, [Exit (loc, dir)]
+    after the last. *)
 
 val direction : token -> int
 (** The output set assigned: [-1], [0] or [1]. *)
 
 val release : t -> Shared_mem.Store.ops -> token -> unit
 (** Leave the output set.  A token must be released exactly once,
-    before the same process re-enters. *)
+    before the same process re-enters.  Probes [Release loc]. *)
 
 val reset : t -> Shared_mem.Store.ops -> token -> unit
 (** Crash recovery: release the token on behalf of a {e dead} holder.

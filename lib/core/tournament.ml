@@ -4,13 +4,26 @@ type t = {
   block : level:int -> node:int -> Pf_mutex.t;
 }
 
-let create layout ~inputs =
+let create ?(stage = 0) ?(tree = 0) layout ~inputs =
   if inputs < 1 then invalid_arg "Tournament.create";
   let levels = Numeric.Intmath.ceil_log2 (max inputs 2) in
   let width = 1 lsl levels in
-  let blocks = Array.init (width - 1) (fun _ -> Pf_mutex.create layout) in
   (* level l in 1..levels has width lsr l blocks, stored after all
-     blocks of lower levels: offset(l) = width - 2^(levels - l + 1) *)
+     blocks of lower levels: offset(l) = width - 2^(levels - l + 1);
+     recover (level, node) from the flat index so each block carries
+     its structural label while the register allocation order stays
+     identical to a plain [Array.init]. *)
+  let blocks =
+    Array.init (width - 1) (fun i ->
+        let level = ref 1 and rem = ref i in
+        while !rem >= width lsr !level do
+          rem := !rem - (width lsr !level);
+          incr level
+        done;
+        Pf_mutex.create
+          ~loc:(Obs.Loc.Mutex { stage; tree; level = !level; node = !rem })
+          layout)
+  in
   let block ~level ~node = blocks.((width - (1 lsl (levels - level + 1))) + node) in
   { levels; inputs = width; block }
 

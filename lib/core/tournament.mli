@@ -16,9 +16,11 @@
 
 type t
 
-val create : Shared_mem.Layout.t -> inputs:int -> t
+val create : ?stage:int -> ?tree:int -> Shared_mem.Layout.t -> inputs:int -> t
 (** Eagerly allocates the [2^levels - 1] blocks for the least [levels]
-    with [2^levels ≥ max inputs 2].
+    with [2^levels ≥ max inputs 2].  Each block is labelled
+    [Obs.Loc.Mutex {stage; tree; level; node}] (defaults 0) so probes
+    attribute contention to tree coordinates.
     @raise Invalid_argument if [inputs < 1]. *)
 
 val create_with :

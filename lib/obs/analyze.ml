@@ -1,0 +1,411 @@
+type node_stat = {
+  loc : Loc.t;
+  enters : int;
+  releases : int;
+  max_inside : int;
+  dir_max : int array;
+  dir_exits : int array;
+  checks : int;
+  check_failures : int;
+  orphan_releases : int;
+}
+
+type acquisition = {
+  pid : int;
+  name : int;
+  start_clock : int;
+  end_clock : int;
+  path : (Loc.t * int) list;
+  interference : (Loc.t * int list) list;
+  blocked_trees : int list;
+  won_tree : int option;
+}
+
+type report = {
+  nodes : node_stat list;
+  acquisitions : acquisition list;
+  orphan_releases : int;
+  max_blocked_trees : int;
+}
+
+(* mutable accumulation per node *)
+type acc = {
+  aloc : Loc.t;
+  mutable aenters : int;
+  mutable areleases : int;
+  inside : (int, unit) Hashtbl.t;  (* pid -> () while Enter..Release *)
+  mutable amax_inside : int;
+  dir_of : (int, int) Hashtbl.t;  (* pid -> assigned direction, Exit..Release *)
+  dir_cur : int array;
+  adir_max : int array;
+  adir_exits : int array;
+  mutable achecks : int;
+  mutable afailures : int;
+  mutable aorphans : int;
+}
+
+let node_of tbl loc =
+  let key = Loc.encode loc in
+  match Hashtbl.find_opt tbl key with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          aloc = loc;
+          aenters = 0;
+          areleases = 0;
+          inside = Hashtbl.create 8;
+          amax_inside = 0;
+          dir_of = Hashtbl.create 8;
+          dir_cur = Array.make 3 0;
+          adir_max = Array.make 3 0;
+          adir_exits = Array.make 3 0;
+          achecks = 0;
+          afailures = 0;
+          aorphans = 0;
+        }
+      in
+      Hashtbl.add tbl key a;
+      a
+
+(* One open splitter visit, for interference reconstruction. *)
+type visit = {
+  vpid : int;
+  venter : int;
+  mutable vexit : int;
+  mutable vrelease : int;  (* max_int while still inside *)
+}
+
+let analyze (records : Flight.record list) =
+  let nodes : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let visits : (int, visit list ref) Hashtbl.t = Hashtbl.create 64 in
+  let open_visits : (int * int, visit) Hashtbl.t = Hashtbl.create 64 in
+  let visit_list loc =
+    let key = Loc.encode loc in
+    match Hashtbl.find_opt visits key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add visits key l;
+        l
+  in
+  (* pass 1: per-node occupancy + visit intervals, in record order *)
+  List.iter
+    (fun { Flight.clock; pid; event } ->
+      match event with
+      | Flight.Enter loc ->
+          let a = node_of nodes loc in
+          a.aenters <- a.aenters + 1;
+          if not (Hashtbl.mem a.inside pid) then Hashtbl.replace a.inside pid ();
+          a.amax_inside <- max a.amax_inside (Hashtbl.length a.inside);
+          (match loc with
+          | Loc.Splitter _ ->
+              let v = { vpid = pid; venter = clock; vexit = clock; vrelease = max_int } in
+              let l = visit_list loc in
+              l := v :: !l;
+              Hashtbl.replace open_visits (Loc.encode loc, pid) v
+          | Loc.Mutex _ -> ())
+      | Flight.Exit (loc, dir) ->
+          let a = node_of nodes loc in
+          let di = dir + 1 in
+          if di >= 0 && di < 3 then begin
+            a.adir_exits.(di) <- a.adir_exits.(di) + 1;
+            (* a process sits in one output set at a time *)
+            (match Hashtbl.find_opt a.dir_of pid with
+            | Some old -> a.dir_cur.(old + 1) <- a.dir_cur.(old + 1) - 1
+            | None -> ());
+            Hashtbl.replace a.dir_of pid dir;
+            a.dir_cur.(di) <- a.dir_cur.(di) + 1;
+            a.adir_max.(di) <- max a.adir_max.(di) a.dir_cur.(di)
+          end;
+          (match Hashtbl.find_opt open_visits (Loc.encode loc, pid) with
+          | Some v -> v.vexit <- clock
+          | None -> ())
+      | Flight.Check (loc, ok) ->
+          let a = node_of nodes loc in
+          a.achecks <- a.achecks + 1;
+          if not ok then a.afailures <- a.afailures + 1
+      | Flight.Release loc ->
+          let a = node_of nodes loc in
+          if Hashtbl.mem a.inside pid then begin
+            Hashtbl.remove a.inside pid;
+            a.areleases <- a.areleases + 1;
+            (match Hashtbl.find_opt a.dir_of pid with
+            | Some d ->
+                a.dir_cur.(d + 1) <- a.dir_cur.(d + 1) - 1;
+                Hashtbl.remove a.dir_of pid
+            | None -> ());
+            match Hashtbl.find_opt open_visits (Loc.encode loc, pid) with
+            | Some v ->
+                v.vrelease <- clock;
+                Hashtbl.remove open_visits (Loc.encode loc, pid)
+            | None -> ()
+          end
+          else a.aorphans <- a.aorphans + 1
+      | Flight.Acquired _ | Flight.Released _ | Flight.Mark _ -> ())
+    records;
+  (* pass 2: per-pid acquisition segments *)
+  let by_pid : (int, Flight.record list ref) Hashtbl.t = Hashtbl.create 16 in
+  let pids_in_order = ref [] in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt by_pid r.Flight.pid with
+      | Some l -> l := r :: !l
+      | None ->
+          Hashtbl.add by_pid r.Flight.pid (ref [ r ]);
+          pids_in_order := r.Flight.pid :: !pids_in_order)
+    records;
+  let interferers loc ~pid ~enter ~exit_ =
+    let l = match Hashtbl.find_opt visits (Loc.encode loc) with Some l -> !l | None -> [] in
+    List.filter_map
+      (fun v ->
+        if v.vpid <> pid && v.venter <= exit_ && v.vrelease >= enter then Some v.vpid
+        else None)
+      l
+    |> List.sort_uniq compare
+  in
+  let acquisitions = ref [] in
+  List.iter
+    (fun pid ->
+      let evs = List.rev !(Hashtbl.find by_pid pid) in
+      let segment = ref [] in
+      let seg_start = ref 0 in
+      List.iter
+        (fun ({ Flight.clock; event; _ } as r) ->
+          match event with
+          | Flight.Acquired name ->
+              let seg = List.rev !segment in
+              let enters = Hashtbl.create 8 in
+              List.iter
+                (fun { Flight.clock; event; _ } ->
+                  match event with
+                  | Flight.Enter (Loc.Splitter _ as l) ->
+                      Hashtbl.replace enters (Loc.encode l) clock
+                  | _ -> ())
+                seg;
+              let path =
+                List.filter_map
+                  (fun { Flight.clock; event; _ } ->
+                    match event with
+                    | Flight.Exit ((Loc.Splitter _ as l), dir) -> Some (l, dir, clock)
+                    | _ -> None)
+                  seg
+              in
+              let interference =
+                List.map
+                  (fun (l, _, exit_) ->
+                    let enter =
+                      Option.value ~default:!seg_start
+                        (Hashtbl.find_opt enters (Loc.encode l))
+                    in
+                    (l, interferers l ~pid ~enter ~exit_))
+                  path
+              in
+              let won_tree =
+                List.fold_left
+                  (fun acc { Flight.event; _ } ->
+                    match event with
+                    | Flight.Check (Loc.Mutex { tree; _ }, true) -> Some tree
+                    | _ -> acc)
+                  None seg
+              in
+              let blocked_trees =
+                List.filter_map
+                  (fun { Flight.event; _ } ->
+                    match event with
+                    | Flight.Check (Loc.Mutex { tree; _ }, false)
+                      when Some tree <> won_tree ->
+                        Some tree
+                    | _ -> None)
+                  seg
+                |> List.sort_uniq compare
+              in
+              acquisitions :=
+                {
+                  pid;
+                  name;
+                  start_clock = !seg_start;
+                  end_clock = clock;
+                  path = List.map (fun (l, d, _) -> (l, d)) path;
+                  interference;
+                  blocked_trees;
+                  won_tree;
+                }
+                :: !acquisitions;
+              segment := [];
+              seg_start := clock
+          | Flight.Released _ ->
+              segment := [];
+              seg_start := clock
+          | _ -> segment := r :: !segment)
+        evs)
+    (List.rev !pids_in_order);
+  let node_stats =
+    Hashtbl.fold
+      (fun _ a acc ->
+        {
+          loc = a.aloc;
+          enters = a.aenters;
+          releases = a.areleases;
+          max_inside = a.amax_inside;
+          dir_max = a.adir_max;
+          dir_exits = a.adir_exits;
+          checks = a.achecks;
+          check_failures = a.afailures;
+          orphan_releases = a.aorphans;
+        }
+        :: acc)
+      nodes []
+    |> List.sort (fun a b -> Loc.compare a.loc b.loc)
+  in
+  let acquisitions = List.rev !acquisitions in
+  {
+    nodes = node_stats;
+    acquisitions;
+    orphan_releases =
+      List.fold_left (fun s (n : node_stat) -> s + n.orphan_releases) 0 node_stats;
+    max_blocked_trees =
+      List.fold_left (fun m a -> max m (List.length a.blocked_trees)) 0 acquisitions;
+  }
+
+let check ?blocked_bound report =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  List.iter
+    (fun n ->
+      match n.loc with
+      | Loc.Splitter _ ->
+          (* Theorem 5: with l = max concurrent users of this splitter,
+             each output set holds at most max (1, l-1) at any time. *)
+          let bound = max 1 (n.max_inside - 1) in
+          Array.iteri
+            (fun di m ->
+              if m > bound then
+                add "%s: output set %d held %d processes at once (l=%d allows %d)"
+                  (Loc.to_string n.loc) (di - 1) m n.max_inside bound)
+            n.dir_max
+      | Loc.Mutex _ ->
+          if n.max_inside > 2 then
+            add "%s: %d processes inside a 2-process mutex block" (Loc.to_string n.loc)
+              n.max_inside)
+    report.nodes;
+  (match blocked_bound with
+  | Some b ->
+      List.iter
+        (fun a ->
+          let nb = List.length a.blocked_trees in
+          if nb > b then
+            add "pid %d -> name %d: blocked in %d trees, cover-freeness allows %d" a.pid
+              a.name nb b)
+        report.acquisitions
+  | None -> ());
+  List.rev !violations
+
+(* ----- heatmap rendering ----- *)
+
+let depth_of node =
+  (* ternary heap: depth h spans [(3^h - 1) / 2, (3^(h+1) - 1) / 2) *)
+  let rec go h lo w = if node < lo + w then h else go (h + 1) (lo + w) (3 * w) in
+  go 0 0 1
+
+let heat_glyph n =
+  if n <= 0 then '.'
+  else if n < 10 then Char.chr (Char.code '0' + n)
+  else if n < 36 then Char.chr (Char.code 'a' + n - 10)
+  else '*'
+
+let heatmap report =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let splitters =
+    List.filter_map
+      (fun n -> match n.loc with Loc.Splitter s -> Some (s.stage, s.node, n) | _ -> None)
+      report.nodes
+  in
+  let mutexes =
+    List.filter_map
+      (fun n ->
+        match n.loc with
+        | Loc.Mutex { stage; tree; _ } -> Some (stage, tree, n)
+        | _ -> None)
+      report.nodes
+  in
+  let stages = List.sort_uniq compare (List.map (fun (st, _, _) -> st) splitters) in
+  List.iter
+    (fun stage ->
+      let mine = List.filter (fun (st, _, _) -> st = stage) splitters in
+      let max_node = List.fold_left (fun m (_, n, _) -> max m n) 0 mine in
+      let depths = depth_of max_node in
+      add "splitter occupancy heatmap (stage %d, %d node(s) touched)\n" stage
+        (List.length mine);
+      add "  glyph = max processes simultaneously inside; '.' = never entered\n";
+      let by_node = Hashtbl.create 64 in
+      List.iter (fun (_, node, n) -> Hashtbl.replace by_node node n) mine;
+      let lo = ref 0 and w = ref 1 in
+      for d = 0 to depths do
+        let shown = min !w 60 in
+        let row =
+          String.init shown (fun i ->
+              match Hashtbl.find_opt by_node (!lo + i) with
+              | Some n -> heat_glyph n.max_inside
+              | None -> '.')
+        in
+        add "  depth %d |%s|%s\n" d row
+          (if !w > shown then Printf.sprintf " (+%d more nodes)" (!w - shown) else "");
+        lo := !lo + !w;
+        w := !w * 3
+      done;
+      let hottest =
+        List.sort (fun (_, _, a) (_, _, b) -> compare b.max_inside a.max_inside) mine
+      in
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      List.iter
+        (fun (_, node, n) ->
+          add "  n%-4d depth %d  l=%d  set-max[-1/0/+1] %d/%d/%d  exits %d/%d/%d  enters %d\n"
+            node (depth_of node) n.max_inside n.dir_max.(0) n.dir_max.(1) n.dir_max.(2)
+            n.dir_exits.(0) n.dir_exits.(1) n.dir_exits.(2) n.enters)
+        (take 24 hottest);
+      if List.length hottest > 24 then
+        add "  ... %d more splitter(s)\n" (List.length hottest - 24))
+    stages;
+  if mutexes <> [] then begin
+    let trees = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun (stage, tree, _) ->
+        if not (Hashtbl.mem trees (stage, tree)) then begin
+          Hashtbl.add trees (stage, tree) ();
+          order := (stage, tree) :: !order
+        end)
+      mutexes;
+    let order = List.sort compare !order in
+    add "tournament-forest contention (%d tree(s) touched)\n" (List.length order);
+    (* per-tree aggregation *)
+    let agg = Hashtbl.create 32 in
+    List.iter
+      (fun (stage, tree, n) ->
+        let e, c, f, mi, bl =
+          Option.value ~default:(0, 0, 0, 0, 0) (Hashtbl.find_opt agg (stage, tree))
+        in
+        Hashtbl.replace agg (stage, tree)
+          (e + n.enters, c + n.checks, f + n.check_failures, max mi n.max_inside, bl + 1))
+      mutexes;
+    let shown = ref 0 in
+    List.iter
+      (fun (stage, tree) ->
+        if !shown < 32 then begin
+          incr shown;
+          let e, c, f, mi, bl = Hashtbl.find agg (stage, tree) in
+          add "  s%d tree %-5d blocks %-3d enters %-4d checks %-4d failed %-4d max-inside %d\n"
+            stage tree bl e c f mi
+        end)
+      order;
+    if List.length order > 32 then add "  ... %d more tree(s)\n" (List.length order - 32)
+  end;
+  if report.orphan_releases > 0 then
+    add "note: %d release(s) without a matching enter (crash-recovery resets)\n"
+      report.orphan_releases;
+  Buffer.contents buf

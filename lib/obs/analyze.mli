@@ -1,0 +1,69 @@
+(** Reconstruction of structural properties from a recorded
+    {!Flight} ring: per-node occupancy, contention heatmaps over the
+    SPLIT tree / FILTER forest, and name-acquisition provenance.
+
+    Occupancy maxima compare events across processes, which is exact
+    for simulator rings (one global step clock).  Merged per-domain
+    rings carry per-domain clocks; their per-node totals and per-pid
+    provenance are exact, but cross-pid occupancy is an ordering
+    approximation. *)
+
+type node_stat = {
+  loc : Loc.t;
+  enters : int;
+  releases : int;
+  max_inside : int;  (** Max processes simultaneously Enter..Release. *)
+  dir_max : int array;
+      (** Per output set (index [dir + 1]): max processes
+          simultaneously assigned that direction (Exit..Release).
+          All zero for mutex nodes. *)
+  dir_exits : int array;  (** Total exits per direction (index [dir + 1]). *)
+  checks : int;
+  check_failures : int;
+  orphan_releases : int;
+      (** Releases by a pid that was not inside — crash-recovery
+          resets release on the corpse's behalf from another pid. *)
+}
+
+type acquisition = {
+  pid : int;
+  name : int;
+  start_clock : int;
+  end_clock : int;
+  path : (Loc.t * int) list;
+      (** Splitter exits in descent order with the direction taken;
+          for SPLIT, [name = sum_i (1 + d_i) * 3^i]. *)
+  interference : (Loc.t * int list) list;
+      (** Per path splitter: other pids whose visit overlapped this
+          process's Enter..Exit window. *)
+  blocked_trees : int list;
+      (** Distinct tournament trees where a check failed during this
+          acquisition (excluding the tree finally won). *)
+  won_tree : int option;
+      (** Tree of the last successful check — FILTER's winning tree. *)
+}
+
+type report = {
+  nodes : node_stat list;  (** Sorted by location. *)
+  acquisitions : acquisition list;  (** Grouped by pid, in pid first-appearance order. *)
+  orphan_releases : int;
+  max_blocked_trees : int;
+}
+
+val analyze : Flight.record list -> report
+
+val check : ?blocked_bound:int -> report -> string list
+(** Violations of the recorded structural bounds, empty when clean:
+    every splitter's per-direction occupancy stays within
+    [max 1 (l - 1)] for that node's observed concurrency [l]
+    (Theorem 5), no mutex block ever holds more than 2 processes, and
+    — when [blocked_bound] is given (FILTER's [d (k - 1)],
+    Theorem 10) — no acquisition saw more blocked trees than that. *)
+
+val heatmap : report -> string
+(** Human-readable contention map: per-depth occupancy rows over the
+    SPLIT tree, hottest-node detail lines, and per-tree totals over
+    the FILTER forest. *)
+
+val depth_of : int -> int
+(** Depth of a heap-numbered ternary-tree node (root [0]). *)

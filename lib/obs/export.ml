@@ -45,9 +45,12 @@ let to_json ?(max_spans = 1000) (snap : Registry.snapshot) =
            {|%S:{"count":%d,"sum":%d,"mean":%.3f,"min":%d,"p50":%d,"p95":%d,"p99":%d,"p100":%d}|}
            name h.count h.sum h.mean h.min h.p50 h.p95 h.p99 h.p100))
     snap.histograms;
+  let recorded = List.length snap.spans in
+  let truncated = max 0 (recorded - max_spans) in
   buf_add buf
-    (Printf.sprintf {|},"spans":{"recorded":%d,"dropped":%d,"items":[|}
-       (List.length snap.spans) snap.spans_dropped);
+    (Printf.sprintf
+       {|},"spans":{"recorded":%d,"dropped":%d,"spans_truncated":%d,"items":[|}
+       recorded snap.spans_dropped truncated);
   List.iteri
     (fun i s ->
       if i > 0 then buf_add buf ",";
@@ -64,9 +67,48 @@ let sanitize name =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
     name
 
-let prom name = "renaming_" ^ sanitize name
+(* Deterministic 32-bit FNV-1a, used to disambiguate sanitization
+   collisions (Hashtbl.hash makes no cross-version stability promise). *)
+let fnv32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+(* Sanitization maps distinct registry names onto one identifier when
+   they differ only in mangled characters ("op.get" vs "op_get").
+   Silently merging distinct series corrupts dashboards, so the name
+   resolver scans the whole snapshot first: any sanitized identifier
+   claimed by more than one original keeps the lexicographically first
+   claimant bare and suffixes every other with a stable hash of its
+   original spelling. *)
+let prom_resolver (snap : Registry.snapshot) =
+  let names =
+    List.map fst snap.counters
+    @ List.map fst snap.gauges
+    @ List.map fst snap.histograms
+  in
+  let claims = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      let s = sanitize name in
+      match Hashtbl.find_opt claims s with
+      | None -> Hashtbl.replace claims s name
+      | Some first -> if name < first then Hashtbl.replace claims s name)
+    names;
+  fun name ->
+    let s = sanitize name in
+    let base =
+      if Hashtbl.find_opt claims s = Some name then s
+      else Printf.sprintf "%s_x%08x" s (fnv32 name)
+    in
+    "renaming_" ^ base
 
 let to_prometheus (snap : Registry.snapshot) =
+  let prom = prom_resolver snap in
   let buf = Buffer.create 4096 in
   List.iter
     (fun (name, v) ->

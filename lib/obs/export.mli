@@ -9,6 +9,11 @@
       sanitized ([.] and other non-identifier characters become [_])
       and prefixed with [renaming_]; histograms export as summaries
       ([_count], [_sum], [{quantile="…"}] series plus an exact [_max]).
+      When two distinct registry names sanitize to the same identifier
+      (e.g. [op.get] vs [op_get]), the lexicographically first keeps
+      the bare identifier and every other is suffixed with a stable
+      hash of its original spelling ([_x<fnv32>]) — distinct series
+      never merge silently.
     - {!to_text}: aligned human-readable listing for terminal output.
 
     All exporters are pure functions of the snapshot. *)
@@ -16,7 +21,10 @@
 val to_json : ?max_spans:int -> Registry.snapshot -> string
 (** [max_spans] (default [1000]) caps the per-span detail in the
     output; the cap never affects aggregate series.  The most recent
-    spans are kept. *)
+    spans are kept, and the number of older spans cut by the cap is
+    reported in the document's ["spans_truncated"] field (distinct
+    from ["dropped"], which counts ring-buffer losses at record
+    time). *)
 
 val to_prometheus : Registry.snapshot -> string
 val to_text : Registry.snapshot -> string

@@ -1,0 +1,232 @@
+type event =
+  | Enter of Loc.t
+  | Exit of Loc.t * int
+  | Check of Loc.t * bool
+  | Release of Loc.t
+  | Acquired of int
+  | Released of int
+  | Mark of string * int
+
+type record = { clock : int; pid : int; event : event }
+
+(* Packed ring: 4 ints per record — clock, (pid lsl 3) lor kind,
+   loc code / note id, arg.  Single writer; overwrites oldest. *)
+type t = {
+  capacity : int;
+  buf : int array;
+  mutable head : int;  (* oldest record slot *)
+  mutable len : int;
+  mutable dropped : int;
+  note_ids : (string, int) Hashtbl.t;
+  mutable note_names : string array;
+  mutable notes : int;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity < 1 then invalid_arg "Flight.create";
+  {
+    capacity;
+    buf = Array.make (4 * capacity) 0;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    note_ids = Hashtbl.create 16;
+    note_names = Array.make 8 "";
+    notes = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.len + t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let intern t s =
+  match Hashtbl.find_opt t.note_ids s with
+  | Some id -> id
+  | None ->
+      let id = t.notes in
+      if id >= Array.length t.note_names then begin
+        let grown = Array.make (2 * Array.length t.note_names) "" in
+        Array.blit t.note_names 0 grown 0 id;
+        t.note_names <- grown
+      end;
+      t.note_names.(id) <- s;
+      t.notes <- id + 1;
+      Hashtbl.add t.note_ids s id;
+      id
+
+let kind_enter = 0
+and kind_exit = 1
+and kind_check = 2
+and kind_release = 3
+and kind_acquired = 4
+and kind_released = 5
+and kind_mark = 6
+
+let record t ~clock ~pid event =
+  if pid < 0 then invalid_arg "Flight.record: negative pid";
+  let kind, code, arg =
+    match event with
+    | Enter l -> (kind_enter, Loc.encode l, 0)
+    | Exit (l, dir) -> (kind_exit, Loc.encode l, dir)
+    | Check (l, ok) -> (kind_check, Loc.encode l, Bool.to_int ok)
+    | Release l -> (kind_release, Loc.encode l, 0)
+    | Acquired n -> (kind_acquired, 0, n)
+    | Released n -> (kind_released, 0, n)
+    | Mark (s, v) -> (kind_mark, intern t s, v)
+  in
+  let slot =
+    if t.len < t.capacity then begin
+      let s = (t.head + t.len) mod t.capacity in
+      t.len <- t.len + 1;
+      s
+    end
+    else begin
+      let s = t.head in
+      t.head <- (t.head + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1;
+      s
+    end
+  in
+  let o = 4 * slot in
+  t.buf.(o) <- clock;
+  t.buf.(o + 1) <- (pid lsl 3) lor kind;
+  t.buf.(o + 2) <- code;
+  t.buf.(o + 3) <- arg
+
+let decode_at t slot =
+  let o = 4 * slot in
+  let clock = t.buf.(o) in
+  let pk = t.buf.(o + 1) in
+  let code = t.buf.(o + 2) in
+  let arg = t.buf.(o + 3) in
+  let kind = pk land 7 in
+  let event =
+    if kind = kind_enter then Enter (Loc.decode code)
+    else if kind = kind_exit then Exit (Loc.decode code, arg)
+    else if kind = kind_check then Check (Loc.decode code, arg <> 0)
+    else if kind = kind_release then Release (Loc.decode code)
+    else if kind = kind_acquired then Acquired arg
+    else if kind = kind_released then Released arg
+    else Mark (t.note_names.(code), arg)
+  in
+  { clock; pid = pk lsr 3; event }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (decode_at t ((t.head + i) mod t.capacity))
+  done
+
+let items t =
+  let acc = ref [] in
+  iter (fun r -> acc := r :: !acc) t;
+  List.rev !acc
+
+let probe t ~pid ~clock : Probe.t =
+ fun ev ->
+  let event =
+    match ev with
+    | Probe.Enter l -> Enter l
+    | Probe.Exit (l, d) -> Exit (l, d)
+    | Probe.Check (l, ok) -> Check (l, ok)
+    | Probe.Release l -> Release l
+  in
+  record t ~clock:(clock ()) ~pid event
+
+let merge ~into src =
+  iter (fun { clock; pid; event } -> record into ~clock ~pid event) src;
+  into.dropped <- into.dropped + src.dropped
+
+(* ----- portable text form: "renaming.flight/v1" -----
+
+   One record per line; note strings are interned in a header so the
+   event lines stay purely numeric:
+
+     renaming.flight/v1 dropped=<D>
+     n <id> <string>
+     e <clock> <pid> <kind> <arg> <code>
+*)
+
+let sanitize_note s =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then '_' else c) s
+
+let to_string t =
+  let buf = Buffer.create (64 * (t.len + 1)) in
+  Buffer.add_string buf (Printf.sprintf "renaming.flight/v1 dropped=%d\n" t.dropped);
+  for id = 0 to t.notes - 1 do
+    Buffer.add_string buf (Printf.sprintf "n %d %s\n" id (sanitize_note t.note_names.(id)))
+  done;
+  for i = 0 to t.len - 1 do
+    let o = 4 * ((t.head + i) mod t.capacity) in
+    Buffer.add_string buf
+      (Printf.sprintf "e %d %d %d %d %d\n" t.buf.(o)
+         (t.buf.(o + 1) lsr 3)
+         (t.buf.(o + 1) land 7)
+         t.buf.(o + 3) t.buf.(o + 2))
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | [] -> Error "empty flight document"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ "renaming.flight/v1"; d ]
+        when String.length d > 8 && String.sub d 0 8 = "dropped=" -> (
+          match int_of_string_opt (String.sub d 8 (String.length d - 8)) with
+          | None -> Error "bad dropped count"
+          | Some dropped -> (
+              let t = create ~capacity:(max 1 (List.length rest)) () in
+              let notes = Hashtbl.create 16 in
+              let err = ref None in
+              List.iter
+                (fun line ->
+                  if !err = None then
+                    match String.split_on_char ' ' line with
+                    | [ "n"; id; name ] -> (
+                        match int_of_string_opt id with
+                        | Some id -> Hashtbl.replace notes id name
+                        | None -> err := Some ("bad note line: " ^ line))
+                    | [ "e"; clock; pid; kind; arg; code ] -> (
+                        match
+                          ( int_of_string_opt clock,
+                            int_of_string_opt pid,
+                            int_of_string_opt kind,
+                            int_of_string_opt arg,
+                            int_of_string_opt code )
+                        with
+                        | Some clock, Some pid, Some kind, Some arg, Some code -> (
+                            let event =
+                              if kind = kind_enter then Some (Enter (Loc.decode code))
+                              else if kind = kind_exit then
+                                Some (Exit (Loc.decode code, arg))
+                              else if kind = kind_check then
+                                Some (Check (Loc.decode code, arg <> 0))
+                              else if kind = kind_release then
+                                Some (Release (Loc.decode code))
+                              else if kind = kind_acquired then Some (Acquired arg)
+                              else if kind = kind_released then Some (Released arg)
+                              else if kind = kind_mark then
+                                Option.map
+                                  (fun s -> Mark (s, arg))
+                                  (Hashtbl.find_opt notes code)
+                              else None
+                            in
+                            match event with
+                            | Some event -> record t ~clock ~pid event
+                            | None -> err := Some ("bad event line: " ^ line))
+                        | _ -> err := Some ("bad event line: " ^ line))
+                    | _ -> err := Some ("unrecognised line: " ^ line))
+                rest;
+              match !err with
+              | Some e -> Error e
+              | None ->
+                  t.dropped <- dropped;
+                  Ok t))
+      | _ -> Error "not a renaming.flight/v1 document")

@@ -1,0 +1,71 @@
+(** The structural flight recorder: a fixed-capacity binary ring of
+    located events.
+
+    Records are packed four ints wide (clock, pid+kind, location code,
+    argument) into one flat array — recording is a handful of stores
+    and never allocates (note strings are interned once).  When full,
+    the oldest record is overwritten and {!dropped} counts the loss.
+
+    A ring has a {e single writer}: the simulator's monitor thread, or
+    one OS domain.  Per-domain rings are concatenated with {!merge}
+    after the join; their clocks are each domain's own access count,
+    so cross-pid ordering is only meaningful in simulator rings (where
+    the clock is the global step counter). *)
+
+type event =
+  | Enter of Loc.t
+  | Exit of Loc.t * int  (** Splitter direction assigned: [-1], [0], [1]. *)
+  | Check of Loc.t * bool  (** Mutex check verdict. *)
+  | Release of Loc.t
+  | Acquired of int  (** Destination name granted. *)
+  | Released of int  (** Destination name given back. *)
+  | Mark of string * int  (** Free-form note (fault/lease events). *)
+
+type record = { clock : int; pid : int; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring with room for [capacity] records (default [65536]).
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val record : t -> clock:int -> pid:int -> event -> unit
+(** Append one record, overwriting the oldest when full.
+    @raise Invalid_argument on a negative [pid], or when a {!Loc.t}
+    field exceeds the {!Loc.encode} widths. *)
+
+val probe : t -> pid:int -> clock:(unit -> int) -> Probe.t
+(** A probe recording into the ring on behalf of [pid], stamping each
+    event with [clock ()].  Install with [Store.probed]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Records lost to overwriting (plus losses carried over by
+    {!merge}). *)
+
+val total : t -> int
+(** [length + dropped]. *)
+
+val clear : t -> unit
+
+val iter : (record -> unit) -> t -> unit
+(** Oldest first. *)
+
+val items : t -> record list
+(** Oldest first. *)
+
+val merge : into:t -> t -> unit
+(** Append all of the source's records (and its drop count) to
+    [into].  Used to concatenate per-domain rings after the join. *)
+
+(** {1 Portable text form} *)
+
+val to_string : t -> string
+(** The ["renaming.flight/v1"] document: a header line carrying the
+    drop count, interned note strings, then one numeric line per
+    record. *)
+
+val of_string : string -> (t, string) result
+(** Parse a document produced by {!to_string}. *)

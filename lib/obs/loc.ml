@@ -1,0 +1,53 @@
+type t =
+  | Splitter of { stage : int; node : int }
+  | Mutex of { stage : int; tree : int; level : int; node : int }
+
+(* Packed layout (bit 0 is the kind tag):
+
+     Splitter: [node:55][stage:6][0]
+     Mutex:    [tree:25][node:24][level:6][stage:6][1]
+
+   Every field is validated on [encode], so a code always decodes back
+   to the same location ([decode (encode l) = l]). *)
+
+let max_stage = (1 lsl 6) - 1
+let max_level = (1 lsl 6) - 1
+let max_mutex_node = (1 lsl 24) - 1
+let max_tree = (1 lsl 25) - 1
+let max_splitter_node = (1 lsl 55) - 1
+
+let encode = function
+  | Splitter { stage; node } ->
+      if stage < 0 || stage > max_stage then invalid_arg "Loc.encode: stage";
+      if node < 0 || node > max_splitter_node then invalid_arg "Loc.encode: node";
+      (node lsl 7) lor (stage lsl 1)
+  | Mutex { stage; tree; level; node } ->
+      if stage < 0 || stage > max_stage then invalid_arg "Loc.encode: stage";
+      if level < 0 || level > max_level then invalid_arg "Loc.encode: level";
+      if node < 0 || node > max_mutex_node then invalid_arg "Loc.encode: node";
+      if tree < 0 || tree > max_tree then invalid_arg "Loc.encode: tree";
+      (tree lsl 37) lor (node lsl 13) lor (level lsl 7) lor (stage lsl 1) lor 1
+
+let decode code =
+  if code < 0 then invalid_arg "Loc.decode";
+  let stage = (code lsr 1) land max_stage in
+  if code land 1 = 0 then Splitter { stage; node = code lsr 7 }
+  else
+    Mutex
+      {
+        stage;
+        level = (code lsr 7) land max_level;
+        node = (code lsr 13) land max_mutex_node;
+        tree = code lsr 37;
+      }
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let stage = function Splitter { stage; _ } | Mutex { stage; _ } -> stage
+
+let to_string = function
+  | Splitter { stage; node } -> Printf.sprintf "s%d:splitter:%d" stage node
+  | Mutex { stage; tree; level; node } ->
+      Printf.sprintf "s%d:tree%d:L%d:%d" stage tree level node
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,38 @@
+(** Structural locations inside a renaming protocol instance.
+
+    A [Loc.t] names one concrete shared object a process steps
+    through: a splitter node of a SPLIT tree (heap numbering — the
+    children of node [i] are [3i+1 .. 3i+3]), or a 2-process mutex
+    block of a tournament tree (FILTER keys trees by destination name;
+    [level] counts from 1 at the leaves, [node] is the block index
+    within the level).  [stage] distinguishes pipeline stages sharing
+    one layout; standalone protocols use stage [0].
+
+    Labels are assigned at {e creation} time from the structure's own
+    indices, so two identically-parameterised instances emit identical
+    label sets and a recorded trace can be attributed without access
+    to the live instance. *)
+
+type t =
+  | Splitter of { stage : int; node : int }
+  | Mutex of { stage : int; tree : int; level : int; node : int }
+
+val encode : t -> int
+(** Pack into a single non-negative int (for binary rings).
+    @raise Invalid_argument when a field exceeds its width:
+    [stage < 64], [level < 64], mutex [node < 2^24], [tree < 2^25],
+    splitter [node < 2^55]. *)
+
+val decode : int -> t
+(** Inverse of {!encode}. @raise Invalid_argument on negative codes. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val stage : t -> int
+
+val to_string : t -> string
+(** ["s0:splitter:4"], ["s1:tree7:L2:0"] — stable, used as Perfetto
+    span names. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+(* Chrome trace-event JSON (the format Perfetto's UI and chrome://tracing
+   both load).  One emitted "process" per source pid (tid = pid), with:
+
+     - async "b"/"e" pairs for splitter / mutex occupancy intervals
+       (async events tolerate the non-nested interleavings FILTER
+       produces when a process climbs several trees at once),
+     - "B"/"E" duration slices for name-holding intervals (per thread
+       these nest trivially),
+     - "i" instants for mutex checks, splitter direction assignment
+       and marks.
+
+   Timestamps are the ring's clocks (shared-access steps) expressed in
+   microseconds; "displayTimeUnit" keeps Perfetto from collapsing
+   them. *)
+
+let esc s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cat_of = function Loc.Splitter _ -> "splitter" | Loc.Mutex _ -> "mutex"
+
+let to_chrome_json (records : Flight.record list) =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  (* thread metadata, one per pid, in first-appearance order *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let pid = r.Flight.pid in
+      if not (Hashtbl.mem seen pid) then begin
+        Hashtbl.add seen pid ();
+        event
+          {|{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"process %d"}}|}
+          pid pid
+      end)
+    records;
+  let async_id loc pid = Printf.sprintf "%x.%d" (Loc.encode loc) pid in
+  List.iter
+    (fun { Flight.clock; pid; event = ev } ->
+      match ev with
+      | Flight.Enter loc ->
+          event {|{"ph":"b","cat":"%s","id":"%s","name":"%s","ts":%d,"pid":0,"tid":%d}|}
+            (cat_of loc) (async_id loc pid) (esc (Loc.to_string loc)) clock pid
+      | Flight.Release loc ->
+          event {|{"ph":"e","cat":"%s","id":"%s","name":"%s","ts":%d,"pid":0,"tid":%d}|}
+            (cat_of loc) (async_id loc pid) (esc (Loc.to_string loc)) clock pid
+      | Flight.Exit (loc, dir) ->
+          event
+            {|{"ph":"i","s":"t","name":"%s dir %+d","ts":%d,"pid":0,"tid":%d,"args":{"dir":%d}}|}
+            (esc (Loc.to_string loc)) dir clock pid dir
+      | Flight.Check (loc, ok) ->
+          event
+            {|{"ph":"i","s":"t","name":"%s check","ts":%d,"pid":0,"tid":%d,"args":{"ok":%b}}|}
+            (esc (Loc.to_string loc)) clock pid ok
+      | Flight.Acquired n ->
+          event {|{"ph":"B","name":"hold name %d","ts":%d,"pid":0,"tid":%d,"args":{"name":%d}}|}
+            n clock pid n
+      | Flight.Released n ->
+          event {|{"ph":"E","name":"hold name %d","ts":%d,"pid":0,"tid":%d}|} n clock pid
+      | Flight.Mark (s, v) ->
+          event {|{"ph":"i","s":"t","name":"%s","ts":%d,"pid":0,"tid":%d,"args":{"value":%d}}|}
+            (esc s) clock pid v)
+    records;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",";
+  Buffer.add_string buf
+    (Printf.sprintf "\"otherData\":{\"schema\":\"renaming.flight/v1\",\"records\":%d}}"
+       (List.length records));
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON export of a flight recording — the JSON
+    Array/Object format loadable in {{:https://ui.perfetto.dev}
+    Perfetto} and chrome://tracing.
+
+    Each source pid becomes one named thread under a single process.
+    Splitter / mutex occupancy intervals export as async ["b"]/["e"]
+    pairs keyed by (location, pid) — async because FILTER climbs
+    several trees at once, which duration slices cannot nest —
+    name-holding intervals as ["B"]/["E"] duration slices, and
+    checks / direction assignments / marks as instants.  Timestamps
+    are the recording's step clocks. *)
+
+val to_chrome_json : Flight.record list -> string

@@ -1,0 +1,10 @@
+type event =
+  | Enter of Loc.t
+  | Exit of Loc.t * int
+  | Check of Loc.t * bool
+  | Release of Loc.t
+
+type t = event -> unit
+
+let null : t = fun _ -> ()
+let is_null p = p == null

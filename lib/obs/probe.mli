@@ -1,0 +1,31 @@
+(** The structural-event hook carried by every [Store.ops].
+
+    Protocol code reports its traced steps through the capability's
+    probe: entering / leaving a splitter's output set, and the
+    enter/check/release steps of a tournament mutex block.  The
+    default probe is {!null}; instrumented runs install one that
+    appends to a {!Flight} ring.
+
+    Emitting costs no shared access, so probes are invisible to the
+    simulator's schedules and to partial-order reduction — a
+    model-checked schedule replays identically with or without them.
+
+    Call sites must guard event construction with {!is_null} so the
+    uninstrumented hot path pays one physical comparison and no
+    allocation. *)
+
+type event =
+  | Enter of Loc.t  (** Began [enter] (splitter) / entered a level (mutex). *)
+  | Exit of Loc.t * int
+      (** Splitter [enter] returned; the int is the direction
+          ([-1], [0] or [1]) — the output set joined. *)
+  | Check of Loc.t * bool  (** Mutex block check and its verdict. *)
+  | Release of Loc.t  (** Left the splitter's output set / mutex block. *)
+
+type t = event -> unit
+
+val null : t
+(** Drops every event.  The default of every store backend. *)
+
+val is_null : t -> bool
+(** Physical comparison against {!null}. *)

@@ -17,6 +17,7 @@ let ops t ~pid : Store.ops =
           if Atomic.compare_and_set cell old (f old) then old else loop ()
         in
         loop ());
+    probe = Obs.Probe.null;
   }
 
 let get t c = Atomic.get t.(Cell.id c)

@@ -16,9 +16,21 @@ type result = {
   reclaimed : int;
 }
 
-let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with type t = a)
-    (inst : a) ~layout ~pids ~cycles ~name_space =
+let run (type a) ?registry ?flight ?(faults = [])
+    (module P : Renaming.Protocol.S with type t = a) (inst : a) ~layout ~pids ~cycles
+    ~name_space =
   let store = Atomic_store.create layout in
+  (* Per-worker rings, merged into [flight] in worker order after the
+     join — each ring has a single writer, so recording is unsynchronized. *)
+  let worker_rings =
+    match flight with
+    | None -> [||]
+    | Some ring ->
+        let per =
+          max 1024 (Obs.Flight.capacity ring / max 1 (Array.length pids))
+        in
+        Array.map (fun _ -> Obs.Flight.create ~capacity:per ()) pids
+  in
   let holders = Array.init name_space (fun _ -> Atomic.make 0) in
   let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
   let violations = Atomic.make 0 in
@@ -63,6 +75,26 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
       | None -> raw
       | Some sh -> Store.counting c (Store.observed sh raw)
     in
+    (* The flight clock is the domain's own total access count ([c2] is
+       never reset, unlike the per-operation counter [c]); cross-domain
+       ordering is not claimed — see the Flight doc. *)
+    let c2 = Store.counter () in
+    let ops, fring =
+      if Array.length worker_rings = 0 then (ops, None)
+      else begin
+        let ring = worker_rings.(i) in
+        let ops = Store.counting c2 ops in
+        ( Store.probed
+            (Obs.Flight.probe ring ~pid ~clock:(fun () -> Store.accesses c2))
+            ops,
+          Some ring )
+      end
+    in
+    let fly ev =
+      match fring with
+      | None -> ()
+      | Some ring -> Obs.Flight.record ring ~clock:(Store.accesses c2) ~pid ev
+    in
     let clock = ref 0 in
     let record sh op annotations =
       let accesses = Store.accesses c in
@@ -83,6 +115,7 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
       Store.reset c;
       let lease = P.get_name inst ops in
       let n = P.name_of inst lease in
+      fly (Obs.Flight.Acquired n);
       (match shard with Some sh -> record sh "get" [ ("name", n) ] | None -> ());
       let held =
         if n < 0 || n >= name_space then begin
@@ -127,6 +160,7 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
       | None -> ());
       Store.reset c;
       P.release_name inst ops lease;
+      fly (Obs.Flight.Released n);
       match shard with Some sh -> record sh "release" [] | None -> ()
     in
     let spin n =
@@ -170,6 +204,9 @@ let run (type a) ?registry ?(faults = []) (module P : Renaming.Protocol.S with t
   in
   let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
   Array.iter Domain.join domains;
+  (match flight with
+  | None -> ()
+  | Some ring -> Array.iter (fun r -> Obs.Flight.merge ~into:ring r) worker_rings);
   let max_concurrent_by_name =
     Array.to_list name_max
     |> List.mapi (fun n a -> (n, Atomic.get a))

@@ -70,6 +70,7 @@ type result = {
 
 val run :
   ?registry:Obs.Registry.t ->
+  ?flight:Obs.Flight.t ->
   ?faults:(int * fault) list ->
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->
@@ -82,9 +83,16 @@ val run :
     [Array.length pids] domains.  The instance must have been created
     from [layout] with every pid a legal source name.  [registry], if
     given, gains one shard per worker; snapshot it after [run]
-    returns.  [faults] maps worker {e indices} (positions in [pids],
-    not pids) to faults; at least one worker should stay fault-free or
-    [Park_holding] workers would wait forever on an empty set.
+    returns.  [flight], if given, receives the structural flight
+    records: each worker writes an unsynchronized private ring
+    (capacity [flight]'s capacity divided by the worker count, at
+    least 1024), clocked by that worker's own access count, and the
+    rings are concatenated into [flight] in worker order after the
+    join — so ordering between records of {e different} pids is not
+    meaningful, unlike simulator rings.  [faults] maps worker
+    {e indices} (positions in [pids], not pids) to faults; at least
+    one worker should stay fault-free or [Park_holding] workers would
+    wait forever on an empty set.
     @raise Invalid_argument if [pids] is non-empty and {e every} worker
     is [Park_holding] — each would wait on the others forever. *)
 

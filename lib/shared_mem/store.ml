@@ -3,6 +3,7 @@ type ops = {
   read : Cell.t -> int;
   write : Cell.t -> int -> unit;
   rmw : Cell.t -> (int -> int) -> int;
+  probe : Obs.Probe.t;
 }
 
 type seq = int array
@@ -19,6 +20,7 @@ let seq_ops mem ~pid =
         let v = mem.(Cell.id c) in
         mem.(Cell.id c) <- f v;
         v);
+    probe = Obs.Probe.null;
   }
 
 let seq_get mem c = mem.(Cell.id c)
@@ -44,6 +46,7 @@ let counting c ops =
         (* one atomic access; tally it as a write *)
         Obs.Counter.incr c.writes;
         ops.rmw cell f);
+    probe = ops.probe;
   }
 
 let reads c = Obs.Counter.get c.reads
@@ -106,4 +109,7 @@ let observed shard ops =
         Obs.Counter.incr u;
         Obs.Counter.incr ut;
         ops.rmw cell f);
+    probe = ops.probe;
   }
+
+let probed p ops = { ops with probe = p }

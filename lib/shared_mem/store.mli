@@ -20,6 +20,12 @@ type ops = {
           core protocols never use it — it exists for the Test&Set
           baseline ({!Renaming.Tas_baseline}) that the paper contrasts
           against, and costs one shared access. *)
+  probe : Obs.Probe.t;
+      (** Structural-event hook: protocol code reports its traced
+          steps (splitter enter/exit, mutex enter/check/release) here.
+          Defaults to {!Obs.Probe.null} in every backend; install a
+          recording probe with {!probed}.  Emitting costs no shared
+          access. *)
 }
 
 (** {1 Sequential store}
@@ -69,6 +75,13 @@ val reset : counter -> unit
 val group : Cell.t -> string
 (** The register-group key used by {!observed}: the cell's name up to
     the first ['[']. *)
+
+val probed : Obs.Probe.t -> ops -> ops
+(** [probed p ops] is [ops] with [p] installed as the structural
+    probe.  The probe closure should capture the process identity it
+    attributes events to at wrap time — [{ ops with pid }] re-labelling
+    (pipeline chaining, crash recovery) carries the probe along
+    unchanged, so attribution stays with the original process. *)
 
 val observed : Obs.Registry.shard -> ops -> ops
 (** [observed shard ops] forwards to [ops] and bumps per-register-group

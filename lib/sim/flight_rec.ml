@@ -1,0 +1,30 @@
+type t = { ring : Obs.Flight.t; mutable sched : Sched.t option }
+
+let create ?(capacity = 65_536) () =
+  { ring = Obs.Flight.create ~capacity (); sched = None }
+
+let ring t = t.ring
+
+let now t = match t.sched with None -> 0 | Some s -> Sched.total_steps s
+
+let monitor ?(chain = Sched.no_monitor) t =
+  Sched.monitor
+    ~on_event:(fun s i ev ->
+      t.sched <- Some s;
+      let pid = Sched.pid_of s i in
+      let clock = Sched.total_steps s in
+      (match ev with
+      | Event.Acquired n -> Obs.Flight.record t.ring ~clock ~pid (Obs.Flight.Acquired n)
+      | Event.Released n -> Obs.Flight.record t.ring ~clock ~pid (Obs.Flight.Released n)
+      | Event.Note (s, v) -> Obs.Flight.record t.ring ~clock ~pid (Obs.Flight.Mark (s, v)));
+      chain.Sched.on_event s i ev)
+    ~on_access:(fun s i a ->
+      t.sched <- Some s;
+      chain.Sched.on_access s i a)
+    ~on_step:(fun s i -> chain.Sched.on_step s i)
+    ()
+
+let wrap t (ops : Shared_mem.Store.ops) =
+  Shared_mem.Store.probed
+    (Obs.Flight.probe t.ring ~pid:ops.pid ~clock:(fun () -> now t))
+    ops

@@ -1,0 +1,30 @@
+(** Flight-recorder capture for simulator runs.
+
+    Bridges the two event sources into one {!Obs.Flight} ring:
+    - {e structural probes} (splitter/mutex enter/check/release) flow
+      through [Store.ops.probe] — install with {!wrap};
+    - {e name events} ([Acquired]/[Released]/[Note]) flow through the
+      scheduler monitor — install with {!monitor}.
+
+    Every record is stamped with the scheduler's global step counter,
+    so cross-process ordering in the ring matches the simulated
+    interleaving.  Probes fired before the recorder has seen the
+    scheduler (i.e. before the first shared access or event of the
+    run) are stamped with clock [0]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A recorder over a fresh ring (default capacity [65536]). *)
+
+val ring : t -> Obs.Flight.t
+(** The underlying ring, for analysis/export after the run. *)
+
+val monitor : ?chain:Sched.monitor -> t -> Sched.monitor
+(** A scheduler monitor recording [Acquired]/[Released]/[Note] events
+    (and caching the scheduler so probes can read the step clock).
+    [chain] is invoked after recording — compose with checkers via
+    [Flight_rec.monitor ~chain:(Checks.combine …) rec]. *)
+
+val wrap : t -> Shared_mem.Store.ops -> Shared_mem.Store.ops
+(** Install a recording probe for [ops.pid] into the capability. *)

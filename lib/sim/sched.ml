@@ -60,6 +60,9 @@ let ops_for t i : Store.ops =
     read = (fun c -> Effect.perform (Sread c));
     write = (fun c v -> Effect.perform (Swrite (c, v)));
     rmw = (fun c f -> Effect.perform (Srmw (c, f)));
+    (* probes perform no effect, so they are invisible to schedules
+       and partial-order reduction; Flight_rec installs a recorder *)
+    probe = Obs.Probe.null;
   }
 
 let emit ev = Effect.perform (Semit ev)

@@ -101,6 +101,66 @@ let test_recover_campaign () =
   check_contains "recover --campaign" out "renaming.crash/v1";
   check_contains "recover --campaign" out "split+recovery"
 
+(* ----- trace: the flight-recorder subcommands ----- *)
+
+let with_ring_file f =
+  let file = Filename.temp_file "renaming_flight" ".txt" in
+  let code, out =
+    run (Printf.sprintf "trace record -p split -k 4 --seed 7 -o %s" (Filename.quote file))
+  in
+  Alcotest.(check int) "record exit code" 0 code;
+  check_contains "trace record" out "recorded";
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let test_trace_record_analyze () =
+  with_ring_file (fun file ->
+      let code, out = run (Printf.sprintf "trace analyze --file %s" (Filename.quote file)) in
+      Alcotest.(check int) "clean run => exit 0" 0 code;
+      check_contains "trace analyze" out "occupancy";
+      check_contains "trace analyze" out "OK";
+      check_contains "trace analyze" out "depth 0")
+
+let test_trace_export_json () =
+  with_ring_file (fun file ->
+      let code, out = run (Printf.sprintf "trace export --file %s" (Filename.quote file)) in
+      Alcotest.(check int) "exit code" 0 code;
+      check_contains "trace export" out "traceEvents";
+      check_contains "trace export" out "renaming.flight/v1")
+
+let test_trace_provenance () =
+  with_ring_file (fun file ->
+      let code, out =
+        run (Printf.sprintf "trace provenance --file %s" (Filename.quote file))
+      in
+      Alcotest.(check int) "exit code" 0 code;
+      check_contains "trace provenance" out "acquired name";
+      check_contains "trace provenance" out "splitter")
+
+let test_trace_provenance_no_match () =
+  with_ring_file (fun file ->
+      let code, _ =
+        run (Printf.sprintf "trace provenance --file %s --pid 999" (Filename.quote file))
+      in
+      Alcotest.(check int) "no matching acquisition => exit 1" 1 code)
+
+let test_trace_bad_file () =
+  let file = Filename.temp_file "renaming_flight" ".txt" in
+  let oc = open_out file in
+  output_string oc "not a flight document\n";
+  close_out oc;
+  let code, _ =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove file)
+      (fun () -> run (Printf.sprintf "trace analyze --file %s" (Filename.quote file)))
+  in
+  Alcotest.(check int) "unparsable document => exit 2" 2 code
+
+let test_trace_default_dump () =
+  (* the bare `trace` subcommand keeps its original access-dump behavior *)
+  let code, out = run "trace -p ma -k 2 -s 8 --tail 5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "trace dump" out "accesses total"
+
 let () =
   Alcotest.run "cli"
     [
@@ -125,5 +185,15 @@ let () =
           Alcotest.test_case "crash run reclaims" `Quick test_recover_ok;
           Alcotest.test_case "json document" `Quick test_recover_json;
           Alcotest.test_case "crash campaign" `Quick test_recover_campaign;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record then analyze" `Quick test_trace_record_analyze;
+          Alcotest.test_case "export trace-event json" `Quick test_trace_export_json;
+          Alcotest.test_case "provenance paths" `Quick test_trace_provenance;
+          Alcotest.test_case "provenance filter miss" `Quick
+            test_trace_provenance_no_match;
+          Alcotest.test_case "bad flight document" `Quick test_trace_bad_file;
+          Alcotest.test_case "default dump preserved" `Quick test_trace_default_dump;
         ] );
     ]

@@ -176,6 +176,54 @@ let test_export_prometheus () =
       "# TYPE renaming_store_reads counter";
     ]
 
+let test_export_json_truncation () =
+  let r = Obs.Registry.create () in
+  let s = Obs.Registry.shard r in
+  for i = 1 to 5 do
+    Obs.Registry.span s
+      {
+        Obs.Span.name = "get";
+        pid = i;
+        start_step = i;
+        end_step = i + 1;
+        accesses = 1;
+        annotations = [];
+      }
+  done;
+  let snap = Obs.Registry.snapshot r in
+  let j = Obs.Export.to_json ~max_spans:2 snap in
+  Alcotest.(check bool) "truncation is explicit" true (contains "\"spans_truncated\":3" j);
+  Alcotest.(check bool) "recorded count kept" true (contains "\"recorded\":5" j);
+  (* the newest spans survive the cap *)
+  Alcotest.(check bool) "newest span kept" true (contains "\"pid\":5" j);
+  Alcotest.(check bool) "oldest span cut" false (contains "\"pid\":1" j);
+  let full = Obs.Export.to_json snap in
+  Alcotest.(check bool) "uncapped export reports zero truncated" true
+    (contains "\"spans_truncated\":0" full)
+
+(* Regression: [op.get] and [op_get] both sanitize to [op_get]; the
+   exporter must keep them as distinct series instead of silently
+   merging (the second takes a stable [_x<hash>] suffix). *)
+let test_export_prometheus_collision () =
+  let r = Obs.Registry.create () in
+  let s = Obs.Registry.shard r in
+  Obs.Registry.inc s "op.get";
+  Obs.Registry.inc s "op_get";
+  Obs.Registry.inc s "op_get";
+  let p = Obs.Export.to_prometheus (Obs.Registry.snapshot r) in
+  Alcotest.(check bool) "first claimant keeps the bare name" true
+    (contains "renaming_op_get 1" p);
+  Alcotest.(check bool) "collision gets a hash suffix" true
+    (contains "renaming_op_get_x" p);
+  (* both observations survive as separate series *)
+  let count_lines sub =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] <> '#' && contains sub l)
+         (String.split_on_char '\n' p))
+  in
+  Alcotest.(check int) "two distinct series exported" 2 (count_lines "renaming_op_get")
+
 let test_export_text () =
   let t = Obs.Export.to_text (exporter_snapshot ()) in
   List.iter
@@ -331,7 +379,11 @@ let () =
         [
           Alcotest.test_case "two shards merge" `Quick test_registry_two_shards;
           Alcotest.test_case "json exporter" `Quick test_export_json;
+          Alcotest.test_case "json span truncation is explicit" `Quick
+            test_export_json_truncation;
           Alcotest.test_case "prometheus exporter" `Quick test_export_prometheus;
+          Alcotest.test_case "prometheus name-collision regression" `Quick
+            test_export_prometheus_collision;
           Alcotest.test_case "text exporter" `Quick test_export_text;
         ] );
       ( "store",

@@ -80,6 +80,84 @@ let test_timeline_known_schedule () =
   contains "p0 (pid      0) |0 0 |";
   contains "p1 (pid      1) | 1 1|"
 
+(* ----- timeline edge cases ----- *)
+
+let run_traced bodies =
+  let layout = Layout.create () in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let tr = Sim.Trace.create () in
+  let t =
+    Sim.Sched.create ~monitor:(Sim.Trace.monitor tr) layout
+      (Array.mapi (fun i body -> (i, body work)) bodies)
+  in
+  ignore (Sim.Sched.run t Sim.Sched.round_robin);
+  tr
+
+let test_timeline_empty () =
+  let tl = Sim.Trace.timeline (Sim.Trace.create ()) in
+  Alcotest.(check bool) "header present" true (is_infix "steps 1..1" tl);
+  Alcotest.(check int) "no lanes for an empty trace" 1
+    (List.length (String.split_on_char '\n' tl))
+
+let test_timeline_zero_length_hold () =
+  (* acquire and release back-to-back, no access in between: the
+     holding interval spans zero steps but must still be painted *)
+  let tr =
+    run_traced
+      [|
+        (fun work (ops : Store.ops) ->
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Acquired 5);
+          Sim.Sched.emit (Sim.Event.Released 5));
+      |]
+  in
+  let tl = Sim.Trace.timeline tr in
+  Alcotest.(check bool) "zero-length hold still painted" true (is_infix "|5|" tl)
+
+let test_timeline_more_procs_than_width () =
+  let body work (ops : Store.ops) =
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Acquired ops.pid);
+    ignore (ops.read work);
+    Sim.Sched.emit (Sim.Event.Released ops.pid)
+  in
+  let tr = run_traced (Array.make 5 body) in
+  let tl = Sim.Trace.timeline ~width:3 tr in
+  let lines = String.split_on_char '\n' (String.trim tl) in
+  Alcotest.(check int) "every process gets a lane" 6 (List.length lines);
+  List.iteri
+    (fun i line ->
+      if i > 0 then begin
+        match (String.index_opt line '|', String.rindex_opt line '|') with
+        | Some a, Some b ->
+            Alcotest.(check int)
+              (Printf.sprintf "lane %d clipped to 3 columns" i)
+              3 (b - a - 1)
+        | _ -> Alcotest.fail "lane without |...| bars"
+      end)
+    lines
+
+let test_timeline_large_names_star () =
+  let tr =
+    run_traced
+      [|
+        (fun work (ops : Store.ops) ->
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Acquired 50);
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Released 50));
+        (fun work (ops : Store.ops) ->
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Acquired 35);
+          ignore (ops.read work);
+          Sim.Sched.emit (Sim.Event.Released 35));
+      |]
+  in
+  let tl = Sim.Trace.timeline tr in
+  Alcotest.(check bool) "name 50 renders as *" true (is_infix "*" tl);
+  (* 35 is the last name with its own glyph ('z') *)
+  Alcotest.(check bool) "name 35 renders as z" true (is_infix "z" tl)
+
 (* ----- spans from a replayed Model_check.sample schedule ----- *)
 
 (* The MA mutant violates uniqueness under sampling.  The schedule the
@@ -151,6 +229,13 @@ let () =
         [
           Alcotest.test_case "overflow accounting" `Quick test_ring_overflow;
           Alcotest.test_case "timeline rendering" `Quick test_timeline_known_schedule;
+          Alcotest.test_case "timeline: empty trace" `Quick test_timeline_empty;
+          Alcotest.test_case "timeline: zero-length hold" `Quick
+            test_timeline_zero_length_hold;
+          Alcotest.test_case "timeline: more procs than columns" `Quick
+            test_timeline_more_procs_than_width;
+          Alcotest.test_case "timeline: names beyond 35 are *" `Quick
+            test_timeline_large_names_star;
         ] );
       ( "replay",
         [
