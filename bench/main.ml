@@ -24,7 +24,13 @@
    The recovery bench ("recovery") writes BENCH_recovery.json (bare vs
    lease-wrapped ns/cycle plus deterministic simulated reclamation
    latencies) and fails if the wrapper overhead regresses to more than
-   1.5x the recorded bench/recovery_baseline.json. *)
+   1.5x the recorded bench/recovery_baseline.json.
+   The server bench ("server") drives the sharded name server with
+   Zipf churn across 4 client domains (1M+ acquire/release cycles when
+   not --smoke) and writes BENCH_server.json (sustained acquires/sec,
+   latency percentiles, warm-vs-cold access costs, a false-sharing
+   probe); it fails if throughput drops below 0.4x the recorded
+   bench/server_baseline.json. *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -236,14 +242,13 @@ let measure_ns ~quota ~name thunk =
    within 2x of; regenerate with [bench obs --rebaseline]. *)
 let baseline_path = "bench/obs_baseline.json"
 
-let read_baseline_from baseline_path =
+let read_baseline_key baseline_path key =
   match open_in baseline_path with
   | exception Sys_error _ -> None
   | ic ->
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
-      let key = "\"overhead\":" in
       let rec find i =
         if i + String.length key > String.length s then None
         else if String.sub s i (String.length key) = key then begin
@@ -259,6 +264,8 @@ let read_baseline_from baseline_path =
         else find (i + 1)
       in
       find 0
+
+let read_baseline_from baseline_path = read_baseline_key baseline_path "\"overhead\":"
 
 let run_obs_bench ~smoke ~rebaseline () =
   Printf.printf "\n=== lib/obs instrumentation overhead (split k=8, sequential store)%s ===\n"
@@ -551,6 +558,115 @@ let run_recovery_bench ~smoke ~rebaseline () =
           (if ok then "OK" else "REGRESSED");
         ok
 
+(* ----- name server under churn ----- *)
+
+(* Sustained acquire/release throughput this machine class must stay
+   within 0.4x of; regenerate with [bench server --rebaseline].  The
+   generous factor absorbs CI-runner noise — the gate is for
+   order-of-magnitude collapses (a lost batch path, an accidental
+   global lock), not jitter. *)
+let server_baseline_path = "bench/server_baseline.json"
+
+(* Ping the same cells from [n] domains: adjacent boxed atomics share
+   cache lines, Pad-spaced ones do not.  The delta is the satellite
+   false-sharing fix made visible — honestly near-zero on a 1-core
+   container (domains timeslice; lines never ping-pong), real on
+   multicore hardware. *)
+let hammer_ns ~iters cells =
+  let n = Array.length cells in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to iters do
+              Atomic.incr cells.(i)
+            done))
+  in
+  Array.iter Domain.join ds;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (iters * n)
+
+let run_server_bench ~smoke ~rebaseline () =
+  Printf.printf "\n=== name server under churn (4 shards x k=4, 4 client domains)%s ===\n"
+    (if smoke then " [smoke]" else "");
+  let clients = 4 in
+  (* ~16% of closed-loop requests land Busy on a claimed hot name, so
+     350k requests/client keeps completed cycles comfortably over 1M *)
+  let requests = if smoke then 10_000 else 350_000 in
+  let s = 4096 in
+  let config =
+    Server.default_config ~shards:4 ~k_per_shard:4 ~warm_capacity:2 ~batch:8 ~clients
+      ~source_space:s ()
+  in
+  let report =
+    Churn.run ~config
+      ~spec:(fun client -> Workload.server_churn ~s ~requests ~seed:42 ~client ())
+      ()
+  in
+  let r = report.Churn.result in
+  let iters = if smoke then 200_000 else 1_000_000 in
+  let adj_ns = hammer_ns ~iters (Array.init clients (fun _ -> Atomic.make 0)) in
+  let padded = Runtime.Pad.create clients 0 in
+  let pad_ns = hammer_ns ~iters (Runtime.Pad.cells padded) in
+  let lat = report.Churn.latency in
+  let cold = report.Churn.cold_accesses and warm = report.Churn.warm_accesses in
+  let hit_rate =
+    if report.Churn.acquires = 0 then 0.
+    else float_of_int report.Churn.warm_hits /. float_of_int report.Churn.acquires
+  in
+  Printf.printf "cycles        : %d across %d domains (%.3f s)\n" report.Churn.cycles
+    clients report.Churn.elapsed_s;
+  Printf.printf "throughput    : %8.0f acquires/sec\n" report.Churn.throughput;
+  Printf.printf "latency ns    : p50=%d p95=%d p99=%d p100=%d\n" lat.p50 lat.p95
+    lat.p99 lat.p100;
+  Printf.printf "warm hits     : %d (%.1f%% of acquires), %d shared accesses each\n"
+    report.Churn.warm_hits (100. *. hit_rate) warm.p100;
+  Printf.printf "cold accesses : mean=%.1f p99=%d\n" cold.mean cold.p99;
+  Printf.printf "busy / shed   : %d / %d\n" report.Churn.busy report.Churn.shed;
+  Printf.printf "atomics ns/inc: adjacent=%.1f padded=%.1f (false-sharing probe)\n"
+    adj_ns pad_ns;
+  Printf.printf "violations    : %d   leaked: %d\n" r.violations r.leaked;
+  let json =
+    Printf.sprintf
+      "{\"id\":\"server\",\"smoke\":%b,\"clients\":%d,\"shards\":%d,\"k_per_shard\":%d,\"source_space\":%d,\"requests_per_client\":%d,\"cycles\":%d,\"elapsed_s\":%.3f,\"acquires_per_sec\":%.0f,\"latency_ns\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p100\":%d},\"warm_hits\":%d,\"warm_hit_rate\":%.4f,\"warm_accesses_p100\":%d,\"cold_accesses_mean\":%.1f,\"cold_accesses_p99\":%d,\"busy\":%d,\"shed\":%d,\"drains\":%d,\"drained_releases\":%d,\"false_sharing_ns\":{\"adjacent\":%.1f,\"padded\":%.1f},\"violations\":%d,\"leaked\":%d}\n"
+      smoke clients 4 4 s requests report.Churn.cycles report.Churn.elapsed_s
+      report.Churn.throughput lat.p50 lat.p95 lat.p99 lat.p100 report.Churn.warm_hits
+      hit_rate warm.p100 cold.mean cold.p99 report.Churn.busy report.Churn.shed
+      report.Churn.drains report.Churn.drained_releases adj_ns pad_ns r.violations
+      r.leaked
+  in
+  let oc = open_out "BENCH_server.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_server.json";
+  let correct =
+    r.violations = 0 && r.leaked = 0 && report.Churn.warm_hits > 0 && warm.p100 = 0
+    && cold.mean > 0.
+  in
+  if not correct then begin
+    print_endline "correctness   : FAILED (violation, leak, or warm cache inert)";
+    false
+  end
+  else if rebaseline then begin
+    let oc = open_out server_baseline_path in
+    Printf.fprintf oc "{\"id\":\"server_baseline\",\"acquires_per_sec\":%.0f}\n"
+      report.Churn.throughput;
+    close_out oc;
+    Printf.printf "recorded new baseline %.0f acquires/sec in %s\n"
+      report.Churn.throughput server_baseline_path;
+    true
+  end
+  else
+    match read_baseline_key server_baseline_path "\"acquires_per_sec\":" with
+    | None ->
+        Printf.printf "no %s; skipping the regression gate\n" server_baseline_path;
+        true
+    | Some base ->
+        let ok = report.Churn.throughput >= 0.4 *. base in
+        Printf.printf "baseline      : %8.0f acquires/sec (gate: >= %.0f) -> %s\n" base
+          (0.4 *. base)
+          (if ok then "OK" else "REGRESSED");
+        ok
+
 (* ----- driver ----- *)
 
 let write_csvs (r : Experiments.report) =
@@ -588,10 +704,13 @@ let () =
       else if String.equal id "recovery" then begin
         if not (run_recovery_bench ~smoke ~rebaseline ()) then incr failures
       end
+      else if String.equal id "server" then begin
+        if not (run_server_bench ~smoke ~rebaseline ()) then incr failures
+      end
       else
         match Experiments.find id with
         | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery)\n"
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server)\n"
               id
         | Some run ->
             let r = run () in
@@ -605,7 +724,8 @@ let () =
     run_modelcheck_bench ();
     if not (run_obs_bench ~smoke ~rebaseline ()) then incr failures;
     if not (run_trace_bench ~smoke ~rebaseline ()) then incr failures;
-    if not (run_recovery_bench ~smoke ~rebaseline ()) then incr failures
+    if not (run_recovery_bench ~smoke ~rebaseline ()) then incr failures;
+    if not (run_server_bench ~smoke ~rebaseline ()) then incr failures
   end;
   (match !reports with
   | [] -> ()

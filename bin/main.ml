@@ -10,6 +10,7 @@
      observe     run instrumented and export the metrics snapshot
      faults      adversarial fault campaigns (discrimination matrix)
      recover     run under the crash-recovery wrapper (leases, reclamation)
+     server      the sharded name server under heavy churn (real domains)
 
    simulate/modelcheck/experiment additionally take --metrics FILE to
    write the run's lib/obs snapshot as JSON. *)
@@ -1187,6 +1188,123 @@ let recover_cmd =
     Term.(const run $ protocol_arg $ k_arg 3 $ s_arg 64 $ procs $ cycles_arg 3
           $ lease_ttl $ seed $ crash $ campaign $ matrix $ json $ metrics_arg)
 
+(* ----- server ----- *)
+
+(* The name server under heavy churn: real domains, Zipf sources,
+   open-loop arrivals.  Text report on stdout (or the
+   renaming.server/v1 JSON document with --json); exits nonzero on a
+   uniqueness violation, or on a leak no crash fault explains. *)
+let server shards k s clients requests warm batch theta rate think seed plan json
+    metrics_file =
+  let config =
+    Server.default_config ~shards ~k_per_shard:k ~warm_capacity:warm ~batch ~clients
+      ~source_space:s ()
+  in
+  match
+    match plan with
+    | None -> Ok []
+    | Some p -> Result.map Churn.of_plan (Sim.Faults.of_string p)
+  with
+  | Error e ->
+      Fmt.epr "bad --plan: %s@." e;
+      2
+  | Ok faults ->
+      let registry = Obs.Registry.create () in
+      let report =
+        Churn.run ~registry ~faults ~config
+          ~spec:(fun client ->
+            Workload.server_churn ~theta ~rate ~think ~s ~requests ~seed ~client ())
+          ()
+      in
+      let r = report.Churn.result in
+      let crashed =
+        List.exists (fun (_, f) -> match f with Churn.Crash _ -> true | _ -> false)
+          faults
+      in
+      let hist_json (h : Obs.Histogram.snap) =
+        Printf.sprintf
+          {|{"count":%d,"mean":%.1f,"min":%d,"p50":%d,"p95":%d,"p99":%d,"p100":%d}|}
+          h.count h.mean h.min h.p50 h.p95 h.p99 h.p100
+      in
+      if json then
+        Fmt.pr
+          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d}@.|}
+          shards k s warm batch clients requests report.Churn.cycles
+          report.Churn.elapsed_s report.Churn.throughput report.Churn.acquires
+          report.Churn.warm_hits report.Churn.busy report.Churn.shed
+          report.Churn.drains report.Churn.drained_releases
+          (hist_json report.Churn.latency)
+          (hist_json report.Churn.cold_accesses)
+          (hist_json report.Churn.warm_accesses)
+          r.violations r.leaked report.Churn.outstanding
+      else begin
+        Fmt.pr "name server: %d shard(s) x k=%d, %d clients, S=%d@." shards k clients
+          s;
+        Fmt.pr "cycles         : %d (%d requests/client)@." report.Churn.cycles
+          requests;
+        Fmt.pr "throughput     : %.0f acquires/sec (%.3f s)@." report.Churn.throughput
+          report.Churn.elapsed_s;
+        Fmt.pr "warm hits      : %d of %d acquires@." report.Churn.warm_hits
+          report.Churn.acquires;
+        Fmt.pr "busy / shed    : %d / %d@." report.Churn.busy report.Churn.shed;
+        Fmt.pr "drains         : %d (%d batched releases)@." report.Churn.drains
+          report.Churn.drained_releases;
+        let l = report.Churn.latency in
+        Fmt.pr "latency ns     : p50=%d p95=%d p99=%d p100=%d@." l.p50 l.p95 l.p99
+          l.p100;
+        let ca = report.Churn.cold_accesses and wa = report.Churn.warm_accesses in
+        Fmt.pr "cold accesses  : mean=%.1f p99=%d (n=%d)@." ca.mean ca.p99 ca.count;
+        Fmt.pr "warm accesses  : mean=%.1f p100=%d (n=%d)@." wa.mean wa.p100 wa.count;
+        Fmt.pr "violations     : %d@." r.violations;
+        (match r.first_violation with
+        | Some m -> Fmt.pr "first violation: %s@." m
+        | None -> ());
+        Fmt.pr "leaked         : %d%s@." r.leaked
+          (if crashed && r.leaked > 0 then " (crash plan: expected)" else "")
+      end;
+      (match metrics_file with
+      | Some f -> write_file f (Obs.Export.to_json (Obs.Registry.snapshot registry))
+      | None -> ());
+      if r.violations > 0 then 1 else if r.leaked > 0 && not crashed then 1 else 0
+
+let server_cmd =
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+                    ~doc:"Protocol instances in the pool.") in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K"
+               ~doc:"Concurrent holders admitted per shard.") in
+  let s = Arg.(value & opt int 4096 & info [ "s" ] ~docv:"S"
+               ~doc:"Source name space served.") in
+  let clients = Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+                     ~doc:"Client domains driving the server.") in
+  let requests = Arg.(value & opt int 10_000 & info [ "requests" ] ~docv:"N"
+                      ~doc:"Acquire/release requests per client.") in
+  let warm = Arg.(value & opt int 2 & info [ "warm" ] ~docv:"N"
+                  ~doc:"Warm leases cached per client (0 disables).") in
+  let batch = Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N"
+                   ~doc:"Pending releases that trip a shard drain.") in
+  let theta = Arg.(value & opt float 0.99 & info [ "theta" ] ~docv:"T"
+                   ~doc:"Zipf skew of the source names (0 < $(docv) < 1).") in
+  let rate = Arg.(value & opt float 0. & info [ "rate" ] ~docv:"R"
+                  ~doc:"Open-loop arrival rate per client, requests/second \
+                        (0 = closed-loop).") in
+  let think = Arg.(value & opt int 0 & info [ "think" ] ~docv:"N"
+                   ~doc:"Local spins while holding a granted name.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+                  ~doc:"Workload seed (sources, arrivals).") in
+  let plan = Arg.(value & opt (some string) None
+                  & info [ "plan" ] ~docv:"PLAN"
+                    ~doc:"Apply a fault plan to the clients (e.g. \
+                          $(b,crash\\@p1:acc40,park\\@p3:acc1)); triggers map to \
+                          request indices.") in
+  let json = Arg.(value & flag & info [ "json" ]
+                  ~doc:"Print the renaming.server/v1 JSON report on stdout.") in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:"Serve renaming as a service: sharded protocol pool, batched releases, \
+             warm-name cache, driven by Zipf churn across OS domains")
+    Term.(const server $ shards $ k $ s $ clients $ requests $ warm $ batch $ theta
+          $ rate $ think $ seed $ plan $ json $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "renaming-cli" ~version:"1.0.0"
@@ -1196,4 +1314,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ simulate_cmd; modelcheck_cmd; params_cmd; experiment_cmd; trace_cmd;
-            domains_cmd; observe_cmd; faults_cmd; recover_cmd ]))
+            domains_cmd; observe_cmd; faults_cmd; recover_cmd; server_cmd ]))

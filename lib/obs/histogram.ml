@@ -58,10 +58,20 @@ let observe t v =
 let count t = t.count
 
 let percentile t q =
-  if t.count = 0 then 0
+  (* The population is derived from the bucket masses, not [t.count]:
+     a mid-run snapshot of a live shard (or a merge of one) can read
+     [count] ahead of the bucket array — plain mutable fields carry no
+     cross-domain ordering — and a rank computed from the larger count
+     would fall off the end of the scan and silently report [vmax] for
+     every quantile.  Bucket mass is consistent with the scan itself:
+     whatever prefix of observations the snapshot caught, the result
+     is an honest quantile of that prefix, and at quiescence (after a
+     join) mass equals [count] exactly. *)
+  let total = Array.fold_left ( + ) 0 t.buckets in
+  if total = 0 then 0
   else begin
-    let rank = max 1 (int_of_float (Float.of_int t.count *. q +. 0.5)) in
-    let rank = min rank t.count in
+    let rank = max 1 (int_of_float (Float.of_int total *. q +. 0.5)) in
+    let rank = min rank total in
     let cum = ref 0 and result = ref t.vmax in
     (try
        for i = 0 to nbuckets - 1 do

@@ -32,7 +32,13 @@ val count : t -> int
 val snap : t -> snap
 val percentile : t -> float -> int
 (** Nearest-rank quantile estimate for [q ∈ (0, 1]]; the empty
-    histogram yields [0]. *)
+    histogram yields [0].  The rank is taken over the bucket masses
+    (not the [count] field), so a snapshot merged from {e live}
+    many-writer shards mid-run still reports an honest quantile of
+    the observation prefix it caught — it can never overshoot to
+    [p100] on a torn [count] read.  After merging quiescent shards
+    the result is exactly what a single histogram fed every
+    observation would report. *)
 
 val reset : t -> unit
 val merge : into:t -> t -> unit

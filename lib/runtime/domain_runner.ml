@@ -6,7 +6,7 @@ type fault =
   | Slow of int
   | Crash_holding of { cycle : int }
 
-type result = {
+type result = Agg.result = {
   cycles_done : int array;
   violations : int;
   max_concurrent : int;
@@ -15,6 +15,69 @@ type result = {
   leaked : int;
   reclaimed : int;
 }
+
+(* Both entry points build their scoreboard here so the aggregation
+   setup cannot drift between them (it used to be duplicated). *)
+let agg ~entry ~name_space ~pids ~faults =
+  Agg.create ~entry ~name_space ~workers:(Array.length pids)
+    ~parked:(List.length (List.filter (fun (_, f) -> f = Park_holding) faults))
+
+(* Per-domain Obs instrumentation: grouped access counters on [ops],
+   one span per operation clocked by the worker's own access count,
+   and the op.*.accesses histograms. *)
+let instrument ~registry ~pid raw =
+  let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
+  let c = Store.counter () in
+  let ops =
+    match shard with
+    | None -> raw
+    | Some sh -> Store.counting c (Store.observed sh raw)
+  in
+  let clock = ref 0 in
+  let record sh op annotations =
+    let accesses = Store.accesses c in
+    Obs.Registry.span sh
+      {
+        name = op;
+        pid;
+        start_step = !clock;
+        end_step = !clock + accesses;
+        accesses;
+        annotations;
+      };
+    clock := !clock + accesses;
+    Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
+    Obs.Registry.inc sh ("op." ^ op ^ ".count")
+  in
+  (shard, c, ops, record)
+
+let gauge_acquired shard ~name ~name_space ~held ~conc =
+  match shard with
+  | Some sh ->
+      let g = Obs.Registry.gauge sh "names.held" in
+      Obs.Gauge.incr g;
+      Obs.Gauge.observe g conc;
+      if name >= 0 && name < name_space then begin
+        let gn = Obs.Registry.gauge sh ("names.held." ^ string_of_int name) in
+        Obs.Gauge.incr gn;
+        Obs.Gauge.observe gn held
+      end;
+      Obs.Registry.inc sh "names.acquired"
+  | None -> ()
+
+let gauge_released shard ~name ~name_space =
+  match shard with
+  | Some sh ->
+      Obs.Gauge.decr (Obs.Registry.gauge sh "names.held");
+      if name >= 0 && name < name_space then
+        Obs.Gauge.decr (Obs.Registry.gauge sh ("names.held." ^ string_of_int name));
+      Obs.Registry.inc sh "names.released"
+  | None -> ()
+
+let spin n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
 
 let run (type a) ?registry ?flight ?(faults = [])
     (module P : Renaming.Protocol.S with type t = a) (inst : a) ~layout ~pids ~cycles
@@ -31,50 +94,17 @@ let run (type a) ?registry ?flight ?(faults = [])
         in
         Array.map (fun _ -> Obs.Flight.create ~capacity:per ()) pids
   in
-  let holders = Array.init name_space (fun _ -> Atomic.make 0) in
-  let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
-  let violations = Atomic.make 0 in
-  let first_violation = Atomic.make None in
-  let concurrent = Atomic.make 0 in
-  let max_concurrent = Atomic.make 0 in
-  let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
   (* parked workers hold their name until every non-parked worker has
      finished all its cycles — so parking cannot hang the run, and the
      others' completion IS the wait-freedom assertion *)
-  let normal_total =
-    Array.length pids
-    - List.length (List.filter (fun (_, f) -> f = Park_holding) faults)
-  in
-  if Array.length pids > 0 && normal_total = 0 then
-    invalid_arg
-      "Domain_runner.run: every worker is Park_holding, nothing can make progress";
-  let normal_done = Atomic.make 0 in
-  let bump_max a c =
-    (* monotone CAS loop *)
-    let rec go () =
-      let m = Atomic.get a in
-      if c > m && not (Atomic.compare_and_set a m c) then go ()
-    in
-    go ()
-  in
-  let note_violation msg =
-    Atomic.incr violations;
-    let cur = Atomic.get first_violation in
-    if cur = None then ignore (Atomic.compare_and_set first_violation cur (Some msg))
-  in
+  let agg = agg ~entry:"Domain_runner.run" ~name_space ~pids ~faults in
   let worker i pid () =
     (* Each domain writes its own registry shard; shards merge on
        snapshot, after the join.  The worker's span clock is its own
        access count (real time is preemptive; global step order is not
        observable the way it is under the simulator). *)
-    let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
     let raw = Atomic_store.ops store ~pid in
-    let c = Store.counter () in
-    let ops =
-      match shard with
-      | None -> raw
-      | Some sh -> Store.counting c (Store.observed sh raw)
-    in
+    let shard, c, ops, record = instrument ~registry ~pid raw in
     (* The flight clock is the domain's own total access count ([c2] is
        never reset, unlike the per-operation counter [c]); cross-domain
        ordering is not claimed — see the Flight doc. *)
@@ -95,83 +125,28 @@ let run (type a) ?registry ?flight ?(faults = [])
       | None -> ()
       | Some ring -> Obs.Flight.record ring ~clock:(Store.accesses c2) ~pid ev
     in
-    let clock = ref 0 in
-    let record sh op annotations =
-      let accesses = Store.accesses c in
-      Obs.Registry.span sh
-        {
-          name = op;
-          pid;
-          start_step = !clock;
-          end_step = !clock + accesses;
-          accesses;
-          annotations;
-        };
-      clock := !clock + accesses;
-      Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
-      Obs.Registry.inc sh ("op." ^ op ^ ".count")
-    in
     let acquire () =
       Store.reset c;
       let lease = P.get_name inst ops in
       let n = P.name_of inst lease in
       fly (Obs.Flight.Acquired n);
       (match shard with Some sh -> record sh "get" [ ("name", n) ] | None -> ());
-      let held =
-        if n < 0 || n >= name_space then begin
-          note_violation
-            (Printf.sprintf "worker %d acquired name %d outside [0,%d)" i n name_space);
-          0
-        end
-        else begin
-          let held = 1 + Atomic.fetch_and_add holders.(n) 1 in
-          bump_max name_max.(n) held;
-          if held > 1 then
-            note_violation
-              (Printf.sprintf "name %d held by %d workers at once" n held);
-          held
-        end
-      in
-      let conc = 1 + Atomic.fetch_and_add concurrent 1 in
-      bump_max max_concurrent conc;
-      (match shard with
-      | Some sh ->
-          let g = Obs.Registry.gauge sh "names.held" in
-          Obs.Gauge.incr g;
-          Obs.Gauge.observe g conc;
-          if n >= 0 && n < name_space then begin
-            let gn = Obs.Registry.gauge sh ("names.held." ^ string_of_int n) in
-            Obs.Gauge.incr gn;
-            Obs.Gauge.observe gn held
-          end;
-          Obs.Registry.inc sh "names.acquired"
-      | None -> ());
+      let held, conc = Agg.acquired agg ~worker:i ~name:n in
+      gauge_acquired shard ~name:n ~name_space ~held ~conc;
       (lease, n)
     in
     let release (lease, n) =
-      Atomic.decr concurrent;
-      if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
-      (match shard with
-      | Some sh ->
-          Obs.Gauge.decr (Obs.Registry.gauge sh "names.held");
-          if n >= 0 && n < name_space then
-            Obs.Gauge.decr (Obs.Registry.gauge sh ("names.held." ^ string_of_int n));
-          Obs.Registry.inc sh "names.released"
-      | None -> ());
+      Agg.released agg ~name:n;
+      gauge_released shard ~name:n ~name_space;
       Store.reset c;
       P.release_name inst ops lease;
       fly (Obs.Flight.Released n);
       match shard with Some sh -> record sh "release" [] | None -> ()
     in
-    let spin n =
-      for _ = 1 to n do
-        Domain.cpu_relax ()
-      done
-    in
     match List.assoc_opt i faults with
     | Some Park_holding ->
         let held = acquire () in
-        while Atomic.get normal_done < normal_total do
+        while not (Agg.all_normal_done agg) do
           Domain.cpu_relax ()
         done;
         release held
@@ -180,13 +155,13 @@ let run (type a) ?registry ?flight ?(faults = [])
           let held = acquire () in
           Domain.cpu_relax ();
           release held;
-          Atomic.incr cycles_done.(i)
+          Agg.cycle_done agg i
         done;
         (* die holding: the domain exits without releasing — the name
            and its register footprint leak unless a recovery layer
            reclaims them (see [run_recovered]) *)
         ignore (acquire ());
-        Atomic.incr normal_done
+        Agg.worker_done agg
     | fault ->
         for cy = 0 to cycles - 1 do
           let held = acquire () in
@@ -198,85 +173,24 @@ let run (type a) ?registry ?flight ?(faults = [])
           Domain.cpu_relax ();
           release held;
           (match fault with Some (Slow n) -> spin n | _ -> ());
-          Atomic.incr cycles_done.(i)
+          Agg.cycle_done agg i
         done;
-        Atomic.incr normal_done
+        Agg.worker_done agg
   in
   let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
   Array.iter Domain.join domains;
   (match flight with
   | None -> ()
   | Some ring -> Array.iter (fun r -> Obs.Flight.merge ~into:ring r) worker_rings);
-  let max_concurrent_by_name =
-    Array.to_list name_max
-    |> List.mapi (fun n a -> (n, Atomic.get a))
-    |> List.filter (fun (_, m) -> m > 0)
-  in
-  {
-    cycles_done = Array.map Atomic.get cycles_done;
-    violations = Atomic.get violations;
-    max_concurrent = Atomic.get max_concurrent;
-    max_concurrent_by_name;
-    first_violation = Atomic.get first_violation;
-    leaked = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 holders;
-    reclaimed = 0;
-  }
+  Agg.result agg
 
 let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
   let name_space = Recovery.name_space rc in
   let store = Atomic_store.create layout in
-  let holders = Array.init name_space (fun _ -> Atomic.make 0) in
-  let name_max = Array.init name_space (fun _ -> Atomic.make 0) in
-  let violations = Atomic.make 0 in
-  let first_violation = Atomic.make None in
-  let concurrent = Atomic.make 0 in
-  let max_concurrent = Atomic.make 0 in
-  let cycles_done = Array.map (fun _ -> Atomic.make 0) pids in
-  let normal_total =
-    Array.length pids
-    - List.length (List.filter (fun (_, f) -> f = Park_holding) faults)
-  in
-  if Array.length pids > 0 && normal_total = 0 then
-    invalid_arg
-      "Domain_runner.run_recovered: every worker is Park_holding, nothing can make progress";
-  let normal_done = Atomic.make 0 in
-  let bump_max a c =
-    let rec go () =
-      let m = Atomic.get a in
-      if c > m && not (Atomic.compare_and_set a m c) then go ()
-    in
-    go ()
-  in
-  let note_violation msg =
-    Atomic.incr violations;
-    let cur = Atomic.get first_violation in
-    if cur = None then ignore (Atomic.compare_and_set first_violation cur (Some msg))
-  in
+  let agg = agg ~entry:"Domain_runner.run_recovered" ~name_space ~pids ~faults in
   let worker i pid () =
-    let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
     let raw = Atomic_store.ops store ~pid in
-    let c = Store.counter () in
-    let ops =
-      match shard with
-      | None -> raw
-      | Some sh -> Store.counting c (Store.observed sh raw)
-    in
-    let clock = ref 0 in
-    let record sh op annotations =
-      let accesses = Store.accesses c in
-      Obs.Registry.span sh
-        {
-          name = op;
-          pid;
-          start_step = !clock;
-          end_step = !clock + accesses;
-          accesses;
-          annotations;
-        };
-      clock := !clock + accesses;
-      Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
-      Obs.Registry.inc sh ("op." ^ op ^ ".count")
-    in
+    let shard, c, ops, record = instrument ~registry ~pid raw in
     let acquire () =
       Store.reset c;
       match Recovery.acquire rc ops with
@@ -286,56 +200,16 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
       | Recovery.Acquired lease ->
           let n = Recovery.name_of lease in
           (match shard with Some sh -> record sh "get" [ ("name", n) ] | None -> ());
-          let held =
-            if n < 0 || n >= name_space then begin
-              note_violation
-                (Printf.sprintf "worker %d acquired name %d outside [0,%d)" i n
-                   name_space);
-              0
-            end
-            else begin
-              let held = 1 + Atomic.fetch_and_add holders.(n) 1 in
-              bump_max name_max.(n) held;
-              if held > 1 then
-                note_violation
-                  (Printf.sprintf "name %d held by %d workers at once" n held);
-              held
-            end
-          in
-          let conc = 1 + Atomic.fetch_and_add concurrent 1 in
-          bump_max max_concurrent conc;
-          (match shard with
-          | Some sh ->
-              let g = Obs.Registry.gauge sh "names.held" in
-              Obs.Gauge.incr g;
-              Obs.Gauge.observe g conc;
-              if n >= 0 && n < name_space then begin
-                let gn = Obs.Registry.gauge sh ("names.held." ^ string_of_int n) in
-                Obs.Gauge.incr gn;
-                Obs.Gauge.observe gn held
-              end;
-              Obs.Registry.inc sh "names.acquired"
-          | None -> ());
+          let held, conc = Agg.acquired agg ~worker:i ~name:n in
+          gauge_acquired shard ~name:n ~name_space ~held ~conc;
           Some (lease, n)
     in
     let release (lease, n) =
-      Atomic.decr concurrent;
-      if n >= 0 && n < name_space then ignore (Atomic.fetch_and_add holders.(n) (-1));
-      (match shard with
-      | Some sh ->
-          Obs.Gauge.decr (Obs.Registry.gauge sh "names.held");
-          if n >= 0 && n < name_space then
-            Obs.Gauge.decr (Obs.Registry.gauge sh ("names.held." ^ string_of_int n));
-          Obs.Registry.inc sh "names.released"
-      | None -> ());
+      Agg.released agg ~name:n;
+      gauge_released shard ~name:n ~name_space;
       Store.reset c;
       ignore (Recovery.release rc ops lease : bool);
       match shard with Some sh -> record sh "release" [] | None -> ()
-    in
-    let spin n =
-      for _ = 1 to n do
-        Domain.cpu_relax ()
-      done
     in
     let full_cycle fault cy =
       match acquire () with
@@ -348,14 +222,14 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
           Recovery.heartbeat rc ops lease;
           release held;
           (match fault with Some (Slow n) -> spin n | _ -> ());
-          Atomic.incr cycles_done.(i)
+          Agg.cycle_done agg i
     in
     match List.assoc_opt i faults with
     | Some Park_holding -> (
         match acquire () with
         | None -> () (* shed before parking: nothing held, just exit *)
         | Some ((lease, _) as held) ->
-            while Atomic.get normal_done < normal_total do
+            while not (Agg.all_normal_done agg) do
               Recovery.heartbeat rc ops lease
             done;
             release held)
@@ -364,12 +238,12 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
           full_cycle None cy
         done;
         ignore (acquire ());
-        Atomic.incr normal_done
+        Agg.worker_done agg
     | fault ->
         for cy = 0 to cycles - 1 do
           full_cycle fault cy
         done;
-        Atomic.incr normal_done
+        Agg.worker_done agg
   in
   let domains = Array.mapi (fun i pid -> Domain.spawn (worker i pid)) pids in
   Array.iter Domain.join domains;
@@ -386,23 +260,8 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
       ignore
         (Recovery.scan rc drain_ops ~on_reclaim:(fun ~pid:_ ~name ~latency:_ ->
              incr reclaimed;
-             Atomic.decr concurrent;
-             if name >= 0 && name < name_space then
-               ignore (Atomic.fetch_and_add holders.(name) (-1)))
+             Agg.released agg ~name)
           : int)
     done
   end;
-  let max_concurrent_by_name =
-    Array.to_list name_max
-    |> List.mapi (fun n a -> (n, Atomic.get a))
-    |> List.filter (fun (_, m) -> m > 0)
-  in
-  {
-    cycles_done = Array.map Atomic.get cycles_done;
-    violations = Atomic.get violations;
-    max_concurrent = Atomic.get max_concurrent;
-    max_concurrent_by_name;
-    first_violation = Atomic.get first_violation;
-    leaked = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 holders;
-    reclaimed = !reclaimed;
-  }
+  Agg.result ~reclaimed:!reclaimed agg

@@ -45,7 +45,7 @@ type fault =
           register footprint leak (see [result.leaked]); under
           {!run_recovered} the post-join drain reclaims them. *)
 
-type result = {
+type result = Agg.result = {
   cycles_done : int array;  (** Per worker; equals [cycles] on success. *)
   violations : int;
       (** Times a name was observed held by two workers at once, or a

@@ -1,0 +1,26 @@
+(* A 64-byte line is 8 words on 64-bit; an Atomic.t box is 2 words
+   (header + value), so 8 spacer words guarantee two consecutive boxes
+   can never share a line, wherever the GC moves the pair. *)
+let line_words = 8
+
+type t = {
+  cells : int Atomic.t array;
+  spacers : int array array;
+      (* one spacer block allocated right after each cell; reachable
+         from here so compaction keeps the interleaving *)
+}
+
+let create n v =
+  if n < 0 then invalid_arg "Pad.create: negative length";
+  let spacers = Array.make n [||] in
+  let cells =
+    Array.init n (fun i ->
+        let c = Atomic.make v in
+        spacers.(i) <- Array.make line_words 0;
+        c)
+  in
+  { cells; spacers }
+
+let cells t = t.cells
+let get t i = Atomic.get t.cells.(i)
+let length t = Array.length t.cells

@@ -1,0 +1,35 @@
+(** Cache-line discipline for hot atomic arrays.
+
+    [Atomic.make] allocates a two-word boxed cell; an
+    [Array.init n (fun _ -> Atomic.make 0)] therefore packs up to four
+    unrelated counters into one 64-byte cache line, and contended
+    updates to {e different} names ping-pong the same line between
+    cores (false sharing).  OCaml 5.1 has no [Atomic.make_contended]
+    yet, so this module spaces the boxes the portable way: a spacer
+    block is allocated between consecutive cells {e and kept
+    reachable}, so neither minor-heap evacuation nor major-heap
+    compaction can re-pack the cells onto a shared line.
+
+    The spacers cost [line_words] extra words per cell — use this for
+    small, hot arrays (per-name holder counters, per-worker cycle
+    counters), not for O(S) bookkeeping tables. *)
+
+type t
+(** A padded array of [int Atomic.t] cells.  The value owns the spacer
+    blocks; keep it alive as long as the cells are in use. *)
+
+val create : int -> int -> t
+(** [create n v] — [n] cells initialised to [v], each on its own cache
+    line (best effort; see above).
+    @raise Invalid_argument when [n < 0]. *)
+
+val cells : t -> int Atomic.t array
+(** The cells themselves, for hot-loop indexing.  Element [i] is the
+    same cell every call. *)
+
+val get : t -> int -> int
+val length : t -> int
+
+val line_words : int
+(** Words of spacing allocated between consecutive cells (one 64-byte
+    line on 64-bit). *)

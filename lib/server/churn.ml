@@ -1,0 +1,177 @@
+module Agg = Runtime.Agg
+
+type fault =
+  | Park
+  | Stall of { request : int; spins : int }
+  | Slow of int
+  | Crash of { request : int }
+
+let of_plan plan =
+  List.map
+    (fun { Sim.Faults.victim; trigger; action } ->
+      let request =
+        match trigger with
+        | Sim.Faults.At_access n -> n
+        | Sim.Faults.On_note { occurrence; _ } -> occurrence
+        | Sim.Faults.On_acquire n -> n
+      in
+      ( victim,
+        match action with
+        | Sim.Faults.Park -> Park
+        | Sim.Faults.Crash -> Crash { request }
+        | Sim.Faults.Stall n -> Stall { request; spins = 1000 * n }
+        | Sim.Faults.Slow n -> Slow (100 * n) ))
+    plan
+
+type report = {
+  result : Agg.result;
+  cycles : int;
+  acquires : int;
+  warm_hits : int;
+  busy : int;
+  shed : int;
+  drains : int;
+  drained_releases : int;
+  elapsed_s : float;
+  throughput : float;
+  latency : Obs.Histogram.snap;
+  cold_accesses : Obs.Histogram.snap;
+  warm_accesses : Obs.Histogram.snap;
+  outstanding : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let spin n = for _ = 1 to n do Domain.cpu_relax () done
+
+(* A parked client grabs one name (skipping Busy/Shed request slots)
+   and sits on it until every normal client has finished. *)
+let park_body server c (spec : Workload.server_spec) agg =
+  let rec grab r =
+    match Server.acquire server c ~src:(spec.source r) with
+    | Server.Granted g -> g.token
+    | Server.Busy | Server.Shed ->
+        Domain.cpu_relax ();
+        grab (r + 1)
+  in
+  let token = grab 0 in
+  while not (Agg.all_normal_done agg) do
+    Domain.cpu_relax ()
+  done;
+  Server.release server c ~token;
+  Server.flush server c
+
+exception Crashed
+
+let client_body server id fault (spec : Workload.server_spec) lat cold warm =
+  let agg = Server.scoreboard server in
+  let c = Server.client server id in
+  match fault with
+  | Some Park -> park_body server c spec agg
+  | _ ->
+      let crash_at = match fault with Some (Crash { request }) -> request | _ -> max_int in
+      let stall =
+        match fault with
+        | Some (Stall { request; spins }) -> Some (request, spins)
+        | _ -> None
+      in
+      let slow = match fault with Some (Slow n) -> n | _ -> 0 in
+      let obs = Server.client_obs c in
+      (* A stream whose last arrival is still 0 is closed-loop: charge
+         latency from issue.  Open-loop streams charge from the
+         scheduled arrival — the server, not the generator, eats any
+         backlog (no coordinated omission). *)
+      let closed =
+        spec.requests = 0 || spec.arrival (max 0 (spec.requests - 1)) <= 0.
+      in
+      let t0 = now_ns () in
+      (try
+         for r = 0 to spec.requests - 1 do
+           if r >= crash_at then raise Crashed;
+           let sched =
+             if closed then now_ns ()
+             else begin
+               let sched = t0 + int_of_float (spec.arrival r *. 1e9) in
+               while now_ns () < sched do
+                 Domain.cpu_relax ()
+               done;
+               sched
+             end
+           in
+           (match Server.acquire server c ~src:(spec.source r) with
+           | Server.Busy | Server.Shed -> ()
+           | Server.Granted g ->
+               spin spec.think;
+               (match stall with
+               | Some (request, spins) when r = request -> spin spins
+               | _ -> ());
+               Server.release server c ~token:g.token;
+               let d = now_ns () - sched in
+               Obs.Histogram.observe lat d;
+               Obs.Histogram.observe (if g.warm then warm else cold) g.accesses;
+               (match obs with
+               | Some o -> Obs.Registry.observe o "server.latency_ns" d
+               | None -> ());
+               Agg.cycle_done agg id);
+           spin slow
+         done;
+         Server.flush server c
+       with Crashed -> ());
+      Agg.worker_done agg
+
+let run ?registry ?flight ?backend ?(faults = []) ~(config : Server.config)
+    ~(spec : int -> Workload.server_spec) () =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= config.clients then
+        invalid_arg "Churn.run: fault victim out of client range")
+    faults;
+  let fault_of id = List.assoc_opt id faults in
+  let parked =
+    List.length (List.filter (fun (_, f) -> f = Park) faults)
+  in
+  let server = Server.create ?registry ?flight ?backend ~parked config in
+  let specs = Array.init config.clients spec in
+  let lat = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let cold = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let warm = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init config.clients (fun id ->
+        Domain.spawn (fun () ->
+            client_body server id (fault_of id) specs.(id) lat.(id) cold.(id)
+              warm.(id)))
+  in
+  Array.iter Domain.join domains;
+  Server.drain_all server (Server.client server 0);
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Server.merge_flight server;
+  let result = Agg.result (Server.scoreboard server) in
+  let cycles = Array.fold_left ( + ) 0 result.Agg.cycles_done in
+  let sum f =
+    let s = ref 0 in
+    for id = 0 to config.clients - 1 do
+      s := !s + f (Server.client_stats (Server.client server id))
+    done;
+    !s
+  in
+  let merge_all hs =
+    let into = Obs.Histogram.create () in
+    Array.iter (fun h -> Obs.Histogram.merge ~into h) hs;
+    Obs.Histogram.snap into
+  in
+  {
+    result;
+    cycles;
+    acquires = sum (fun (s : Server.client_stats) -> s.acquires);
+    warm_hits = sum (fun s -> s.warm_hits);
+    busy = sum (fun s -> s.busy);
+    shed = sum (fun s -> s.shed);
+    drains = sum (fun s -> s.drains);
+    drained_releases = sum (fun s -> s.drained_releases);
+    elapsed_s;
+    throughput = (if elapsed_s > 0. then float_of_int cycles /. elapsed_s else 0.);
+    latency = merge_all lat;
+    cold_accesses = merge_all cold;
+    warm_accesses = merge_all warm;
+    outstanding = Server.outstanding server;
+  }

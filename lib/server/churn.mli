@@ -1,0 +1,74 @@
+(** The heavy-churn load harness: real OS domains driving a
+    {!Server} with {!Workload.server_spec} request streams.
+
+    One domain per client.  Timed arrivals are {e open-loop}: request
+    [i]'s latency is measured from its scheduled arrival time, not
+    from when the client got around to issuing it, so a server that
+    falls behind is charged the queueing delay (no coordinated
+    omission).  A closed-loop stream (every arrival [0.]) measures
+    from issue instead — there is no schedule to fall behind.  Cycle
+    accounting, uniqueness monitoring and leak detection all go
+    through the server's {!Runtime.Agg} scoreboard; latency and
+    shared-access-cost histograms are client-local {!Obs.Histogram}s
+    merged after the join — the same single-writer-then-merge
+    discipline as the registry. *)
+
+(** Client-side fault behaviours, mirroring the {!Sim.Faults} actions
+    on real domains (the simulator freezes a victim's scheduler slot;
+    here the victim misbehaves in its own request loop). *)
+type fault =
+  | Park
+      (** Acquire one name and hold it until every normal client has
+          finished, then release and flush — the long-lived parked
+          holder. *)
+  | Stall of { request : int; spins : int }
+      (** Spin [spins] times while holding the name granted for
+          request [request]. *)
+  | Slow of int  (** Spin this many times after every completed cycle. *)
+  | Crash of { request : int }
+      (** Stop dead before issuing request [request]: no release of
+          warm leases, no flush — whatever the client cached leaks
+          until {!Server.drain_all} (which cannot reach a dead
+          client's warm cache) and shows up in [outstanding]. *)
+
+val of_plan : Sim.Faults.plan -> (int * fault) list
+(** Map a simulator fault plan onto client faults: victims become
+    client indices; [At_access n] / [On_acquire n] / [On_note]
+    occurrences become request indices (the closest real-domain
+    analogue of a self-condition); [Stall n] spins [1000·n], [Slow n]
+    spins [100·n] — the simulator's global-step currency rendered as
+    local work. *)
+
+type report = {
+  result : Runtime.Agg.result;
+  cycles : int;  (** Completed acquire/release cycles, all clients. *)
+  acquires : int;
+  warm_hits : int;
+  busy : int;
+  shed : int;
+  drains : int;
+  drained_releases : int;
+  elapsed_s : float;  (** Spawn to post-join drain, wall clock. *)
+  throughput : float;  (** [cycles /. elapsed_s]. *)
+  latency : Obs.Histogram.snap;  (** Nanoseconds from scheduled arrival. *)
+  cold_accesses : Obs.Histogram.snap;  (** Shared accesses per cold grant. *)
+  warm_accesses : Obs.Histogram.snap;  (** Per warm grant — all zero. *)
+  outstanding : int;  (** Names still held after the final drain: leaks. *)
+}
+
+val run :
+  ?registry:Obs.Registry.t ->
+  ?flight:Obs.Flight.t ->
+  ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
+  ?faults:(int * fault) list ->
+  config:Server.config ->
+  spec:(int -> Workload.server_spec) ->
+  unit ->
+  report
+(** [run ~config ~spec ()] creates the server, spawns [config.clients]
+    domains (client [i] driven by [spec i]), joins them, flushes and
+    drains every batched release, merges flight rings, and reports.
+    [Busy]/[Shed] outcomes consume the request slot without a retry —
+    they are counted, not latency-measured.
+    @raise Invalid_argument when a fault names a client out of range,
+    or every client parks. *)

@@ -1,0 +1,474 @@
+module Store = Shared_mem.Store
+module Layout = Shared_mem.Layout
+module Any = Renaming.Protocol.Any
+module Pad = Runtime.Pad
+module Agg = Runtime.Agg
+module Atomic_store = Runtime.Atomic_store
+
+type config = {
+  shards : int;
+  k_per_shard : int;
+  source_space : int;
+  warm_capacity : int;
+  batch : int;
+  clients : int;
+}
+
+let default_config ?(shards = 4) ?(k_per_shard = 4) ?(warm_capacity = 2) ?(batch = 8)
+    ~clients ~source_space () =
+  { shards; k_per_shard; source_space; warm_capacity; batch; clients }
+
+(* Slab tokens are slot indices.  The freelist head packs (tag, idx+1)
+   into one int — the tag advances on every successful swap, so a
+   slot popped, recycled and re-pushed between a competitor's read and
+   its CAS can never satisfy that CAS (the classic Treiber ABA). *)
+let idx_bits = 21
+let idx_mask = (1 lsl idx_bits) - 1
+
+type shard = { inst : Any.t; base : int }
+
+type client = {
+  id : int;
+  obs : Obs.Registry.shard option;
+  ring : Obs.Flight.t option;
+  ops : Store.ops array;  (* per shard; [pid] re-bound per request *)
+  cop : Store.counter;  (* per-operation access cost *)
+  clock : Store.counter;  (* running access clock for flight stamps *)
+  warm_src : int array;
+  warm_slot : int array;
+  mutable warm_n : int;  (* entries live at [0, warm_n), oldest first *)
+  mutable acquires : int;
+  mutable warm_hits : int;
+  mutable busy : int;
+  mutable shed : int;
+  mutable drains : int;
+  mutable drained : int;
+}
+
+type t = {
+  cfg : config;
+  shard_tbl : shard array;
+  stores : Atomic_store.t array;  (* kept alive alongside instances *)
+  claims : int Atomic.t array;  (* per source: 0 free, else client+1 *)
+  admitted : Pad.t;  (* per shard: held + warm + pending *)
+  pending : Pad.t;  (* per shard: list head, slot+1 (0 = empty) *)
+  pending_n : Pad.t;
+  slot_src : int array;
+  slot_shard : int array;
+  slot_name : int array;  (* global: shard base + local name *)
+  slot_owner : int array;
+  slot_held : bool array;  (* granted and not yet released *)
+  slot_lease : Any.lease option array;
+  slot_next : int array;  (* freelist / pending link, -1 terminated *)
+  free : int Atomic.t;
+  agg : Agg.t;
+  total_space : int;
+  clients_tbl : client array;
+  flight : Obs.Flight.t option;
+}
+
+type outcome =
+  | Granted of { name : int; token : int; warm : bool; accesses : int }
+  | Busy
+  | Shed
+
+(* Seed-fixed source-to-shard route: a pure function of (src, shards),
+   so it is stable across calls, clients and server instances. *)
+let route src shards =
+  if shards = 1 then 0
+  else begin
+    let h = ref (src * 0x9E3779B97F4A7C1) in
+    h := (!h lxor (!h lsr 30)) * 0xBF58476D1CE4E5B land max_int;
+    h := (!h lxor (!h lsr 27)) * 0x94D049BB133111E land max_int;
+    (!h lxor (!h lsr 31)) mod shards
+  end
+
+(* ----- freelist (tag-CAS Treiber stack) ----- *)
+
+let rec free_push t i =
+  let h = Atomic.get t.free in
+  t.slot_next.(i) <- (h land idx_mask) - 1;
+  let h' = (((h lsr idx_bits) + 1) lsl idx_bits) lor (i + 1) in
+  if not (Atomic.compare_and_set t.free h h') then free_push t i
+
+let rec free_pop t =
+  let h = Atomic.get t.free in
+  let v = h land idx_mask in
+  if v = 0 then -1
+  else begin
+    let i = v - 1 in
+    let n = t.slot_next.(i) in
+    let h' = (((h lsr idx_bits) + 1) lsl idx_bits) lor (n + 1) in
+    if Atomic.compare_and_set t.free h h' then i else free_pop t
+  end
+
+(* ----- per-shard pending-release lists -----
+
+   Push is a plain head CAS (no tag needed: the link written always
+   points at the head value the CAS installs over, whatever its
+   history); the only pop is a pop-everything [exchange], which cannot
+   suffer ABA at all. *)
+
+let rec pending_push_link t sh i =
+  let head = (Pad.cells t.pending).(sh) in
+  let h = Atomic.get head in
+  t.slot_next.(i) <- h - 1;
+  if not (Atomic.compare_and_set head h (i + 1)) then pending_push_link t sh i
+
+let pending_push t sh i =
+  pending_push_link t sh i;
+  ignore (Atomic.fetch_and_add (Pad.cells t.pending_n).(sh) 1)
+
+let obs_inc c name = match c.obs with Some o -> Obs.Registry.inc o name | None -> ()
+let obs_count c name n = match c.obs with Some o -> Obs.Registry.count o name n | None -> ()
+let obs_observe c name v = match c.obs with Some o -> Obs.Registry.observe o name v | None -> ()
+
+let mark c tag v =
+  match c.ring with
+  | Some r ->
+      Obs.Flight.record r ~clock:(Store.accesses c.clock) ~pid:c.id
+        (Obs.Flight.Mark (tag, v))
+  | None -> ()
+
+let drain_shard t (c : client) sh =
+  let h = Atomic.exchange (Pad.cells t.pending).(sh) 0 in
+  if h <> 0 then begin
+    c.drains <- c.drains + 1;
+    obs_inc c "server.drains";
+    let sd = t.shard_tbl.(sh) in
+    let admitted = (Pad.cells t.admitted).(sh) in
+    let n = ref 0 in
+    let i = ref (h - 1) in
+    while !i >= 0 do
+      let slot = !i in
+      let next = t.slot_next.(slot) in
+      let src = t.slot_src.(slot) in
+      let lease = match t.slot_lease.(slot) with Some l -> l | None -> assert false in
+      t.slot_lease.(slot) <- None;
+      Agg.released t.agg ~name:t.slot_name.(slot);
+      (* Run the protocol release under the original source name.  The
+         holder has retired (warm leases are flushed before they reach
+         pending), so no step of pid [src] can overlap this one, and
+         the claim below stays set until the release lands — a new
+         claimant of [src] cannot start a get_name that would overlap
+         its own release.  That any agent may execute the register
+         operations on the holder's behalf is the same handoff
+         long-lived reclamation relies on. *)
+      let base : Store.ops = c.ops.(sh) in
+      Any.release_name sd.inst { base with pid = src } lease;
+      Atomic.set t.claims.(src) 0;
+      free_push t slot;
+      ignore (Atomic.fetch_and_add admitted (-1));
+      incr n;
+      i := next
+    done;
+    ignore (Atomic.fetch_and_add (Pad.cells t.pending_n).(sh) (- !n));
+    c.drained <- c.drained + !n;
+    obs_count c "server.drained" !n;
+    mark c "drain" !n
+  end
+
+let pending_release t c sh slot =
+  pending_push t sh slot;
+  if Atomic.get (Pad.cells t.pending_n).(sh) >= t.cfg.batch then drain_shard t c sh
+
+(* ----- admission: cap holders+warm+pending at the shard's k ----- *)
+
+let try_admit t sh =
+  let a = (Pad.cells t.admitted).(sh) in
+  let k = t.cfg.k_per_shard in
+  let rec go () =
+    let cur = Atomic.get a in
+    if cur >= k then false
+    else if Atomic.compare_and_set a cur (cur + 1) then true
+    else go ()
+  in
+  go ()
+
+(* Flush this client's own warm leases that live on shard [sh] —
+   reclaiming admission capacity it is hoarding before giving up. *)
+let flush_warm_shard t c sh =
+  let w = ref 0 in
+  for r = 0 to c.warm_n - 1 do
+    let slot = c.warm_slot.(r) in
+    if t.slot_shard.(slot) = sh then pending_push t sh slot
+    else begin
+      c.warm_src.(!w) <- c.warm_src.(r);
+      c.warm_slot.(!w) <- slot;
+      incr w
+    end
+  done;
+  c.warm_n <- !w
+
+let admit t c sh =
+  let rec attempt tries =
+    if try_admit t sh then true
+    else if tries = 0 then false
+    else begin
+      flush_warm_shard t c sh;
+      drain_shard t c sh;
+      attempt (tries - 1)
+    end
+  in
+  attempt 3
+
+let slot_take t c sh =
+  (* Admission guarantees at most cap-1 slots are bound or pending, so
+     a slot is free or frees as soon as pending drains; spin + help. *)
+  let rec go () =
+    match free_pop t with
+    | -1 ->
+        drain_shard t c sh;
+        Domain.cpu_relax ();
+        go ()
+    | i -> i
+  in
+  go ()
+
+(* ----- warm cache (client-local; no shared state at all) ----- *)
+
+let warm_find c src =
+  let rec go r = if r >= c.warm_n then -1 else if c.warm_src.(r) = src then r else go (r + 1) in
+  go 0
+
+let warm_remove c r =
+  for i = r to c.warm_n - 2 do
+    c.warm_src.(i) <- c.warm_src.(i + 1);
+    c.warm_slot.(i) <- c.warm_slot.(i + 1)
+  done;
+  c.warm_n <- c.warm_n - 1
+
+(* ----- the service ----- *)
+
+let acquire t c ~src =
+  if src < 0 || src >= t.cfg.source_space then
+    invalid_arg "Server.acquire: source name out of range";
+  let r = warm_find c src in
+  if r >= 0 then begin
+    (* Warm hit: the name was never returned to the protocol, so
+       re-granting it to the claim holder is uniqueness-trivial — and
+       costs zero shared accesses. *)
+    let slot = c.warm_slot.(r) in
+    warm_remove c r;
+    t.slot_held.(slot) <- true;
+    c.acquires <- c.acquires + 1;
+    c.warm_hits <- c.warm_hits + 1;
+    obs_inc c "server.acquired";
+    obs_inc c "server.warm_hits";
+    obs_observe c "server.acquire.accesses.warm" 0;
+    mark c "warm" t.slot_name.(slot);
+    Granted { name = t.slot_name.(slot); token = slot; warm = true; accesses = 0 }
+  end
+  else begin
+    let sh = route src t.cfg.shards in
+    if not (Atomic.compare_and_set t.claims.(src) 0 (c.id + 1)) then begin
+      c.busy <- c.busy + 1;
+      obs_inc c "server.busy";
+      Busy
+    end
+    else if not (admit t c sh) then begin
+      Atomic.set t.claims.(src) 0;
+      c.shed <- c.shed + 1;
+      obs_inc c "server.shed";
+      Shed
+    end
+    else begin
+      let slot = slot_take t c sh in
+      let sd = t.shard_tbl.(sh) in
+      Store.reset c.cop;
+      let base : Store.ops = c.ops.(sh) in
+      let lease = Any.get_name sd.inst { base with pid = src } in
+      let accesses = Store.accesses c.cop in
+      let name = sd.base + Any.name_of sd.inst lease in
+      t.slot_src.(slot) <- src;
+      t.slot_shard.(slot) <- sh;
+      t.slot_name.(slot) <- name;
+      t.slot_owner.(slot) <- c.id;
+      t.slot_held.(slot) <- true;
+      t.slot_lease.(slot) <- Some lease;
+      ignore (Agg.acquired t.agg ~worker:c.id ~name : int * int);
+      c.acquires <- c.acquires + 1;
+      obs_inc c "server.acquired";
+      obs_observe c "server.acquire.accesses.cold" accesses;
+      Granted { name; token = slot; warm = false; accesses }
+    end
+  end
+
+let release t c ~token =
+  let cap = Array.length t.slot_next in
+  if
+    token < 0 || token >= cap
+    || t.slot_owner.(token) <> c.id
+    || not t.slot_held.(token)
+  then invalid_arg "Server.release: not a token this client holds";
+  t.slot_held.(token) <- false;
+  if t.cfg.warm_capacity > 0 then begin
+    if c.warm_n = t.cfg.warm_capacity then begin
+      let old = c.warm_slot.(0) in
+      let osh = t.slot_shard.(old) in
+      warm_remove c 0;
+      pending_release t c osh old
+    end;
+    c.warm_src.(c.warm_n) <- t.slot_src.(token);
+    c.warm_slot.(c.warm_n) <- token;
+    c.warm_n <- c.warm_n + 1
+  end
+  else pending_release t c t.slot_shard.(token) token
+
+let flush t c =
+  for r = 0 to c.warm_n - 1 do
+    let slot = c.warm_slot.(r) in
+    pending_push t t.slot_shard.(slot) slot
+  done;
+  c.warm_n <- 0;
+  for sh = 0 to t.cfg.shards - 1 do
+    drain_shard t c sh
+  done
+
+let drain_all t c =
+  for sh = 0 to t.cfg.shards - 1 do
+    drain_shard t c sh
+  done
+
+let outstanding t =
+  let s = ref 0 in
+  for sh = 0 to t.cfg.shards - 1 do
+    s := !s + Pad.get t.admitted sh
+  done;
+  !s
+
+let name_space t = t.total_space
+let shards t = t.cfg.shards
+let shard_of t ~src = route src t.cfg.shards
+let scoreboard t = t.agg
+
+let merge_flight t =
+  match t.flight with
+  | None -> ()
+  | Some f ->
+      Array.iter
+        (fun c -> match c.ring with Some r -> Obs.Flight.merge ~into:f r | None -> ())
+        t.clients_tbl
+
+(* ----- construction ----- *)
+
+let default_backend layout ~stage ~k =
+  Any.pack (module Renaming.Split) (Renaming.Split.create ~stage layout ~k)
+
+let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
+  if cfg.shards < 1 then invalid_arg "Server.create: shards < 1";
+  if cfg.k_per_shard < 1 then invalid_arg "Server.create: k_per_shard < 1";
+  if cfg.source_space < 1 then invalid_arg "Server.create: source_space < 1";
+  if cfg.warm_capacity < 0 then invalid_arg "Server.create: warm_capacity < 0";
+  if cfg.batch < 1 then invalid_arg "Server.create: batch < 1";
+  if cfg.clients < 1 then invalid_arg "Server.create: clients < 1";
+  let cap = cfg.shards * cfg.k_per_shard in
+  if cap > idx_mask - 1 then invalid_arg "Server.create: slab exceeds token encoding";
+  let stores = Array.make cfg.shards None in
+  let base = ref 0 in
+  let shard_tbl =
+    Array.init cfg.shards (fun s ->
+        let layout = Layout.create () in
+        let inst = backend layout ~stage:s ~k:cfg.k_per_shard in
+        stores.(s) <- Some (Atomic_store.create layout);
+        let sd = { inst; base = !base } in
+        base := !base + Any.name_space inst;
+        sd)
+  in
+  let stores = Array.map (function Some s -> s | None -> assert false) stores in
+  let slot_next = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1) in
+  let agg =
+    Agg.create ~entry:"Server" ~name_space:!base ~workers:cfg.clients ~parked
+  in
+  let clients_tbl =
+    Array.init cfg.clients (fun id ->
+        let obs = Option.map (fun r -> Obs.Registry.shard r) registry in
+        let ring =
+          Option.map
+            (fun f ->
+              Obs.Flight.create
+                ~capacity:(max 1024 (Obs.Flight.capacity f / cfg.clients))
+                ())
+            flight
+        in
+        let cop = Store.counter () in
+        let clock = Store.counter () in
+        let ops =
+          Array.map
+            (fun store ->
+              let o = Atomic_store.ops store ~pid:0 in
+              let o = match obs with Some s -> Store.observed s o | None -> o in
+              let o = Store.counting cop o in
+              let o = Store.counting clock o in
+              match ring with
+              | Some r ->
+                  Store.probed
+                    (Obs.Flight.probe r ~pid:id ~clock:(fun () -> Store.accesses clock))
+                    o
+              | None -> o)
+            stores
+        in
+        {
+          id;
+          obs;
+          ring;
+          ops;
+          cop;
+          clock;
+          warm_src = Array.make (max 1 cfg.warm_capacity) (-1);
+          warm_slot = Array.make (max 1 cfg.warm_capacity) (-1);
+          warm_n = 0;
+          acquires = 0;
+          warm_hits = 0;
+          busy = 0;
+          shed = 0;
+          drains = 0;
+          drained = 0;
+        })
+  in
+  {
+    cfg;
+    shard_tbl;
+    stores;
+    claims = Array.init cfg.source_space (fun _ -> Atomic.make 0);
+    admitted = Pad.create cfg.shards 0;
+    pending = Pad.create cfg.shards 0;
+    pending_n = Pad.create cfg.shards 0;
+    slot_src = Array.make cap (-1);
+    slot_shard = Array.make cap (-1);
+    slot_name = Array.make cap (-1);
+    slot_owner = Array.make cap (-1);
+    slot_held = Array.make cap false;
+    slot_lease = Array.make cap None;
+    slot_next;
+    free = Atomic.make 1 (* slot 0, tag 0 *);
+    agg;
+    total_space = !base;
+    clients_tbl;
+    flight;
+  }
+
+let client t i =
+  if i < 0 || i >= t.cfg.clients then invalid_arg "Server.client: id out of range";
+  t.clients_tbl.(i)
+
+type client_stats = {
+  acquires : int;
+  warm_hits : int;
+  busy : int;
+  shed : int;
+  drains : int;
+  drained_releases : int;
+}
+
+let client_stats (c : client) =
+  {
+    acquires = c.acquires;
+    warm_hits = c.warm_hits;
+    busy = c.busy;
+    shed = c.shed;
+    drains = c.drains;
+    drained_releases = c.drained;
+  }
+
+let client_obs c = c.obs

@@ -1,0 +1,161 @@
+(** Renaming as a service: a sharded, batched name server.
+
+    The paper's {e long-lived} property — names can be acquired and
+    released forever, at a cost independent of the unbounded source
+    space — is exactly what makes a name {e server} viable.  This
+    module turns the protocol objects into one:
+
+    {ul
+    {- {b Sharding.}  A pool of {!Renaming.Protocol.S} instances (one
+       per shard, each over its own layout and atomic store, labelled
+       [~stage:shard] for the flight recorder), with source names
+       routed by a seed-fixed hash.  Per-shard concurrency is capped
+       at the shard protocol's [k], so every instance runs inside its
+       correctness precondition; the global destination space is the
+       concatenation of the shard spaces.}
+    {- {b A preallocated lock-free request slab.}  Every held name is
+       carried by one slot of a fixed slab ([shards × k] slots —
+       the tight bound, since admission caps holders).  Slots are
+       claimed from a tag-CAS Treiber freelist and threaded through
+       per-shard pending-release lists by index; a request allocates
+       no slab state, and tokens handed to clients are slot indices.}
+    {- {b Batched release draining.}  {!release} does not run the
+       protocol's [release_name]: the lease parks in the client's warm
+       cache or on the shard's pending list, and whichever client
+       trips the [batch] threshold (or needs admission capacity, or
+       calls {!drain_all}) drains the whole list at once — releases
+       are executed off the acquire path, in batches.}
+    {- {b A per-client warm-name cache.}  A released name stays {e
+       held} from the protocol's point of view, cached client-side; a
+       re-acquire of the same source name by the same client is
+       granted from the cache with {b zero} shared accesses.  This is
+       legal {e precisely because renaming is long-lived}: the server
+       never returned the name, it merely held it longer — §2's
+       uniqueness condition cannot be violated by re-granting a name
+       to the process that already holds it, and the claim table keeps
+       every other client out ({!outcome.Busy}) until the lease is
+       actually drained.}}
+
+    Uniqueness is monitored on-line through a {!Runtime.Agg}
+    scoreboard exactly as {!Runtime.Domain_runner} does, and when a
+    registry / flight ring is supplied every client writes its own
+    shard, so the whole [lib/obs] stack (occupancy, provenance,
+    Perfetto export) applies to server runs unchanged. *)
+
+type config = {
+  shards : int;  (** Protocol instances in the pool. *)
+  k_per_shard : int;  (** Concurrent holders admitted per shard. *)
+  source_space : int;  (** Size [S] of the source name space. *)
+  warm_capacity : int;  (** Warm leases cached per client ([0] disables). *)
+  batch : int;  (** Pending releases that trip a shard drain. *)
+  clients : int;  (** Registered client handles (one per domain). *)
+}
+
+val default_config :
+  ?shards:int ->
+  ?k_per_shard:int ->
+  ?warm_capacity:int ->
+  ?batch:int ->
+  clients:int ->
+  source_space:int ->
+  unit ->
+  config
+(** Defaults: 4 shards of [k = 4], warm capacity 2, batch 8. *)
+
+type t
+type client
+
+type outcome =
+  | Granted of { name : int; token : int; warm : bool; accesses : int }
+      (** [name] is global (shard base + local name); pass [token]
+          back to {!release}.  [warm] grants cost [accesses = 0];
+          cold grants report the protocol's shared-access count. *)
+  | Busy
+      (** The source name is claimed by another client (held, warm, or
+          pending drain) — the renaming precondition that distinct
+          concurrent participants carry distinct source names, served
+          as first-come-first-served admission. *)
+  | Shed
+      (** The shard is at its [k] capacity even after draining — the
+          server refuses rather than break the protocol's bound. *)
+
+val create :
+  ?registry:Obs.Registry.t ->
+  ?flight:Obs.Flight.t ->
+  ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
+  ?parked:int ->
+  config ->
+  t
+(** Build the shard pool (default backend: {!Renaming.Split} per
+    shard).  Client handles, registry shards and flight rings are all
+    created here, before any domain runs.  [parked] (default [0]) is
+    the number of clients that will park holding a name — forwarded
+    to the {!Runtime.Agg} scoreboard.
+    @raise Invalid_argument on a non-positive dimension, or when the
+    slab would exceed the token encoding (≈2M slots). *)
+
+val client : t -> int -> client
+(** The preallocated handle of client [id ∈ \[0, clients)].  A handle
+    is single-owner: exactly one domain may use it. *)
+
+val acquire : t -> client -> src:int -> outcome
+(** Serve one acquire request for source name [src].
+    @raise Invalid_argument when [src] is outside [\[0, source_space)]. *)
+
+val release : t -> client -> token:int -> unit
+(** Give a granted name back: into the warm cache (evicting the
+    oldest warm lease onto the shard's pending list when full), or
+    straight onto the pending list when caching is off.  Drains the
+    shard when the batch threshold trips.
+    @raise Invalid_argument if [token] is not a slot this client
+    holds. *)
+
+val flush : t -> client -> unit
+(** Push every warm lease this client caches onto its shard's pending
+    list and drain those shards — call in a client's epilogue so no
+    release can be lost at the join.  Only the owning client may
+    flush its cache (it is domain-local state). *)
+
+val drain_all : t -> client -> unit
+(** Drain every shard's pending list, [client] doing the work — call
+    after the join to retire batched releases other clients left
+    behind.  Cannot flush other clients' warm caches (see {!flush});
+    anything still warm after a crash stays held and shows up in
+    {!outstanding} — exactly a leak. *)
+
+val outstanding : t -> int
+(** Names currently held, warm, or pending drain, across all shards. *)
+
+val name_space : t -> int
+val shards : t -> int
+
+val shard_of : t -> src:int -> int
+(** The shard serving [src] — a pure function of [(src, shards)], so
+    routing is stable across calls, clients and server instances of
+    the same geometry. *)
+
+val scoreboard : t -> Runtime.Agg.t
+(** The live uniqueness/concurrency scoreboard (violations, holder
+    high-water marks, per-client cycle counts).  Freeze it with
+    {!Runtime.Agg.result} after the run. *)
+
+val merge_flight : t -> unit
+(** Concatenate per-client flight rings into the ring passed at
+    {!create} (client order) — call after the join, like
+    {!Runtime.Domain_runner}'s merge. *)
+
+(** {1 Per-client counters} — single-writer; read them after the join. *)
+
+type client_stats = {
+  acquires : int;  (** Granted, warm and cold together. *)
+  warm_hits : int;
+  busy : int;
+  shed : int;
+  drains : int;  (** Times this client drained a shard. *)
+  drained_releases : int;  (** Protocol releases it executed doing so. *)
+}
+
+val client_stats : client -> client_stats
+val client_obs : client -> Obs.Registry.shard option
+(** The client's registry shard (when a registry was supplied) — the
+    load harness adds its latency series to the same shard. *)

@@ -33,6 +33,100 @@ let burst ~cycles ~burst_len ~pause =
     delay = (fun i -> if i > 0 && i mod burst_len = 0 then pause else 0);
   }
 
+(* ----- server churn family (real-domain name-server load) ----- *)
+
+type server_spec = {
+  requests : int;
+  source : int -> int;
+  arrival : int -> float;
+  think : int;
+}
+
+(* Stateless mix (splitmix-style, 62-bit-safe constants) so every
+   derived stream is a pure function of (seed, index) and replays
+   identically. *)
+let mix64 seed i salt =
+  let h = ref (seed lxor (i * 0x9E3779B97F4A7C1) lxor (salt * 0xBF58476D1CE4E5B)) in
+  h := (!h lxor (!h lsr 30)) * 0xBF58476D1CE4E5B land max_int;
+  h := (!h lxor (!h lsr 27)) * 0x94D049BB133111E land max_int;
+  !h lxor (!h lsr 31)
+
+(* Uniform in [0,1) from 52 mixed bits. *)
+let uniform seed i salt =
+  float_of_int (mix64 seed i salt land 0xF_FFFF_FFFF_FFFF) /. 4503599627370496.0
+
+let zipf ?(theta = 0.99) ?(stream = 0) ~s ~seed () =
+  if s < 1 then invalid_arg "Workload.zipf: s < 1";
+  if theta <= 0. || theta >= 1. then invalid_arg "Workload.zipf: need 0 < theta < 1";
+  (* Gray et al. / YCSB closed-form inverse of the Zipf CDF; zeta is
+     the one O(s) precomputation, shared by every request. *)
+  let zetan = ref 0. in
+  for i = 1 to s do
+    zetan := !zetan +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  let zetan = !zetan in
+  let zeta2 = 1. +. Float.pow 0.5 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    if s = 1 then 0.
+    else
+      (1. -. Float.pow (2. /. float_of_int s) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+  in
+  (* the draw stream is per caller; the rank -> name scramble below
+     depends on [seed] alone, so every stream agrees on which names
+     are hot and contends on them *)
+  let sseed = mix64 seed stream 0x57E4 in
+  fun i ->
+    let u = uniform sseed i 0x51AF in
+    let uz = u *. zetan in
+    let rank =
+      if uz < 1. then 0
+      else if uz < zeta2 then 1
+      else
+        min (s - 1)
+          (int_of_float (float_of_int s *. Float.pow ((eta *. u) -. eta +. 1.) alpha))
+    in
+    (* scramble the rank so the hot names are spread across the source
+       space instead of clustering at 0..9 (every client still agrees:
+       the scramble depends on the seed, not the client) *)
+    if s = 1 then 0 else mix64 seed rank 0x2B5D mod s
+
+let open_loop ~rate ~seed =
+  if rate <= 0. then fun _ -> 0.
+  else begin
+    (* arrival(i) = sum of i exponential inter-arrival draws; memoised
+       so the cost is O(1) per request asked in order.  The memo is
+       client-local state — give every client its own generator. *)
+    let cache = ref [| 0.0 |] in
+    let filled = ref 1 in
+    fun i ->
+      if i < 0 then invalid_arg "Workload.open_loop: negative index";
+      if i >= Array.length !cache then begin
+        let grown = Array.make (max (i + 1) (2 * Array.length !cache)) 0.0 in
+        Array.blit !cache 0 grown 0 !filled;
+        cache := grown
+      end;
+      while !filled <= i do
+        let k = !filled in
+        let u = uniform seed k 0x7E11 in
+        (* 1 - u avoids log 0 *)
+        !cache.(k) <- !cache.(k - 1) -. (log (1. -. u) /. rate);
+        incr filled
+      done;
+      !cache.(i)
+  end
+
+let server_churn ?(theta = 0.99) ?(rate = 0.) ?(think = 0) ~s ~requests ~seed ~client ()
+    =
+  let cseed = mix64 seed client 0xC11E in
+  {
+    requests;
+    source = zipf ~theta ~stream:client ~s ~seed ();
+    arrival = open_loop ~rate ~seed:cseed;
+    think;
+  }
+
 let idle (ops : Shared_mem.Store.ops) ~work n =
   for _ = 1 to n do
     ignore (ops.read work)

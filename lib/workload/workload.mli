@@ -46,6 +46,65 @@ val burst : cycles:int -> burst_len:int -> pause:int -> spec
     idling [pause] steps between bursts — the burst release/re-acquire
     regime of a [Stall]-on-[Acquired] fault. *)
 
+(** {2 Server churn family}
+
+    Heavy-churn request streams for the name server ([lib/server]) on
+    {e real} OS domains: open-loop (timed) arrivals and Zipf-skewed
+    source names, millions of acquire/release cycles.  Everything is a
+    pure function of its seed, so a run's request stream replays
+    identically — the simulator-oriented specs above describe {e hold
+    shapes}; these describe {e who asks, and when}. *)
+
+type server_spec = {
+  requests : int;  (** Acquire/release requests this client issues. *)
+  source : int -> int;
+      (** Request index to source name in [\[0, s)], Zipf-skewed: a few
+          hot names dominate, the tail is long — the regime where the
+          server's warm-name cache pays. *)
+  arrival : int -> float;
+      (** Scheduled arrival of request [i], in seconds from the
+          client's start ([0.] everywhere means closed-loop: issue as
+          fast as the server answers).  Open-loop arrivals do not wait
+          for earlier requests — a late server eats the queueing delay
+          in its latency tail, as a real load generator would charge
+          it. *)
+  think : int;  (** Local spins while holding a granted name. *)
+}
+
+val zipf : ?theta:float -> ?stream:int -> s:int -> seed:int -> unit -> int -> int
+(** [zipf ~s ~seed ()] is a request-index-to-source-name function,
+    Zipf-distributed over [s] names with skew [theta] (default
+    [0.99], YCSB's): rank [r] is drawn with probability proportional
+    to [1/(r+1)^theta] via the Gray et al. closed-form inverse CDF,
+    then scrambled across [\[0, s)] by a seed-keyed hash.  Distinct
+    [stream]s (default [0]) draw independent sequences but agree on
+    the scramble, so concurrent clients contend on the {e same} hot
+    names.  O(s) precomputation at creation, O(1) per request.
+    @raise Invalid_argument unless [s ≥ 1] and [0 < theta < 1]. *)
+
+val open_loop : rate:float -> seed:int -> int -> float
+(** [open_loop ~rate ~seed] maps request index [i] to its scheduled
+    arrival time: the sum of [i] exponential inter-arrival draws of
+    mean [1/rate] seconds (a Poisson stream).  [rate ≤ 0.] yields the
+    constant [0.] — closed-loop.  The returned closure memoises
+    cumulative sums and is single-writer: give each client its own. *)
+
+val server_churn :
+  ?theta:float ->
+  ?rate:float ->
+  ?think:int ->
+  s:int ->
+  requests:int ->
+  seed:int ->
+  client:int ->
+  unit ->
+  server_spec
+(** The standard heavy-churn client: Zipf sources (stream [client],
+    shared scramble) at Poisson rate [rate] requests/second (default
+    [0.] — closed-loop), [think] spins per hold (default [0]).  Two
+    clients of the same [seed] share the distribution but draw
+    independent request streams. *)
+
 val body :
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->

@@ -84,6 +84,66 @@ let test_histogram_merge () =
   Alcotest.(check int) "merged min" 2 s.min;
   Alcotest.(check int) "merged p100" 9_000 s.p100
 
+(* Property: merging per-domain shards is *exact* — the quantiles of
+   the merged histogram equal, bucket for bucket, what one oracle
+   histogram fed every observation reports.  This is the many-writer
+   case Domain_runner and the name server rely on (per-domain shards
+   merged at the join), and it pins the percentile fix: the rank is
+   taken over bucket masses, so no torn count can push a quantile off
+   the end of the scan. *)
+let test_histogram_shard_merge_oracle =
+  Test_util.qtest ~count:300 "sharded merge = single-shard oracle"
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 0 200) (int_range 0 2_000_000)))
+    (fun (nshards, values) ->
+      let oracle = Obs.Histogram.create () in
+      let shards = Array.init nshards (fun _ -> Obs.Histogram.create ()) in
+      List.iteri
+        (fun i v ->
+          Obs.Histogram.observe oracle v;
+          (* deterministic but uneven spread across the writers *)
+          Obs.Histogram.observe shards.((i * 7) mod nshards) v)
+        values;
+      let merged = Obs.Histogram.create () in
+      Array.iter (fun s -> Obs.Histogram.merge ~into:merged s) shards;
+      let a = Obs.Histogram.snap merged and b = Obs.Histogram.snap oracle in
+      if a <> b then
+        QCheck2.Test.fail_reportf
+          "merged snap diverged from oracle: p50 %d/%d p95 %d/%d p99 %d/%d p100 %d/%d"
+          a.p50 b.p50 a.p95 b.p95 a.p99 b.p99 a.p100 b.p100
+      else
+        List.for_all
+          (fun q ->
+            Obs.Histogram.percentile merged q = Obs.Histogram.percentile oracle q)
+          [ 0.5; 0.95; 0.99; 1.0 ])
+
+(* A reader sampling quantiles while a writer domain is still
+   observing: 99% of the mass is the value 1, so a mid-run p50 must
+   stay 1 — the percentile scan ranks over the bucket mass it actually
+   caught, never over a count that ran ahead of it (the failure mode
+   was every quantile silently collapsing to the maximum). *)
+let test_histogram_live_reader () =
+  let h = Obs.Histogram.create () in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          for _ = 1 to 99 do
+            Obs.Histogram.observe h 1
+          done;
+          Obs.Histogram.observe h 1_000_000
+        done)
+  in
+  let ok = ref true in
+  for _ = 1 to 5_000 do
+    if Obs.Histogram.percentile h 0.5 > 1 then ok := false
+  done;
+  Atomic.set stop true;
+  Domain.join writer;
+  Alcotest.(check bool) "mid-run p50 follows the mass" true !ok;
+  Alcotest.(check int) "quiescent p50" 1 (Obs.Histogram.percentile h 0.5)
+
 (* ----- registry: two shards merged on snapshot ----- *)
 
 let test_registry_two_shards () =
@@ -374,6 +434,9 @@ let () =
           Alcotest.test_case "histogram percentile error" `Quick
             test_histogram_percentile_error;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          test_histogram_shard_merge_oracle;
+          Alcotest.test_case "live reader never overshoots" `Slow
+            test_histogram_live_reader;
         ] );
       ( "registry",
         [

@@ -1,0 +1,229 @@
+(* The sharded name server: routing, warm-cache legality, batched
+   release survival across the join, and fault-campaign pressure. *)
+
+module Agg = Runtime.Agg
+
+let cfg ?(shards = 4) ?(k = 4) ?(warm = 2) ?(batch = 8) ?(clients = 2) ?(s = 1024) ()
+    =
+  Server.default_config ~shards ~k_per_shard:k ~warm_capacity:warm ~batch ~clients
+    ~source_space:s ()
+  |> fun c -> { c with Server.shards; k_per_shard = k }
+
+(* --- shard routing --- *)
+
+let test_routing_stable () =
+  let c = cfg () in
+  let a = Server.create c and b = Server.create c in
+  for src = 0 to c.Server.source_space - 1 do
+    let sa = Server.shard_of a ~src in
+    Alcotest.(check int) "same route on a fresh instance" sa (Server.shard_of b ~src);
+    Alcotest.(check bool) "in range" true (sa >= 0 && sa < c.Server.shards)
+  done;
+  (* every shard serves someone: the route spreads *)
+  let seen = Array.make c.Server.shards false in
+  for src = 0 to c.Server.source_space - 1 do
+    seen.(Server.shard_of a ~src) <- true
+  done;
+  Array.iteri
+    (fun sh hit -> Alcotest.(check bool) (Printf.sprintf "shard %d used" sh) true hit)
+    seen
+
+(* --- single-client service basics (sequential, deterministic) --- *)
+
+let test_warm_hit () =
+  let t = Server.create (cfg ~clients:1 ()) in
+  let c = Server.client t 0 in
+  (match Server.acquire t c ~src:7 with
+  | Server.Granted g ->
+      Alcotest.(check bool) "first grant is cold" false g.warm;
+      Alcotest.(check bool) "cold grant costs accesses" true (g.accesses > 0);
+      Server.release t c ~token:g.token
+  | _ -> Alcotest.fail "first acquire not granted");
+  (match Server.acquire t c ~src:7 with
+  | Server.Granted g ->
+      Alcotest.(check bool) "re-acquire is warm" true g.warm;
+      Alcotest.(check int) "warm grant is free" 0 g.accesses;
+      Server.release t c ~token:g.token
+  | _ -> Alcotest.fail "re-acquire not granted");
+  Server.flush t c;
+  Alcotest.(check int) "all names returned" 0 (Server.outstanding t);
+  let r = Agg.result (Server.scoreboard t) in
+  Alcotest.(check int) "no violations" 0 r.Agg.violations
+
+let test_busy_and_shed () =
+  let t = Server.create (cfg ~shards:1 ~k:1 ~clients:2 ()) in
+  let c0 = Server.client t 0 and c1 = Server.client t 1 in
+  let g0 =
+    match Server.acquire t c0 ~src:3 with
+    | Server.Granted { token; _ } -> token
+    | _ -> Alcotest.fail "c0 not granted"
+  in
+  (match Server.acquire t c1 ~src:3 with
+  | Server.Busy -> ()
+  | _ -> Alcotest.fail "claimed source must be Busy");
+  (match Server.acquire t c0 ~src:4 with
+  | Server.Shed -> ()
+  | _ -> Alcotest.fail "full shard must Shed");
+  Server.release t c0 ~token:g0;
+  (* src 3 is warm in c0's cache: still claimed *)
+  (match Server.acquire t c1 ~src:3 with
+  | Server.Busy -> ()
+  | _ -> Alcotest.fail "warm-cached source must stay Busy");
+  Server.flush t c0;
+  (match Server.acquire t c1 ~src:3 with
+  | Server.Granted g -> Server.release t c1 ~token:g.token
+  | _ -> Alcotest.fail "flushed source must be grantable");
+  Server.flush t c1;
+  Alcotest.(check int) "drained" 0 (Server.outstanding t)
+
+let test_batch_drain () =
+  let t = Server.create (cfg ~shards:1 ~k:4 ~warm:0 ~batch:3 ~clients:1 ()) in
+  let c = Server.client t 0 in
+  let grant src =
+    match Server.acquire t c ~src with
+    | Server.Granted g -> g.token
+    | _ -> Alcotest.fail "not granted"
+  in
+  let t1 = grant 1 and t2 = grant 2 and t3 = grant 3 in
+  Server.release t c ~token:t1;
+  Server.release t c ~token:t2;
+  Alcotest.(check int) "two releases still pending" 3 (Server.outstanding t);
+  Server.release t c ~token:t3;
+  (* the third release trips the batch and drains all three *)
+  Alcotest.(check int) "batch drained" 0 (Server.outstanding t);
+  let stats = Server.client_stats c in
+  Alcotest.(check int) "one drain" 1 stats.Server.drains;
+  Alcotest.(check int) "three releases executed" 3 stats.Server.drained_releases
+
+let test_double_release_rejected () =
+  let t = Server.create (cfg ~clients:1 ()) in
+  let c = Server.client t 0 in
+  match Server.acquire t c ~src:5 with
+  | Server.Granted g ->
+      Server.release t c ~token:g.token;
+      Alcotest.check_raises "double release"
+        (Invalid_argument "Server.release: not a token this client holds")
+        (fun () -> Server.release t c ~token:g.token)
+  | _ -> Alcotest.fail "not granted"
+
+(* --- warm-cache uniqueness with a concurrent stealer --- *)
+
+let test_warm_vs_stealer () =
+  let config = cfg ~shards:2 ~k:3 ~warm:2 ~batch:4 ~clients:2 ~s:64 () in
+  let t = Server.create config in
+  let hot = 11 in
+  let cycles = 2_000 in
+  let owner =
+    Domain.spawn (fun () ->
+        let c = Server.client t 0 in
+        for _ = 1 to cycles do
+          match Server.acquire t c ~src:hot with
+          | Server.Granted g -> Server.release t c ~token:g.token
+          | Server.Busy | Server.Shed -> Domain.cpu_relax ()
+        done;
+        Server.flush t c)
+  in
+  let stolen = ref 0 in
+  let stealer =
+    Domain.spawn (fun () ->
+        let c = Server.client t 1 in
+        for _ = 1 to cycles do
+          match Server.acquire t c ~src:hot with
+          | Server.Granted g ->
+              incr stolen;
+              Server.release t c ~token:g.token
+          | Server.Busy | Server.Shed -> Domain.cpu_relax ()
+        done;
+        Server.flush t c)
+  in
+  Domain.join owner;
+  Domain.join stealer;
+  Server.drain_all t (Server.client t 0);
+  let r = Agg.result (Server.scoreboard t) in
+  Alcotest.(check int) "uniqueness holds under warm hits + stealing" 0
+    r.Agg.violations;
+  Alcotest.(check int) "nothing leaked" 0 r.Agg.leaked;
+  Alcotest.(check int) "nothing outstanding" 0 (Server.outstanding t);
+  let owner_stats = Server.client_stats (Server.client t 0) in
+  Alcotest.(check bool) "owner got warm hits" true (owner_stats.Server.warm_hits > 0)
+
+(* --- batched releases survive the join --- *)
+
+let test_join_drain () =
+  (* batch far above anything the run trips: releases pile up pending
+     and must all be retired by the post-join drain *)
+  let config = cfg ~shards:2 ~k:4 ~warm:1 ~batch:1_000_000 ~clients:3 ~s:256 () in
+  let report =
+    Churn.run ~config
+      ~spec:(fun client ->
+        Workload.server_churn ~s:256 ~requests:500 ~seed:42 ~client ())
+      ()
+  in
+  Alcotest.(check int) "no violations" 0 report.Churn.result.Agg.violations;
+  Alcotest.(check int) "no leaks after drain" 0 report.Churn.outstanding;
+  Alcotest.(check int) "scoreboard agrees" 0 report.Churn.result.Agg.leaked;
+  Alcotest.(check bool) "cycles completed" true (report.Churn.cycles > 0);
+  (* warm hits re-grant a lease the server still holds, so protocol
+     releases must match *cold* grants exactly *)
+  Alcotest.(check int) "every cold grant eventually released"
+    (report.Churn.acquires - report.Churn.warm_hits)
+    report.Churn.drained_releases
+
+(* --- a fault campaign aimed at one shard --- *)
+
+let test_fault_campaign_one_shard () =
+  let s = 64 in
+  let config = cfg ~shards:2 ~k:3 ~warm:1 ~batch:4 ~clients:4 ~s () in
+  (* pin every request to sources served by shard 0 *)
+  let probe = Server.create config in
+  let shard0 =
+    Array.of_list
+      (List.filter
+         (fun src -> Server.shard_of probe ~src = 0)
+         (List.init s (fun i -> i)))
+  in
+  Alcotest.(check bool) "shard 0 serves sources" true (Array.length shard0 > 2);
+  let plan = Result.get_ok (Sim.Faults.of_string "crash@p1:acc40,park@p3:acc1") in
+  let faults = Churn.of_plan plan in
+  let report =
+    Churn.run ~config ~faults
+      ~spec:(fun client ->
+        let zipf = Workload.zipf ~s:(Array.length shard0) ~seed:7 ~stream:client () in
+        {
+          Workload.requests = 300;
+          source = (fun i -> shard0.(zipf i));
+          arrival = (fun _ -> 0.);
+          think = 0;
+        })
+      ()
+  in
+  Alcotest.(check int) "uniqueness survives the campaign" 0
+    report.Churn.result.Agg.violations;
+  (* the healthy clients (0 and 2) finished their requests *)
+  Alcotest.(check bool) "healthy clients progressed" true
+    (report.Churn.result.Agg.cycles_done.(0) > 0
+    && report.Churn.result.Agg.cycles_done.(2) > 0);
+  (* the crashed client's warm lease leaks, and is *visible* as a leak *)
+  Alcotest.(check int) "leak accounting agrees" report.Churn.result.Agg.leaked
+    report.Churn.outstanding
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "routing",
+        [ Alcotest.test_case "stable across instances, spreads" `Quick test_routing_stable ] );
+      ( "service",
+        [
+          Alcotest.test_case "warm hit is free" `Quick test_warm_hit;
+          Alcotest.test_case "busy and shed" `Quick test_busy_and_shed;
+          Alcotest.test_case "batched drain" `Quick test_batch_drain;
+          Alcotest.test_case "double release rejected" `Quick test_double_release_rejected;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "warm cache vs stealer" `Quick test_warm_vs_stealer;
+          Alcotest.test_case "releases survive the join" `Quick test_join_drain;
+          Alcotest.test_case "fault campaign on one shard" `Quick
+            test_fault_campaign_one_shard;
+        ] );
+    ]

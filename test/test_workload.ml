@@ -100,6 +100,85 @@ let test_bursty_model_check_safe () =
   let r = Sim.Model_check.explore ~max_paths:100_000 builder in
   Test_util.check_no_violation "bursty under model checker" r
 
+(* ----- server churn family ----- *)
+
+let test_zipf_shape () =
+  let s = 1000 and n = 20_000 in
+  let z = Workload.zipf ~s ~seed:7 () in
+  let counts = Array.make s 0 in
+  for i = 0 to n - 1 do
+    let v = z i in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < s);
+    counts.(v) <- counts.(v) + 1
+  done;
+  let hottest = Array.fold_left max 0 counts in
+  (* theta=0.99 over 1000 names gives the hot name ~12% of the draws;
+     uniform would give 0.1% — just require an order-of-magnitude skew *)
+  Alcotest.(check bool) "skewed" true (hottest > n / 50);
+  (* pure function of (seed, i): replays identically *)
+  let z' = Workload.zipf ~s ~seed:7 () in
+  for i = 0 to 200 do
+    Alcotest.(check int) "deterministic" (z i) (z' i)
+  done
+
+let test_zipf_streams_share_hot_names () =
+  let s = 500 and n = 5_000 in
+  let top stream =
+    let z = Workload.zipf ~s ~seed:11 ~stream () in
+    let counts = Array.make s 0 in
+    for i = 0 to n - 1 do
+      counts.(z i) <- counts.(z i) + 1
+    done;
+    let best = ref 0 in
+    Array.iteri (fun v c -> if c > counts.(!best) then best := v) counts;
+    !best
+  in
+  (* distinct streams draw independent sequences... *)
+  let za = Workload.zipf ~s ~seed:11 ~stream:0 () in
+  let zb = Workload.zipf ~s ~seed:11 ~stream:1 () in
+  let differs = ref false in
+  for i = 0 to 100 do
+    if za i <> zb i then differs := true
+  done;
+  Alcotest.(check bool) "streams are independent" true !differs;
+  (* ...but agree on which name is hottest (shared scramble): this is
+     what makes concurrent clients contend on the same names *)
+  Alcotest.(check int) "same hottest name" (top 0) (top 1)
+
+let test_zipf_rejects () =
+  Alcotest.check_raises "s < 1" (Invalid_argument "Workload.zipf: s < 1") (fun () ->
+      ignore (Workload.zipf ~s:0 ~seed:1 () 0));
+  Alcotest.check_raises "theta out of range"
+    (Invalid_argument "Workload.zipf: need 0 < theta < 1") (fun () ->
+      ignore (Workload.zipf ~theta:1.0 ~s:10 ~seed:1 () 0))
+
+let test_open_loop () =
+  let a = Workload.open_loop ~rate:1000. ~seed:3 in
+  Alcotest.(check (float 0.)) "starts at zero" 0. (a 0);
+  (* strictly increasing, out-of-order queries answered from the memo *)
+  let last = ref 0. in
+  for i = 1 to 500 do
+    let t = a i in
+    Alcotest.(check bool) "monotone" true (t > !last);
+    last := t
+  done;
+  Alcotest.(check (float 1e-9)) "memo stable" (a 250) (a 250);
+  let b = Workload.open_loop ~rate:1000. ~seed:3 in
+  Alcotest.(check (float 1e-9)) "deterministic across generators" (a 400) (b 400);
+  (* mean inter-arrival ~ 1/rate: 500 arrivals at 1000/s span ~0.5 s *)
+  Alcotest.(check bool) "rate roughly honoured" true (a 500 > 0.2 && a 500 < 1.2);
+  let c = Workload.open_loop ~rate:0. ~seed:3 in
+  Alcotest.(check (float 0.)) "closed-loop is constant zero" 0. (c 123)
+
+let test_server_churn_spec () =
+  let spec = Workload.server_churn ~s:64 ~requests:100 ~seed:9 ~client:2 () in
+  Alcotest.(check int) "requests carried" 100 spec.Workload.requests;
+  for i = 0 to 99 do
+    let v = spec.Workload.source i in
+    Alcotest.(check bool) "source in range" true (v >= 0 && v < 64)
+  done;
+  Alcotest.(check (float 0.)) "closed-loop by default" 0. (spec.Workload.arrival 50)
+
 let () =
   Alcotest.run "workload"
     [
@@ -114,5 +193,14 @@ let () =
           Alcotest.test_case "staggered arrivals" `Quick test_staggered_under_sim;
           Alcotest.test_case "rotating pool over FILTER" `Slow test_rotating_pool_filter;
           Alcotest.test_case "bursty is model-check safe" `Slow test_bursty_model_check_safe;
+        ] );
+      ( "server churn",
+        [
+          Alcotest.test_case "zipf skew, range, determinism" `Quick test_zipf_shape;
+          Alcotest.test_case "zipf streams share hot names" `Quick
+            test_zipf_streams_share_hot_names;
+          Alcotest.test_case "zipf rejects bad parameters" `Quick test_zipf_rejects;
+          Alcotest.test_case "open-loop arrivals" `Quick test_open_loop;
+          Alcotest.test_case "server_churn spec" `Quick test_server_churn_spec;
         ] );
     ]
