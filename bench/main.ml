@@ -27,10 +27,17 @@
    1.5x the recorded bench/recovery_baseline.json.
    The server bench ("server") drives the sharded name server with
    Zipf churn across 4 client domains (1M+ acquire/release cycles when
-   not --smoke) and writes BENCH_server.json (sustained acquires/sec,
-   latency percentiles, warm-vs-cold access costs, a false-sharing
-   probe); it fails if throughput drops below 0.4x the recorded
-   bench/server_baseline.json. *)
+   not --smoke), with the full telemetry stack on (registry shards,
+   windowed rollups, the sampler domain), and writes BENCH_server.json
+   (sustained acquires/sec, latency percentiles, warm-vs-cold access
+   costs, a false-sharing probe); full runs fail if throughput drops
+   below 0.9x the recorded bench/server_baseline.json (0.4x under
+   --smoke).  The obs bench likewise measures with the sampler live
+   and gates full runs at min(2.0, 2x baseline).
+   The trend bench ("trend") runs obs + server gated and appends one
+   timestamped JSON line combining both payloads to
+   BENCH_history.jsonl, the cross-run log consumed by the CLI's
+   [observe diff]. *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -238,6 +245,30 @@ let measure_ns ~quota ~name thunk =
       match Bechamel.Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> acc)
     results nan
 
+(* Direct timed loop, best of [reps].  The obs bench cannot use
+   Bechamel once the sampler domain is live: Bechamel's inter-sample
+   GC stabilization turns into a cross-domain stop-the-world
+   rendezvous with a sleeping domain on every sample, and that
+   millisecond-scale stall lands inside the measured quota — the
+   ratio would price Bechamel's GC discipline, not the probe path
+   (measured ~4x inflation on a 1-core host; a direct loop shows the
+   sampler itself costs ~0).  Scheduler noise only ever adds time, so
+   the minimum over reps is the robust reading. *)
+let measure_direct_ns ~reps ~iters thunk =
+  for _ = 1 to iters / 10 do
+    thunk ()
+  done;
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      thunk ()
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+    if ns < !best then best := ns
+  done;
+  !best
+
 (* The recorded overhead ratio this machine class is expected to stay
    within 2x of; regenerate with [bench obs --rebaseline]. *)
 let baseline_path = "bench/obs_baseline.json"
@@ -268,9 +299,9 @@ let read_baseline_key baseline_path key =
 let read_baseline_from baseline_path = read_baseline_key baseline_path "\"overhead\":"
 
 let run_obs_bench ~smoke ~rebaseline () =
-  Printf.printf "\n=== lib/obs instrumentation overhead (split k=8, sequential store)%s ===\n"
+  Printf.printf
+    "\n=== lib/obs instrumentation overhead (split k=8, sequential store, sampler on)%s ===\n"
     (if smoke then " [smoke]" else "");
-  let quota = if smoke then 0.1 else 0.5 in
   let layout = Layout.create () in
   let sp = Split.create layout ~k:8 in
   let mem = Store.seq_create layout in
@@ -278,48 +309,67 @@ let run_obs_bench ~smoke ~rebaseline () =
   let bare_ops = Store.seq_ops mem ~pid in
   let registry = Obs.Registry.create () in
   let sh = Obs.Registry.shard ~span_capacity:4096 registry in
-  let c = Store.counter () in
-  let inst_ops = Store.counting c (Store.observed sh bare_ops) in
+  (* Mirrors Domain_runner's per-operation instrumentation: the flat
+     tally arena (grouped access counts materialize at snapshot, not
+     per access), a span per op clocked by its own access delta, and
+     op.*.accesses histograms through handles resolved once. *)
+  let tally = Store.tally () in
+  let inst_ops = Store.observed_into tally sh bare_ops in
   let clock = ref 0 in
-  (* Mirrors Domain_runner's per-operation instrumentation: grouped
-     access counters, a span per op, the op.*.accesses histograms. *)
-  let record op annotations =
-    let accesses = Store.accesses c in
-    Obs.Registry.span sh
-      {
-        name = op;
-        pid;
-        start_step = !clock;
-        end_step = !clock + accesses;
-        accesses;
-        annotations;
-      };
+  let get_h = Obs.Registry.histogram sh "op.get.accesses" in
+  let get_c = Obs.Registry.counter sh "op.get.count" in
+  let rel_h = Obs.Registry.histogram sh "op.release.accesses" in
+  let rel_c = Obs.Registry.counter sh "op.release.count" in
+  let record op hist count annotations =
+    let accesses = Store.tally_since tally in
+    Obs.Registry.record_span sh ~name:op ~pid ~start_step:!clock
+      ~end_step:(!clock + accesses) ~accesses ~annotations;
     clock := !clock + accesses;
-    Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
-    Obs.Registry.inc sh ("op." ^ op ^ ".count")
+    Obs.Histogram.observe hist accesses;
+    Obs.Counter.incr count
   in
   let bare () =
     let lease = Split.get_name sp bare_ops in
     Split.release_name sp bare_ops lease
   in
   let instrumented () =
-    Store.reset c;
+    Store.tally_mark tally;
     let lease = Split.get_name sp inst_ops in
-    record "get" [ ("name", Split.name_of sp lease) ];
-    Store.reset c;
+    record "get" get_h get_c [ ("name", Split.name_of sp lease) ];
+    Store.tally_mark tally;
     Split.release_name sp inst_ops lease;
-    record "release" []
+    record "release" rel_h rel_c []
   in
-  let bare_ns = measure_ns ~quota ~name:"bare" bare in
-  let inst_ns = measure_ns ~quota ~name:"instrumented" instrumented in
+  let reps = if smoke then 1 else 3 in
+  let iters = if smoke then 50_000 else 500_000 in
+  let bare_ns = measure_direct_ns ~reps ~iters bare in
+  (* The ratio below is the cost of telemetry as deployed: the live
+     sampler domain polls the arena throughout the instrumented
+     measurement, exactly like the server's always-on sampler. *)
+  let sampler =
+    Obs.Sampler.create ~window_ns:1_000_000
+      ~shard:(Obs.Registry.shard registry)
+      [
+        { Obs.Sampler.name = "tally.total"; read = (fun () -> Store.tally_total tally) };
+      ]
+  in
+  let handle =
+    Obs.Sampler.start sampler
+      ~now_ns:(fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+      ~sleep:(fun () -> Unix.sleepf 0.001)
+  in
+  let inst_ns = measure_direct_ns ~reps ~iters instrumented in
+  Obs.Sampler.stop handle;
+  let ticks = Obs.Sampler.ticks sampler in
   let overhead = inst_ns /. bare_ns in
   Printf.printf "bare          : %8.1f ns/cycle\n" bare_ns;
   Printf.printf "instrumented  : %8.1f ns/cycle\n" inst_ns;
   Printf.printf "overhead      : %8.2fx\n" overhead;
+  Printf.printf "sampler ticks : %8d\n" ticks;
   let json =
     Printf.sprintf
-      "{\"id\":\"obs\",\"smoke\":%b,\"bare_ns\":%.1f,\"instrumented_ns\":%.1f,\"overhead\":%.3f}\n"
-      smoke bare_ns inst_ns overhead
+      "{\"id\":\"obs\",\"smoke\":%b,\"bare_ns\":%.1f,\"instrumented_ns\":%.1f,\"overhead\":%.3f,\"sampler_ticks\":%d}\n"
+      smoke bare_ns inst_ns overhead ticks
   in
   let oc = open_out "BENCH_obs.json" in
   output_string oc json;
@@ -338,8 +388,12 @@ let run_obs_bench ~smoke ~rebaseline () =
         Printf.printf "no %s; skipping the regression gate\n" baseline_path;
         true
     | Some base ->
-        let ok = Float.is_nan overhead || overhead <= 2.0 *. base in
-        Printf.printf "baseline      : %8.2fx (gate: <= %.2fx) -> %s\n" base (2.0 *. base)
+        (* full runs also enforce the absolute 2x ceiling from the
+           telemetry SLO; smoke quotas are too noisy for an absolute
+           bound, so they gate relative to the baseline only *)
+        let ceiling = if smoke then 2.0 *. base else Float.min 2.0 (2.0 *. base) in
+        let ok = Float.is_nan overhead || overhead <= ceiling in
+        Printf.printf "baseline      : %8.2fx (gate: <= %.2fx) -> %s\n" base ceiling
           (if ok then "OK" else "REGRESSED");
         ok
 
@@ -597,8 +651,12 @@ let run_server_bench ~smoke ~rebaseline () =
     Server.default_config ~shards:4 ~k_per_shard:4 ~warm_capacity:2 ~batch:8 ~clients
       ~source_space:s ()
   in
+  (* telemetry on: registry shards per client, windowed rollups, and
+     the sampler domain polling the server probes — the throughput
+     gate below prices the always-on stack, not a stripped server *)
+  let registry = Obs.Registry.create () in
   let report =
-    Churn.run ~config
+    Churn.run ~config ~registry
       ~spec:(fun client -> Workload.server_churn ~s ~requests ~seed:42 ~client ())
       ()
   in
@@ -622,17 +680,20 @@ let run_server_bench ~smoke ~rebaseline () =
     report.Churn.warm_hits (100. *. hit_rate) warm.p100;
   Printf.printf "cold accesses : mean=%.1f p99=%d\n" cold.mean cold.p99;
   Printf.printf "busy / shed   : %d / %d\n" report.Churn.busy report.Churn.shed;
+  Printf.printf "sampler ticks : %d (%d series)\n"
+    report.Churn.telemetry.Churn.sampler_ticks
+    (List.length report.Churn.telemetry.Churn.samples);
   Printf.printf "atomics ns/inc: adjacent=%.1f padded=%.1f (false-sharing probe)\n"
     adj_ns pad_ns;
   Printf.printf "violations    : %d   leaked: %d\n" r.violations r.leaked;
   let json =
     Printf.sprintf
-      "{\"id\":\"server\",\"smoke\":%b,\"clients\":%d,\"shards\":%d,\"k_per_shard\":%d,\"source_space\":%d,\"requests_per_client\":%d,\"cycles\":%d,\"elapsed_s\":%.3f,\"acquires_per_sec\":%.0f,\"latency_ns\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p100\":%d},\"warm_hits\":%d,\"warm_hit_rate\":%.4f,\"warm_accesses_p100\":%d,\"cold_accesses_mean\":%.1f,\"cold_accesses_p99\":%d,\"busy\":%d,\"shed\":%d,\"drains\":%d,\"drained_releases\":%d,\"false_sharing_ns\":{\"adjacent\":%.1f,\"padded\":%.1f},\"violations\":%d,\"leaked\":%d}\n"
+      "{\"id\":\"server\",\"smoke\":%b,\"clients\":%d,\"shards\":%d,\"k_per_shard\":%d,\"source_space\":%d,\"requests_per_client\":%d,\"cycles\":%d,\"elapsed_s\":%.3f,\"acquires_per_sec\":%.0f,\"latency_ns\":{\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p100\":%d},\"warm_hits\":%d,\"warm_hit_rate\":%.4f,\"warm_accesses_p100\":%d,\"cold_accesses_mean\":%.1f,\"cold_accesses_p99\":%d,\"busy\":%d,\"shed\":%d,\"drains\":%d,\"drained_releases\":%d,\"false_sharing_ns\":{\"adjacent\":%.1f,\"padded\":%.1f},\"violations\":%d,\"leaked\":%d,\"sampler_ticks\":%d}\n"
       smoke clients 4 4 s requests report.Churn.cycles report.Churn.elapsed_s
       report.Churn.throughput lat.p50 lat.p95 lat.p99 lat.p100 report.Churn.warm_hits
       hit_rate warm.p100 cold.mean cold.p99 report.Churn.busy report.Churn.shed
       report.Churn.drains report.Churn.drained_releases adj_ns pad_ns r.violations
-      r.leaked
+      r.leaked report.Churn.telemetry.Churn.sampler_ticks
   in
   let oc = open_out "BENCH_server.json" in
   output_string oc json;
@@ -661,11 +722,53 @@ let run_server_bench ~smoke ~rebaseline () =
         Printf.printf "no %s; skipping the regression gate\n" server_baseline_path;
         true
     | Some base ->
-        let ok = report.Churn.throughput >= 0.4 *. base in
+        (* full runs must hold 0.9x of the telemetry-on baseline;
+           smoke runs are too short for a tight throughput bound *)
+        let floor = if smoke then 0.4 *. base else 0.9 *. base in
+        let ok = report.Churn.throughput >= floor in
         Printf.printf "baseline      : %8.0f acquires/sec (gate: >= %.0f) -> %s\n" base
-          (0.4 *. base)
+          floor
           (if ok then "OK" else "REGRESSED");
         ok
+
+(* ----- trend: both gated benches, appended to the history log ----- *)
+
+(* Every gated run of [bench trend] appends one JSON line (timestamp +
+   the BENCH_obs.json and BENCH_server.json payloads it just wrote) to
+   BENCH_history.jsonl.  [observe diff] in the CLI compares the last
+   two entries and fails on regression beyond tolerance — the history
+   file is the cross-run memory the per-run gates don't have. *)
+let history_path = "BENCH_history.jsonl"
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (String.trim s)
+
+let run_trend_bench ~smoke ~rebaseline () =
+  let obs_ok = run_obs_bench ~smoke ~rebaseline () in
+  let server_ok = run_server_bench ~smoke ~rebaseline () in
+  let entry key path =
+    match read_file path with
+    | Some line when line <> "" -> Printf.sprintf "%S:%s" key line
+    | Some _ | None -> Printf.sprintf "%S:null" key
+  in
+  let line =
+    Printf.sprintf "{\"ts\":%.0f,%s,%s}\n" (Unix.time ())
+      (entry "obs" "BENCH_obs.json")
+      (entry "server" "BENCH_server.json")
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
+  output_string oc line;
+  close_out oc;
+  Printf.printf "\nappended trend entry to %s (obs %s, server %s)\n" history_path
+    (if obs_ok then "OK" else "FAILED")
+    (if server_ok then "OK" else "FAILED");
+  obs_ok && server_ok
 
 (* ----- driver ----- *)
 
@@ -681,6 +784,11 @@ let write_csvs (r : Experiments.report) =
     r.tables
 
 let () =
+  (* Every minor collection in a multi-domain run (sampler, churn
+     clients) is a cross-domain stop-the-world rendezvous; an 8M-word
+     nursery keeps that rendezvous rate off the measured paths.  The
+     same sizing is the deployment guidance in EXPERIMENTS.md. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 8 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
   let csv = List.mem "--csv" args in
   let smoke = List.mem "--smoke" args in
@@ -707,10 +815,13 @@ let () =
       else if String.equal id "server" then begin
         if not (run_server_bench ~smoke ~rebaseline ()) then incr failures
       end
+      else if String.equal id "trend" then begin
+        if not (run_trend_bench ~smoke ~rebaseline ()) then incr failures
+      end
       else
         match Experiments.find id with
         | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server)\n"
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server, trend)\n"
               id
         | Some run ->
             let r = run () in

@@ -451,6 +451,76 @@ let observe protocol k s procs cycles seed ndomains format metrics_file mutant =
   | None -> ());
   if run_ok && bound_ok then 0 else 1
 
+(* ----- observe diff ----- *)
+
+(* Crude scan for the first number following [key] in [s] — the same
+   reader discipline the bench baselines use, so the trend log needs
+   no JSON parser dependency. *)
+let scan_float_key s key =
+  let rec find i =
+    if i + String.length key > String.length s then None
+    else if String.sub s i (String.length key) = key then begin
+      let j = ref (i + String.length key) in
+      let start = !j in
+      while
+        !j < String.length s
+        && (match s.[!j] with '0' .. '9' | '.' | '-' | ' ' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.trim (String.sub s start (!j - start)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Compare the last two entries of the bench trend log: the obs
+   overhead ratio may not grow, and server throughput may not drop,
+   beyond --tolerance percent.  Fewer than two entries is a clean
+   exit — the first run of a fresh history cannot regress. *)
+let observe_diff history tolerance =
+  match open_in history with
+  | exception Sys_error _ ->
+      Fmt.pr "no %s; nothing to diff@." history;
+      0
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           let l = String.trim (input_line ic) in
+           if l <> "" then lines := l :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      (match !lines with
+      | last :: prev :: _ ->
+          let check label ~worse_if_over key =
+            match (scan_float_key prev key, scan_float_key last key) with
+            | Some p, Some l ->
+                let slack = tolerance /. 100. in
+                let ok =
+                  if worse_if_over then l <= p *. (1. +. slack)
+                  else l >= p *. (1. -. slack)
+                in
+                Fmt.pr "%-20s %12.3f -> %12.3f (tolerance %g%%) %s@." label p l
+                  tolerance
+                  (if ok then "OK" else "REGRESSED");
+                ok
+            | _ ->
+                Fmt.pr "%-20s absent from one entry; skipped@." label;
+                true
+          in
+          let obs_ok =
+            check "obs overhead" ~worse_if_over:true "\"overhead\":"
+          in
+          let server_ok =
+            check "server acquires/sec" ~worse_if_over:false "\"acquires_per_sec\":"
+          in
+          if obs_ok && server_ok then 0 else 1
+      | _ ->
+          Fmt.pr "fewer than 2 entries in %s; nothing to diff@." history;
+          0)
+
 (* ----- faults ----- *)
 
 (* Campaign mode (default): run the fixed seed matrix against every
@@ -1125,11 +1195,27 @@ let observe_cmd =
   let mutant = Arg.(value & flag & info [ "mutant" ]
                     ~doc:"Test-only: run the cost mutant (MA padded past its access \
                           bound) against the MA bound check — must exit nonzero.") in
-  Cmd.v
+  let diff_cmd =
+    let history = Arg.(value & opt string "BENCH_history.jsonl"
+                       & info [ "history" ] ~docv:"FILE"
+                         ~doc:"Trend log appended by $(b,bench trend).") in
+    let tolerance = Arg.(value & opt float 20. & info [ "tolerance" ] ~docv:"PCT"
+                         ~doc:"Allowed regression between the last two entries, \
+                               percent.") in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare the last two bench trend entries (obs overhead, server \
+               throughput); exit 1 on regression beyond tolerance")
+      Term.(const observe_diff $ history $ tolerance)
+  in
+  Cmd.group
+    ~default:
+      Term.(const observe $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs
+            $ cycles_arg 5 $ seed $ ndomains $ format $ metrics_arg $ mutant)
     (Cmd.info "observe"
-       ~doc:"Run fully instrumented and export the metrics snapshot (text/JSON/Prometheus)")
-    Term.(const observe $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs $ cycles_arg 5
-          $ seed $ ndomains $ format $ metrics_arg $ mutant)
+       ~doc:"Run fully instrumented and export the metrics snapshot \
+             (text/JSON/Prometheus; default), or diff the bench trend log")
+    [ diff_cmd ]
 
 let faults_cmd =
   let target = Arg.(value & opt (some string) None
@@ -1190,16 +1276,65 @@ let recover_cmd =
 
 (* ----- server ----- *)
 
+(* Perfetto counter tracks from a run's telemetry windows: timestamps
+   are µs from the first retained window; one track per canonical
+   series (latency as its per-window p99), one per sampler gauge (as
+   the window mean). *)
+let telemetry_counters (tel : Churn.telemetry) =
+  let open Obs.Timeseries in
+  let all =
+    ("latency", tel.Churn.latency) :: ("attempts", tel.Churn.attempts)
+    :: ("grants", tel.Churn.grants) :: ("warm", tel.Churn.warm)
+    :: ("sheds", tel.Churn.sheds) :: tel.Churn.samples
+  in
+  let t0 =
+    List.fold_left
+      (fun acc (_, s) -> match windows s with [] -> acc | w :: _ -> min acc w.start)
+      max_int all
+  in
+  let us ns = (ns - t0) / 1000 in
+  let count_track name s =
+    (name ^ ".count", List.map (fun w -> (us w.start, float_of_int w.count)) (windows s))
+  in
+  let mean_track (name, s) =
+    ( "sampler." ^ name,
+      List.map
+        (fun w ->
+          ( us w.start,
+            if w.count = 0 then 0. else float_of_int w.sum /. float_of_int w.count ))
+        (windows s) )
+  in
+  ( "latency.p99_ns",
+    List.map
+      (fun w ->
+        (us w.start, float_of_int (percentile tel.Churn.latency ~wid:w.wid 0.99)))
+      (windows tel.Churn.latency) )
+  :: count_track "attempts" tel.Churn.attempts
+  :: count_track "grants" tel.Churn.grants
+  :: count_track "warm" tel.Churn.warm
+  :: count_track "sheds" tel.Churn.sheds
+  :: List.map mean_track tel.Churn.samples
+
 (* The name server under heavy churn: real domains, Zipf sources,
    open-loop arrivals.  Text report on stdout (or the
    renaming.server/v1 JSON document with --json); exits nonzero on a
-   uniqueness violation, or on a leak no crash fault explains. *)
+   uniqueness violation, on a leak no crash fault explains, or on a
+   sustained --slo burn. *)
 let server shards k s clients requests warm batch theta rate think seed plan json
-    metrics_file =
+    metrics_file slo trace_file tick =
   let config =
     Server.default_config ~shards ~k_per_shard:k ~warm_capacity:warm ~batch ~clients
       ~source_space:s ()
   in
+  match
+    match slo with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (Obs.Slo.of_string spec)
+  with
+  | Error e ->
+      Fmt.epr "bad --slo: %s@." e;
+      2
+  | Ok slo_spec -> (
   match
     match plan with
     | None -> Ok []
@@ -1210,8 +1345,11 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
       2
   | Ok faults ->
       let registry = Obs.Registry.create () in
+      let flight =
+        Option.map (fun _ -> Obs.Flight.create ~capacity:65_536 ()) trace_file
+      in
       let report =
-        Churn.run ~registry ~faults ~config
+        Churn.run ~registry ?flight ~faults ~sampler_interval_ns:tick ~config
           ~spec:(fun client ->
             Workload.server_churn ~theta ~rate ~think ~s ~requests ~seed ~client ())
           ()
@@ -1221,22 +1359,53 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
         List.exists (fun (_, f) -> match f with Churn.Crash _ -> true | _ -> false)
           faults
       in
+      let tel = report.Churn.telemetry in
+      let verdicts =
+        Option.map
+          (fun spec ->
+            Obs.Slo.evaluate
+              ~series:(Churn.telemetry_series tel)
+              ~scalar:(function
+                | "violations" -> Some r.violations
+                | "leaked" -> Some r.leaked
+                | "outstanding" -> Some report.Churn.outstanding
+                | _ -> None)
+              spec)
+          slo_spec
+      in
       let hist_json (h : Obs.Histogram.snap) =
         Printf.sprintf
           {|{"count":%d,"mean":%.1f,"min":%d,"p50":%d,"p95":%d,"p99":%d,"p100":%d}|}
           h.count h.mean h.min h.p50 h.p95 h.p99 h.p100
       in
-      if json then
+      if json then begin
+        let slo_json =
+          match verdicts with
+          | None -> ""
+          | Some vs ->
+              let v_json (v : Obs.Slo.verdict) =
+                Printf.sprintf
+                  {|{"label":%S,"evaluated":%d,"burning":%d,"max_burn":%d,"worst":%g,"sustained":%b}|}
+                  v.label v.evaluated v.burning v.max_burn v.worst v.sustained
+              in
+              Printf.sprintf {|,"slo":{"burning":%b,"verdicts":[%s]}|}
+                (Obs.Slo.burning vs)
+                (String.concat "," (List.map v_json vs))
+        in
         Fmt.pr
-          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d}@.|}
+          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"latency_open_ns":%s,"latency_closed_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d,"sampler_ticks":%d%s}@.|}
           shards k s warm batch clients requests report.Churn.cycles
           report.Churn.elapsed_s report.Churn.throughput report.Churn.acquires
           report.Churn.warm_hits report.Churn.busy report.Churn.shed
           report.Churn.drains report.Churn.drained_releases
           (hist_json report.Churn.latency)
+          (hist_json report.Churn.latency)
+          (hist_json report.Churn.latency_closed)
           (hist_json report.Churn.cold_accesses)
           (hist_json report.Churn.warm_accesses)
-          r.violations r.leaked report.Churn.outstanding
+          r.violations r.leaked report.Churn.outstanding tel.Churn.sampler_ticks
+          slo_json
+      end
       else begin
         Fmt.pr "name server: %d shard(s) x k=%d, %d clients, S=%d@." shards k clients
           s;
@@ -1250,22 +1419,48 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
         Fmt.pr "drains         : %d (%d batched releases)@." report.Churn.drains
           report.Churn.drained_releases;
         let l = report.Churn.latency in
-        Fmt.pr "latency ns     : p50=%d p95=%d p99=%d p100=%d@." l.p50 l.p95 l.p99
-          l.p100;
+        Fmt.pr "latency ns     : p50=%d p95=%d p99=%d p100=%d (open-loop)@." l.p50
+          l.p95 l.p99 l.p100;
+        let lc = report.Churn.latency_closed in
+        Fmt.pr "               : p50=%d p95=%d p99=%d p100=%d (closed-loop)@." lc.p50
+          lc.p95 lc.p99 lc.p100;
         let ca = report.Churn.cold_accesses and wa = report.Churn.warm_accesses in
         Fmt.pr "cold accesses  : mean=%.1f p99=%d (n=%d)@." ca.mean ca.p99 ca.count;
         Fmt.pr "warm accesses  : mean=%.1f p100=%d (n=%d)@." wa.mean wa.p100 wa.count;
+        Fmt.pr "sampler        : %d tick(s), %d series@." tel.Churn.sampler_ticks
+          (List.length tel.Churn.samples);
         Fmt.pr "violations     : %d@." r.violations;
         (match r.first_violation with
         | Some m -> Fmt.pr "first violation: %s@." m
         | None -> ());
         Fmt.pr "leaked         : %d%s@." r.leaked
-          (if crashed && r.leaked > 0 then " (crash plan: expected)" else "")
+          (if crashed && r.leaked > 0 then " (crash plan: expected)" else "");
+        match verdicts with
+        | None -> ()
+        | Some vs ->
+            List.iter (fun v -> Fmt.pr "slo            : %a@." Obs.Slo.pp_verdict v) vs;
+            Fmt.pr "slo verdict    : %s@."
+              (if Obs.Slo.burning vs then "BURNING (sustained)" else "OK")
       end;
       (match metrics_file with
       | Some f -> write_file f (Obs.Export.to_json (Obs.Registry.snapshot registry))
       | None -> ());
-      if r.violations > 0 then 1 else if r.leaked > 0 && not crashed then 1 else 0
+      (match (trace_file, flight) with
+      | Some path, Some ring ->
+          write_file path
+            (Obs.Perfetto.to_chrome_json ~counters:(telemetry_counters tel)
+               (Obs.Flight.items ring));
+          Fmt.epr
+            "wrote %d flight event(s) + %d counter track(s) -> %s (open in \
+             ui.perfetto.dev)@."
+            (Obs.Flight.length ring)
+            (List.length (telemetry_counters tel))
+            path
+      | _ -> ());
+      if r.violations > 0 then 1
+      else if r.leaked > 0 && not crashed then 1
+      else
+        match verdicts with Some vs when Obs.Slo.burning vs -> 1 | _ -> 0)
 
 let server_cmd =
   let shards = Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
@@ -1298,12 +1493,26 @@ let server_cmd =
                           request indices.") in
   let json = Arg.(value & flag & info [ "json" ]
                   ~doc:"Print the renaming.server/v1 JSON report on stdout.") in
+  let slo = Arg.(value & opt (some string) None
+                 & info [ "slo" ] ~docv:"SPEC"
+                   ~doc:"Evaluate the run against a service-level objective spec \
+                         (e.g. $(b,p99_ns<=50000,shed_rate<=0.05,violations=0)) as \
+                         burn rates over the telemetry windows; exit nonzero on a \
+                         sustained burn.") in
+  let trace = Arg.(value & opt (some string) None
+                   & info [ "trace" ] ~docv:"FILE"
+                     ~doc:"Record a flight ring and write it with the telemetry \
+                           counter tracks as Chrome trace JSON (open in \
+                           ui.perfetto.dev).") in
+  let tick = Arg.(value & opt int 1_000_000 & info [ "tick" ] ~docv:"NS"
+                  ~doc:"Sampler tick interval in nanoseconds (0 disables the \
+                        sampler domain).") in
   Cmd.v
     (Cmd.info "server"
        ~doc:"Serve renaming as a service: sharded protocol pool, batched releases, \
              warm-name cache, driven by Zipf churn across OS domains")
     Term.(const server $ shards $ k $ s $ clients $ requests $ warm $ batch $ theta
-          $ rate $ think $ seed $ plan $ json $ metrics_arg)
+          $ rate $ think $ seed $ plan $ json $ metrics_arg $ slo $ trace $ tick)
 
 let () =
   let info =

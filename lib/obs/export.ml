@@ -124,13 +124,24 @@ let to_prometheus (snap : Registry.snapshot) =
   List.iter
     (fun (name, (h : Histogram.snap)) ->
       let n = prom name in
-      buf_add buf (Printf.sprintf "# TYPE %s summary\n" n);
-      buf_add buf (Printf.sprintf "%s{quantile=\"0.5\"} %d\n" n h.p50);
-      buf_add buf (Printf.sprintf "%s{quantile=\"0.95\"} %d\n" n h.p95);
-      buf_add buf (Printf.sprintf "%s{quantile=\"0.99\"} %d\n" n h.p99);
+      (* native histogram exposition: cumulative buckets over the
+         snap's non-empty log buckets, +Inf closing the series *)
+      buf_add buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (edge, count) ->
+          cum := !cum + count;
+          buf_add buf (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n edge !cum))
+        h.buckets;
+      buf_add buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
       buf_add buf (Printf.sprintf "%s_sum %d\n" n h.sum);
       buf_add buf (Printf.sprintf "%s_count %d\n" n h.count);
-      buf_add buf (Printf.sprintf "# TYPE %s_max gauge\n%s_max %d\n" n n h.p100))
+      (* the snapshot quantiles and exact max, as plain gauges *)
+      List.iter
+        (fun (suffix, v) ->
+          buf_add buf
+            (Printf.sprintf "# TYPE %s_%s gauge\n%s_%s %d\n" n suffix n suffix v))
+        [ ("p50", h.p50); ("p95", h.p95); ("p99", h.p99); ("max", h.p100) ])
     snap.histograms;
   Buffer.contents buf
 

@@ -7,8 +7,11 @@
       CLI's [--metrics FILE] flags and consumed by the bench baselines.
     - {!to_prometheus}: Prometheus text exposition.  Metric names are
       sanitized ([.] and other non-identifier characters become [_])
-      and prefixed with [renaming_]; histograms export as summaries
-      ([_count], [_sum], [{quantile="…"}] series plus an exact [_max]).
+      and prefixed with [renaming_]; every family carries a [# TYPE]
+      line.  Histograms export natively ([# TYPE … histogram]):
+      cumulative [_bucket{le="…"}] series over the log-bucket edges
+      closed by [+Inf], plus [_sum], [_count], and [_p50]/[_p95]/
+      [_p99]/[_max] gauges for the snapshot quantiles and exact max.
       When two distinct registry names sanitize to the same identifier
       (e.g. [op.get] vs [op_get]), the lexicographically first keeps
       the bare identifier and every other is suffixed with a stable

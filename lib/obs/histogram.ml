@@ -14,6 +14,7 @@ type snap = {
   p95 : int;
   p99 : int;
   p100 : int;
+  buckets : (int * int) list;
 }
 
 type t = {
@@ -85,8 +86,16 @@ let percentile t q =
     !result
   end
 
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (upper_edge i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
 let snap t : snap =
   {
+    buckets = nonzero_buckets t;
     count = t.count;
     sum = t.sum;
     mean = (if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count);

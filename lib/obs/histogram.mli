@@ -21,6 +21,9 @@ type snap = {
   p95 : int;
   p99 : int;
   p100 : int;  (** Exact maximum; [0] when empty. *)
+  buckets : (int * int) list;
+      (** Non-empty buckets as [(upper_edge, count)], ascending — the
+          raw material for cumulative (Prometheus-style) exposition. *)
 }
 
 val create : unit -> t
@@ -42,3 +45,13 @@ val percentile : t -> float -> int
 
 val reset : t -> unit
 val merge : into:t -> t -> unit
+
+(** {1 Bucket geometry} — shared with {!Timeseries}, which reuses the
+    same log-bucket scheme for its per-window deltas. *)
+
+val nbuckets : int
+val index : int -> int
+(** Bucket index for a value (negatives clamp to bucket 0). *)
+
+val upper_edge : int -> int
+(** Largest value a bucket admits. *)

@@ -28,7 +28,7 @@ let esc s =
 
 let cat_of = function Loc.Splitter _ -> "splitter" | Loc.Mutex _ -> "mutex"
 
-let to_chrome_json (records : Flight.record list) =
+let to_chrome_json ?(counters = []) (records : Flight.record list) =
   let buf = Buffer.create 4096 in
   let first = ref true in
   let event fmt =
@@ -78,6 +78,17 @@ let to_chrome_json (records : Flight.record list) =
           event {|{"ph":"i","s":"t","name":"%s","ts":%d,"pid":0,"tid":%d,"args":{"value":%d}}|}
             (esc s) clock pid v)
     records;
+  (* "C" counter tracks (one per named series) render as filled area
+     charts next to the span tracks — the sampler/rollup view *)
+  List.iter
+    (fun (name, points) ->
+      List.iter
+        (fun (ts, v) ->
+          event
+            {|{"ph":"C","name":"%s","ts":%d,"pid":0,"args":{"value":%g}}|}
+            (esc name) ts v)
+        points)
+    counters;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",";
   Buffer.add_string buf
     (Printf.sprintf "\"otherData\":{\"schema\":\"renaming.flight/v1\",\"records\":%d}}"

@@ -8,6 +8,12 @@
     several trees at once, which duration slices cannot nest —
     name-holding intervals as ["B"]/["E"] duration slices, and
     checks / direction assignments / marks as instants.  Timestamps
-    are the recording's step clocks. *)
+    are the recording's step clocks.
 
-val to_chrome_json : Flight.record list -> string
+    [?counters] adds ["C"]-phase counter tracks alongside the spans:
+    one named track per series, fed [(ts, value)] points (ts in the
+    trace's time unit, µs for wall-clock exports) — the natural
+    rendering of {!Timeseries} windows and sampler gauges. *)
+
+val to_chrome_json :
+  ?counters:(string * (int * float) list) list -> Flight.record list -> string

@@ -4,6 +4,7 @@ type shard = {
   gauges : (string, Gauge.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
   spans : Span.collector;
+  mutable flushes : (unit -> unit) list;
 }
 
 type t = {
@@ -30,6 +31,7 @@ let shard ?span_capacity t =
         Span.collector
           ~capacity:(Option.value ~default:t.span_capacity span_capacity)
           ();
+      flushes = [];
     }
   in
   t.shards <- s :: t.shards;
@@ -37,6 +39,7 @@ let shard ?span_capacity t =
   s
 
 let shard_id s = s.sid
+let on_snapshot s f = s.flushes <- f :: s.flushes
 
 let find_or tbl name make =
   match Hashtbl.find_opt tbl name with
@@ -53,6 +56,9 @@ let inc s name = Counter.incr (counter s name)
 let count s name v = Counter.add (counter s name) v
 let observe s name v = Histogram.observe (histogram s name) v
 let span s sp = Span.add s.spans sp
+
+let record_span s ~name ~pid ~start_step ~end_step ~accesses ~annotations =
+  Span.record s.spans ~name ~pid ~start_step ~end_step ~accesses ~annotations
 let shard_spans s = Span.items s.spans
 let shard_spans_dropped s = Span.dropped s.spans
 
@@ -71,6 +77,9 @@ let snapshot t =
   Mutex.lock t.lock;
   let shards = List.rev t.shards in
   Mutex.unlock t.lock;
+  (* let deferred publishers (e.g. Store tallies) push their deltas
+     into shard metrics before we merge *)
+  List.iter (fun (s : shard) -> List.iter (fun f -> f ()) s.flushes) shards;
   let counters = Hashtbl.create 32 in
   let gauges = Hashtbl.create 32 in
   let histograms = Hashtbl.create 16 in

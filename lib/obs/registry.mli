@@ -30,6 +30,15 @@ val shard : ?span_capacity:int -> t -> shard
 val shard_id : shard -> int
 (** Creation order, from [0]. *)
 
+val on_snapshot : shard -> (unit -> unit) -> unit
+(** [on_snapshot s f] registers [f] to run at the start of every
+    {!snapshot}, before shards merge — the hook for deferred
+    publishers (e.g. [Store] access tallies) that batch hot-path
+    counts in private storage and only materialize registry metrics
+    when someone looks.  Register at wiring time, like {!shard}
+    itself: the list is plain mutable state owned by the shard's
+    writer. *)
+
 (** {1 Writing} — find-or-create by name, then update. *)
 
 val counter : shard -> string -> Counter.t
@@ -42,6 +51,18 @@ val observe : shard -> string -> int -> unit
 (** Histogram shorthand. *)
 
 val span : shard -> Span.t -> unit
+
+val record_span :
+  shard ->
+  name:string ->
+  pid:int ->
+  start_step:int ->
+  end_step:int ->
+  accesses:int ->
+  annotations:(string * int) list ->
+  unit
+(** Allocation-free {!Span.record} into the shard's ring — the hot
+    per-operation path; {!span} is the record-building convenience. *)
 
 val shard_spans : shard -> Span.t list
 (** This shard's recorded spans, oldest first — the harness reads its

@@ -1,0 +1,206 @@
+(* Declarative service-level objectives over Timeseries, evaluated as
+   burn rates: an objective "burns" in a window where it is violated,
+   and only a sustained run of burning windows trips the gate — a
+   single hot window is noise, N consecutive ones are an incident.
+   The vocabulary is fixed to the name server's canonical series
+   ("latency", "sheds"/"attempts", "warm"/"grants") so a spec string
+   on the CLI is enough to wire everything. *)
+
+type objective =
+  | P_ceiling of { q : float; series : string; ceiling : int }
+  | Rate_ceiling of { num : string; den : string; ceiling : float }
+  | Rate_floor of { num : string; den : string; floor : float }
+  | Scalar_zero of string
+
+type t = objective list
+
+let label = function
+  | P_ceiling { q; series; ceiling } ->
+      Printf.sprintf "p%g(%s) <= %d" (q *. 100.) series ceiling
+  | Rate_ceiling { num; den; ceiling } ->
+      Printf.sprintf "%s/%s <= %g" num den ceiling
+  | Rate_floor { num; den; floor } -> Printf.sprintf "%s/%s >= %g" num den floor
+  | Scalar_zero name -> Printf.sprintf "%s = 0" name
+
+(* grammar: comma-separated clauses, e.g.
+     p99_ns<=50000,shed_rate<=0.05,warm_rate>=0.10,violations=0 *)
+
+let to_string t =
+  String.concat ","
+    (List.map
+       (function
+         | P_ceiling { q; series = _; ceiling } ->
+             Printf.sprintf "p%g_ns<=%d" (q *. 100.) ceiling
+         | Rate_ceiling { num = "sheds"; den = "attempts"; ceiling } ->
+             Printf.sprintf "shed_rate<=%g" ceiling
+         | Rate_ceiling { num; den; ceiling } ->
+             Printf.sprintf "rate:%s/%s<=%g" num den ceiling
+         | Rate_floor { num = "warm"; den = "grants"; floor } ->
+             Printf.sprintf "warm_rate>=%g" floor
+         | Rate_floor { num; den; floor } ->
+             Printf.sprintf "rate:%s/%s>=%g" num den floor
+         | Scalar_zero name -> Printf.sprintf "%s=0" name)
+       t)
+
+let parse_clause s =
+  let s = String.trim s in
+  let split op =
+    match String.index_opt s op.[0] with
+    | Some i
+      when i + String.length op <= String.length s
+           && String.sub s i (String.length op) = op ->
+        Some (String.sub s 0 i, String.sub s (i + String.length op)
+                                  (String.length s - i - String.length op))
+    | _ -> None
+  in
+  let int_of v = int_of_string_opt (String.trim v) in
+  let float_of v = float_of_string_opt (String.trim v) in
+  let percentile_clause key rhs =
+    (* pNN_ns<=CEILING, over the latency series *)
+    if String.length key > 4 && String.sub key 0 1 = "p"
+       && String.sub key (String.length key - 3) 3 = "_ns"
+    then
+      match
+        ( float_of_string_opt (String.sub key 1 (String.length key - 4)),
+          int_of rhs )
+      with
+      | Some pct, Some ceiling when pct > 0. && pct <= 100. ->
+          Ok (P_ceiling { q = pct /. 100.; series = "latency"; ceiling })
+      | _ -> Error (Printf.sprintf "bad percentile clause %S" s)
+    else Error (Printf.sprintf "unknown clause %S" s)
+  in
+  match split "<=" with
+  | Some (key, rhs) -> (
+      match (String.trim key, float_of rhs) with
+      | "shed_rate", Some c when c >= 0. ->
+          Ok (Rate_ceiling { num = "sheds"; den = "attempts"; ceiling = c })
+      | key, _ -> percentile_clause key rhs)
+  | None -> (
+      match split ">=" with
+      | Some (key, rhs) -> (
+          match (String.trim key, float_of rhs) with
+          | "warm_rate", Some f when f >= 0. ->
+              Ok (Rate_floor { num = "warm"; den = "grants"; floor = f })
+          | _ -> Error (Printf.sprintf "unknown clause %S" s))
+      | None -> (
+          match split "=" with
+          | Some (key, "0") -> Ok (Scalar_zero (String.trim key))
+          | _ -> Error (Printf.sprintf "unknown clause %S" s)))
+
+let of_string s =
+  let clauses =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  if clauses = [] then Error "empty SLO spec"
+  else
+    List.fold_left
+      (fun acc c ->
+        match (acc, parse_clause c) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok t, Ok o -> Ok (t @ [ o ]))
+      (Ok []) clauses
+
+type verdict = {
+  objective : objective;
+  label : string;
+  evaluated : int;
+  burning : int;
+  max_burn : int;
+  worst : float;
+  sustained : bool;
+}
+
+(* windows are judged in wid order; sustained = a run of >= sustain
+   consecutive burning windows (clamped to the number of windows that
+   actually had data, so short runs can still trip). *)
+let judge_windows ~sustain entries =
+  let entries = List.sort (fun (a, _, _) (b, _, _) -> compare a b) entries in
+  let evaluated = List.length entries in
+  let burning = List.length (List.filter (fun (_, b, _) -> b) entries) in
+  let max_burn, _ =
+    List.fold_left
+      (fun (best, run) (_, b, _) ->
+        if b then (max best (run + 1), run + 1) else (best, 0))
+      (0, 0) entries
+  in
+  let effective = max 1 (min sustain evaluated) in
+  (evaluated, burning, max_burn, evaluated > 0 && max_burn >= effective)
+
+let evaluate ?(sustain = 3) ?(min_count = 1) ~series ~scalar t =
+  List.map
+    (fun o ->
+      let evaluated, burning, max_burn, sustained, worst =
+        match o with
+        | P_ceiling { q; series = name; ceiling } ->
+            let entries =
+              match series name with
+              | None -> []
+              | Some ts ->
+                  Timeseries.windows ts
+                  |> List.filter (fun (w : Timeseries.window) ->
+                         w.count >= min_count)
+                  |> List.map (fun (w : Timeseries.window) ->
+                         let p = Timeseries.percentile ts ~wid:w.wid q in
+                         (w.wid, p > ceiling, float_of_int p))
+            in
+            let worst =
+              List.fold_left (fun m (_, _, v) -> Float.max m v) 0. entries
+            in
+            let e, b, mb, s = judge_windows ~sustain entries in
+            (e, b, mb, s, worst)
+        | Rate_ceiling { num; den; ceiling } | Rate_floor { num; den; floor = ceiling }
+          ->
+            let floorish = match o with Rate_floor _ -> true | _ -> false in
+            let entries =
+              match series den with
+              | None -> []
+              | Some dts ->
+                  let nts = series num in
+                  Timeseries.windows dts
+                  |> List.filter (fun (w : Timeseries.window) ->
+                         w.count >= min_count)
+                  |> List.map (fun (w : Timeseries.window) ->
+                         let n =
+                           match nts with
+                           | None -> 0
+                           | Some nts -> (
+                               match Timeseries.window nts ~wid:w.wid with
+                               | Some nw -> nw.count
+                               | None -> 0)
+                         in
+                         let rate = float_of_int n /. float_of_int w.count in
+                         let burn =
+                           if floorish then rate < ceiling else rate > ceiling
+                         in
+                         (w.wid, burn, rate))
+            in
+            let worst =
+              match entries with
+              | [] -> 0.
+              | (_, _, r0) :: rest ->
+                  List.fold_left
+                    (fun m (_, _, v) ->
+                      if floorish then Float.min m v else Float.max m v)
+                    r0 rest
+            in
+            let e, b, mb, s = judge_windows ~sustain entries in
+            (e, b, mb, s, worst)
+        | Scalar_zero name ->
+            let v = Option.value ~default:0 (scalar name) in
+            let burn = v <> 0 in
+            (1, (if burn then 1 else 0), (if burn then 1 else 0), burn,
+             float_of_int v)
+      in
+      { objective = o; label = label o; evaluated; burning; max_burn; worst;
+        sustained })
+    t
+
+let burning verdicts = List.exists (fun v -> v.sustained) verdicts
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%-24s %s  windows=%d burning=%d max_run=%d worst=%g"
+    v.label
+    (if v.sustained then "BURN" else if v.burning > 0 then "warn" else "ok")
+    v.evaluated v.burning v.max_burn v.worst

@@ -1,0 +1,56 @@
+(** Declarative service-level objectives over {!Timeseries}, judged as
+    burn rates.
+
+    An objective {e burns} in each sliding window where it is
+    violated; the gate trips only on a {e sustained} burn — at least
+    [sustain] consecutive burning windows (clamped to the number of
+    windows that had data, so a short run saturated with violations
+    still trips).  One noisy window never fails a run.
+
+    The textual grammar is comma-separated clauses over the name
+    server's canonical series names:
+
+    - [p99_ns<=50000] — latency percentile ceiling (any [pNN_ns]),
+      judged per window over the ["latency"] series;
+    - [shed_rate<=0.05] — per-window [sheds/attempts] ceiling;
+    - [warm_rate>=0.10] — per-window [warm/grants] floor;
+    - [violations=0] — a run-level scalar that must be zero
+      (any [name=0] clause checks the scalar [name]). *)
+
+type objective =
+  | P_ceiling of { q : float; series : string; ceiling : int }
+  | Rate_ceiling of { num : string; den : string; ceiling : float }
+  | Rate_floor of { num : string; den : string; floor : float }
+  | Scalar_zero of string
+
+type t = objective list
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+val label : objective -> string
+
+type verdict = {
+  objective : objective;
+  label : string;
+  evaluated : int;  (** Windows with enough data (or 1 for scalars). *)
+  burning : int;  (** Windows in violation. *)
+  max_burn : int;  (** Longest consecutive burning run. *)
+  worst : float;  (** Worst observed value (percentile / rate / scalar). *)
+  sustained : bool;  (** The gate verdict for this objective. *)
+}
+
+val evaluate :
+  ?sustain:int ->
+  ?min_count:int ->
+  series:(string -> Timeseries.t option) ->
+  scalar:(string -> int option) ->
+  t ->
+  verdict list
+(** [sustain] (default 3) consecutive burning windows trip an
+    objective; windows with fewer than [min_count] (default 1) samples
+    in the clause's denominator series are skipped as no-data. *)
+
+val burning : verdict list -> bool
+(** Any objective sustained? — the process exit-code predicate. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

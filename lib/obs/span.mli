@@ -25,6 +25,23 @@ val collector : ?capacity:int -> unit -> collector
 (** Keep the last [capacity] (default [4096]) spans. *)
 
 val add : collector -> t -> unit
+(** Record a span given as a record — convenient for cold callers;
+    hot paths should use {!record}, which allocates nothing. *)
+
+val record :
+  collector ->
+  name:string ->
+  pid:int ->
+  start_step:int ->
+  end_step:int ->
+  accesses:int ->
+  annotations:(string * int) list ->
+  unit
+(** Allocation-free recording: the fields go straight into the
+    collector's preallocated ring (six stores), no {!t} record is
+    built.  [annotations] is stored as given — pass a preallocated or
+    empty list to keep the path entirely free of allocation. *)
+
 val items : collector -> t list
 (** Recorded spans, oldest first. *)
 

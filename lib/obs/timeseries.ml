@@ -1,0 +1,180 @@
+(* A fixed ring of aggregation windows keyed by *absolute* window id
+   (event time / window length), not by arrival order.  Keying by
+   absolute id is what makes shard merges deterministic: wherever an
+   event was recorded and in whatever order shards are merged, it lands
+   in the same window, and windows combine by commutative sums /
+   min / max — so any interleaving of the same events yields identical
+   windows (see the merge law in the .mli).
+
+   Storage is the Flight-ring discipline: two flat int arrays, no
+   per-window boxes, recording is a handful of stores and never
+   allocates.  META_W ints of metadata per window plus (for histogram
+   series) one log-bucket delta array per window, using the same
+   bucket geometry as Histogram so per-window percentiles carry the
+   same ≤12.5% relative error. *)
+
+let meta_w = 5 (* wid, count, sum, min, max *)
+
+type t = {
+  slots : int;
+  window_ns : int;
+  nbuckets : int; (* Histogram.nbuckets, or 1 for counter-mode series *)
+  meta : int array; (* slots * meta_w; wid = -1 marks an empty slot *)
+  buckets : int array; (* slots * nbuckets *)
+  mutable dropped : int; (* events older than the retained horizon *)
+}
+
+let create ?(windows = 64) ?(hist = true) ~window_ns () =
+  if windows < 1 then invalid_arg "Timeseries.create: windows < 1";
+  if window_ns < 1 then invalid_arg "Timeseries.create: window_ns < 1";
+  let nbuckets = if hist then Histogram.nbuckets else 1 in
+  {
+    slots = windows;
+    window_ns;
+    nbuckets;
+    meta = Array.init (windows * meta_w) (fun i -> if i mod meta_w = 0 then -1 else 0);
+    buckets = Array.make (windows * nbuckets) 0;
+    dropped = 0;
+  }
+
+let capacity t = t.slots
+let window_ns t = t.window_ns
+let dropped t = t.dropped
+
+let reset_slot t slot wid =
+  let base = slot * meta_w in
+  t.meta.(base) <- wid;
+  t.meta.(base + 1) <- 0;
+  t.meta.(base + 2) <- 0;
+  t.meta.(base + 3) <- max_int;
+  t.meta.(base + 4) <- 0;
+  Array.fill t.buckets (slot * t.nbuckets) t.nbuckets 0
+
+let observe t ~now v =
+  let v = if v < 0 then 0 else v in
+  let wid = (if now < 0 then 0 else now) / t.window_ns in
+  let slot = wid mod t.slots in
+  let base = slot * meta_w in
+  let cur = t.meta.(base) in
+  if cur <> wid then
+    if wid < cur then begin
+      (* an event from a window that already fell off the ring: a
+         writer's clock is monotonic, so this only happens when one
+         series is shared across writers — count the loss, honestly *)
+      t.dropped <- t.dropped + 1
+    end
+    else reset_slot t slot wid;
+  if t.meta.(base) = wid then begin
+    t.meta.(base + 1) <- t.meta.(base + 1) + 1;
+    t.meta.(base + 2) <- t.meta.(base + 2) + v;
+    if v < t.meta.(base + 3) then t.meta.(base + 3) <- v;
+    if v > t.meta.(base + 4) then t.meta.(base + 4) <- v;
+    let bi = if t.nbuckets = 1 then 0 else Histogram.index v in
+    t.buckets.((slot * t.nbuckets) + bi) <- t.buckets.((slot * t.nbuckets) + bi) + 1
+  end
+
+type window = { wid : int; start : int; count : int; sum : int; min : int; max : int }
+
+let window_of t slot =
+  let base = slot * meta_w in
+  let count = t.meta.(base + 1) in
+  {
+    wid = t.meta.(base);
+    start = t.meta.(base) * t.window_ns;
+    count;
+    sum = t.meta.(base + 2);
+    min = (if count = 0 then 0 else t.meta.(base + 3));
+    max = t.meta.(base + 4);
+  }
+
+let windows t =
+  let ws = ref [] in
+  for slot = t.slots - 1 downto 0 do
+    if t.meta.(slot * meta_w) >= 0 then ws := window_of t slot :: !ws
+  done;
+  List.sort (fun a b -> compare a.wid b.wid) !ws
+
+let find_slot t ~wid =
+  let slot = wid mod t.slots in
+  if wid >= 0 && t.meta.(slot * meta_w) = wid then Some slot else None
+
+let window t ~wid = Option.map (window_of t) (find_slot t ~wid)
+
+let percentile t ~wid q =
+  match find_slot t ~wid with
+  | None -> 0
+  | Some slot ->
+      let base = slot * meta_w in
+      let vmax = t.meta.(base + 4) in
+      if t.nbuckets = 1 then vmax
+      else begin
+        (* rank over the window's bucket mass, exactly like
+           Histogram.percentile (and for the same torn-count reason) *)
+        let off = slot * t.nbuckets in
+        let total = ref 0 in
+        for i = 0 to t.nbuckets - 1 do
+          total := !total + t.buckets.(off + i)
+        done;
+        if !total = 0 then 0
+        else begin
+          let rank = max 1 (int_of_float (Float.of_int !total *. q +. 0.5)) in
+          let rank = min rank !total in
+          let cum = ref 0 and result = ref vmax in
+          (try
+             for i = 0 to t.nbuckets - 1 do
+               cum := !cum + t.buckets.(off + i);
+               if !cum >= rank then begin
+                 result := min (Histogram.upper_edge i) vmax;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !result
+        end
+      end
+
+let total t =
+  let s = ref 0 in
+  for slot = 0 to t.slots - 1 do
+    if t.meta.(slot * meta_w) >= 0 then s := !s + t.meta.((slot * meta_w) + 1)
+  done;
+  !s
+
+let merge ~into src =
+  if into.slots <> src.slots || into.window_ns <> src.window_ns
+     || into.nbuckets <> src.nbuckets
+  then invalid_arg "Timeseries.merge: shape mismatch";
+  into.dropped <- into.dropped + src.dropped;
+  for slot = 0 to src.slots - 1 do
+    let sbase = slot * meta_w in
+    let wid = src.meta.(sbase) in
+    if wid >= 0 then begin
+      let dbase = slot * meta_w in
+      let dwid = into.meta.(dbase) in
+      if wid > dwid then reset_slot into slot wid;
+      if wid >= dwid then begin
+        (* equal ids: element-wise combine — commutative, so the merge
+           order of shards cannot change the result *)
+        into.meta.(dbase + 1) <- into.meta.(dbase + 1) + src.meta.(sbase + 1);
+        into.meta.(dbase + 2) <- into.meta.(dbase + 2) + src.meta.(sbase + 2);
+        if src.meta.(sbase + 3) < into.meta.(dbase + 3) then
+          into.meta.(dbase + 3) <- src.meta.(sbase + 3);
+        if src.meta.(sbase + 4) > into.meta.(dbase + 4) then
+          into.meta.(dbase + 4) <- src.meta.(sbase + 4);
+        for i = 0 to src.nbuckets - 1 do
+          into.buckets.((slot * into.nbuckets) + i) <-
+            into.buckets.((slot * into.nbuckets) + i)
+            + src.buckets.((slot * src.nbuckets) + i)
+        done
+      end
+      else
+        (* src's window is older than what the ring position retains *)
+        into.dropped <- into.dropped + src.meta.(sbase + 1)
+    end
+  done
+
+let clear t =
+  for slot = 0 to t.slots - 1 do
+    t.meta.(slot * meta_w) <- -1
+  done;
+  t.dropped <- 0

@@ -1,0 +1,69 @@
+(** Windowed aggregate rings: fixed-capacity time series over int
+    samples.
+
+    A series is a ring of [windows] aggregation windows of [window_ns]
+    each, keyed by absolute window id [now / window_ns].  Each window
+    keeps count / sum / min / max and (unless created with
+    [~hist:false]) a log-bucket histogram delta sharing
+    {!Histogram}'s bucket geometry, so per-window percentiles carry
+    the same ≤12.5% relative error.  Storage is flat int arrays in the
+    Flight-ring discipline: recording is allocation-free and costs a
+    handful of plain stores.
+
+    Write discipline matches the rest of [lib/obs]: one writer per
+    series, merge on snapshot.  {b Merge law}: windows with equal ids
+    combine by commutative, associative element-wise sums (min by min,
+    max by max), and window ids are derived from event time alone —
+    so the same set of events, recorded into any sharding and merged
+    in any order, yields identical windows.  Events older than the
+    ring's retained horizon are counted in [dropped], never silently
+    lost. *)
+
+type t
+
+val create : ?windows:int -> ?hist:bool -> window_ns:int -> unit -> t
+(** [create ~window_ns ()] makes an empty series of [?windows]
+    (default 64) windows of [window_ns] nanoseconds each.
+    [~hist:false] drops the per-window bucket array (length-1
+    placeholder) for counter-mode series where only count/sum/min/max
+    matter — percentiles then report the window max. *)
+
+val observe : t -> now:int -> int -> unit
+(** [observe t ~now v] records sample [v] (clamped at 0) into the
+    window containing absolute time [now].  Allocation-free.  If that
+    window is newer than the slot's current occupant the slot is
+    recycled; if older (only possible with a non-monotonic clock or a
+    shared writer) the event is dropped and counted. *)
+
+type window = {
+  wid : int;  (** absolute window id = start / window_ns *)
+  start : int;  (** window start, ns *)
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+}
+
+val windows : t -> window list
+(** Live windows, oldest first. *)
+
+val window : t -> wid:int -> window option
+
+val percentile : t -> wid:int -> float -> int
+(** [percentile t ~wid q] for q in (0,1]: bucket-mass rank within one
+    window, clamped by the window max; 0 if the window is absent or
+    empty.  For [~hist:false] series, returns the window max. *)
+
+val total : t -> int
+(** Sum of counts over live windows (retained events only). *)
+
+val dropped : t -> int
+
+val merge : into:t -> t -> unit
+(** Element-wise merge per the merge law above.  Raises
+    [Invalid_argument] on shape mismatch (windows, window_ns or
+    histogram mode differ). *)
+
+val window_ns : t -> int
+val capacity : t -> int
+val clear : t -> unit

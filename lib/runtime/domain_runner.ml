@@ -22,34 +22,41 @@ let agg ~entry ~name_space ~pids ~faults =
   Agg.create ~entry ~name_space ~workers:(Array.length pids)
     ~parked:(List.length (List.filter (fun (_, f) -> f = Park_holding) faults))
 
-(* Per-domain Obs instrumentation: grouped access counters on [ops],
-   one span per operation clocked by the worker's own access count,
-   and the op.*.accesses histograms. *)
+(* Per-domain Obs instrumentation: one [Store.tally] arena on [ops]
+   (grouped access counts materialize at snapshot), one span per
+   operation clocked by the worker's own access count, and the
+   op.*.accesses histograms.  Metric handles are resolved once per op
+   name, not per call — no string building on the cycle path. *)
 let instrument ~registry ~pid raw =
   let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
-  let c = Store.counter () in
+  let t = Store.tally () in
   let ops =
     match shard with
     | None -> raw
-    | Some sh -> Store.counting c (Store.observed sh raw)
+    | Some sh -> Store.observed_into t sh raw
   in
   let clock = ref 0 in
+  let handles = ref [] in
   let record sh op annotations =
-    let accesses = Store.accesses c in
-    Obs.Registry.span sh
-      {
-        name = op;
-        pid;
-        start_step = !clock;
-        end_step = !clock + accesses;
-        accesses;
-        annotations;
-      };
+    let accesses = Store.tally_since t in
+    Obs.Registry.record_span sh ~name:op ~pid ~start_step:!clock
+      ~end_step:(!clock + accesses) ~accesses ~annotations;
     clock := !clock + accesses;
-    Obs.Registry.observe sh ("op." ^ op ^ ".accesses") accesses;
-    Obs.Registry.inc sh ("op." ^ op ^ ".count")
+    let hist, count =
+      match List.assoc_opt op !handles with
+      | Some h -> h
+      | None ->
+          let h =
+            ( Obs.Registry.histogram sh ("op." ^ op ^ ".accesses"),
+              Obs.Registry.counter sh ("op." ^ op ^ ".count") )
+          in
+          handles := (op, h) :: !handles;
+          h
+    in
+    Obs.Histogram.observe hist accesses;
+    Obs.Counter.incr count
   in
-  (shard, c, ops, record)
+  (shard, t, ops, record)
 
 let gauge_acquired shard ~name ~name_space ~held ~conc =
   match shard with
@@ -104,18 +111,20 @@ let run (type a) ?registry ?flight ?(faults = [])
        access count (real time is preemptive; global step order is not
        observable the way it is under the simulator). *)
     let raw = Atomic_store.ops store ~pid in
-    let shard, c, ops, record = instrument ~registry ~pid raw in
-    (* The flight clock is the domain's own total access count ([c2] is
-       never reset, unlike the per-operation counter [c]); cross-domain
-       ordering is not claimed — see the Flight doc. *)
-    let c2 = Store.counter () in
+    let shard, t, ops, record = instrument ~registry ~pid raw in
+    (* The flight clock is the domain's own total access count — the
+       tally's never-reset running total (per-operation deltas use
+       mark/since on the same arena, so one count feeds both); cross-
+       domain ordering is not claimed — see the Flight doc. *)
     let ops, fring =
       if Array.length worker_rings = 0 then (ops, None)
       else begin
         let ring = worker_rings.(i) in
-        let ops = Store.counting c2 ops in
+        (* without a registry the ops aren't tallied yet — the flight
+           clock still needs the total, so count into the same arena *)
+        let ops = if Option.is_none shard then Store.tallying t ops else ops in
         ( Store.probed
-            (Obs.Flight.probe ring ~pid ~clock:(fun () -> Store.accesses c2))
+            (Obs.Flight.probe ring ~pid ~clock:(fun () -> Store.tally_total t))
             ops,
           Some ring )
       end
@@ -123,10 +132,10 @@ let run (type a) ?registry ?flight ?(faults = [])
     let fly ev =
       match fring with
       | None -> ()
-      | Some ring -> Obs.Flight.record ring ~clock:(Store.accesses c2) ~pid ev
+      | Some ring -> Obs.Flight.record ring ~clock:(Store.tally_total t) ~pid ev
     in
     let acquire () =
-      Store.reset c;
+      Store.tally_mark t;
       let lease = P.get_name inst ops in
       let n = P.name_of inst lease in
       fly (Obs.Flight.Acquired n);
@@ -138,7 +147,7 @@ let run (type a) ?registry ?flight ?(faults = [])
     let release (lease, n) =
       Agg.released agg ~name:n;
       gauge_released shard ~name:n ~name_space;
-      Store.reset c;
+      Store.tally_mark t;
       P.release_name inst ops lease;
       fly (Obs.Flight.Released n);
       match shard with Some sh -> record sh "release" [] | None -> ()
@@ -190,9 +199,9 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
   let agg = agg ~entry:"Domain_runner.run_recovered" ~name_space ~pids ~faults in
   let worker i pid () =
     let raw = Atomic_store.ops store ~pid in
-    let shard, c, ops, record = instrument ~registry ~pid raw in
+    let shard, t, ops, record = instrument ~registry ~pid raw in
     let acquire () =
-      Store.reset c;
+      Store.tally_mark t;
       match Recovery.acquire rc ops with
       | Recovery.Shed ->
           (match shard with Some sh -> Obs.Registry.inc sh "names.shed" | None -> ());
@@ -207,7 +216,7 @@ let run_recovered ?registry ?(faults = []) rc ~layout ~pids ~cycles =
     let release (lease, n) =
       Agg.released agg ~name:n;
       gauge_released shard ~name:n ~name_space;
-      Store.reset c;
+      Store.tally_mark t;
       ignore (Recovery.release rc ops lease : bool);
       match shard with Some sh -> record sh "release" [] | None -> ()
     in

@@ -23,6 +23,31 @@ let of_plan plan =
         | Sim.Faults.Slow n -> Slow (100 * n) ))
     plan
 
+(* The live telemetry attached to a run: per-client windowed rollups
+   (merged after the join — deterministically, see Timeseries) plus
+   the sampler's gauge series over Server probes.  Canonical names
+   feed Slo: "latency", "attempts", "grants", "warm", "sheds", and
+   each sampler source under its own name. *)
+type telemetry = {
+  window_ns : int;
+  latency : Obs.Timeseries.t;
+  attempts : Obs.Timeseries.t;
+  grants : Obs.Timeseries.t;
+  warm : Obs.Timeseries.t;
+  sheds : Obs.Timeseries.t;
+  samples : (string * Obs.Timeseries.t) list;
+  sampler_ticks : int;
+}
+
+let telemetry_series tel name =
+  match name with
+  | "latency" -> Some tel.latency
+  | "attempts" -> Some tel.attempts
+  | "grants" -> Some tel.grants
+  | "warm" -> Some tel.warm
+  | "sheds" -> Some tel.sheds
+  | other -> List.assoc_opt other tel.samples
+
 type report = {
   result : Agg.result;
   cycles : int;
@@ -35,13 +60,34 @@ type report = {
   elapsed_s : float;
   throughput : float;
   latency : Obs.Histogram.snap;
+  latency_closed : Obs.Histogram.snap;
   cold_accesses : Obs.Histogram.snap;
   warm_accesses : Obs.Histogram.snap;
   outstanding : int;
+  telemetry : telemetry;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let spin n = for _ = 1 to n do Domain.cpu_relax () done
+
+(* One client's private slice of the telemetry (single writer; merged
+   after the join). *)
+type rollup = {
+  r_latency : Obs.Timeseries.t;
+  r_attempts : Obs.Timeseries.t;
+  r_grants : Obs.Timeseries.t;
+  r_warm : Obs.Timeseries.t;
+  r_sheds : Obs.Timeseries.t;
+}
+
+let rollup ~window_ns () =
+  {
+    r_latency = Obs.Timeseries.create ~window_ns ();
+    r_attempts = Obs.Timeseries.create ~hist:false ~window_ns ();
+    r_grants = Obs.Timeseries.create ~hist:false ~window_ns ();
+    r_warm = Obs.Timeseries.create ~hist:false ~window_ns ();
+    r_sheds = Obs.Timeseries.create ~hist:false ~window_ns ();
+  }
 
 (* A parked client grabs one name (skipping Busy/Shed request slots)
    and sits on it until every normal client has finished. *)
@@ -62,7 +108,8 @@ let park_body server c (spec : Workload.server_spec) agg =
 
 exception Crashed
 
-let client_body server id fault (spec : Workload.server_spec) lat cold warm =
+let client_body server id fault (spec : Workload.server_spec) ru lat_open
+    lat_closed cold warm =
   let agg = Server.scoreboard server in
   let c = Server.client server id in
   match fault with
@@ -76,10 +123,13 @@ let client_body server id fault (spec : Workload.server_spec) lat cold warm =
       in
       let slow = match fault with Some (Slow n) -> n | _ -> 0 in
       let obs = Server.client_obs c in
-      (* A stream whose last arrival is still 0 is closed-loop: charge
-         latency from issue.  Open-loop streams charge from the
-         scheduled arrival — the server, not the generator, eats any
-         backlog (no coordinated omission). *)
+      (* A stream whose last arrival is still 0 is closed-loop: the
+         scheduled time IS the issue time.  Open-loop streams schedule
+         arrivals up front — the server, not the generator, eats any
+         backlog (no coordinated omission).  Both clocks are recorded:
+         open-loop latency from the schedule, closed-loop from issue;
+         their divergence is exactly the queueing delay a
+         coordinated-omission artifact would hide. *)
       let closed =
         spec.requests = 0 || spec.arrival (max 0 (spec.requests - 1)) <= 0.
       in
@@ -97,19 +147,27 @@ let client_body server id fault (spec : Workload.server_spec) lat cold warm =
                sched
              end
            in
+           let issue = if closed then sched else now_ns () in
+           Obs.Timeseries.observe ru.r_attempts ~now:issue 1;
            (match Server.acquire server c ~src:(spec.source r) with
-           | Server.Busy | Server.Shed -> ()
+           | Server.Busy -> ()
+           | Server.Shed -> Obs.Timeseries.observe ru.r_sheds ~now:issue 1
            | Server.Granted g ->
                spin spec.think;
                (match stall with
                | Some (request, spins) when r = request -> spin spins
                | _ -> ());
                Server.release server c ~token:g.token;
-               let d = now_ns () - sched in
-               Obs.Histogram.observe lat d;
+               let fin = now_ns () in
+               let d_open = fin - sched and d_closed = fin - issue in
+               Obs.Histogram.observe lat_open d_open;
+               Obs.Histogram.observe lat_closed d_closed;
                Obs.Histogram.observe (if g.warm then warm else cold) g.accesses;
+               Obs.Timeseries.observe ru.r_latency ~now:fin d_open;
+               Obs.Timeseries.observe ru.r_grants ~now:fin 1;
+               if g.warm then Obs.Timeseries.observe ru.r_warm ~now:fin 1;
                (match obs with
-               | Some o -> Obs.Registry.observe o "server.latency_ns" d
+               | Some o -> Obs.Registry.observe o "server.latency_ns" d_open
                | None -> ());
                Agg.cycle_done agg id);
            spin slow
@@ -118,32 +176,55 @@ let client_body server id fault (spec : Workload.server_spec) lat cold warm =
        with Crashed -> ());
       Agg.worker_done agg
 
-let run ?registry ?flight ?backend ?(faults = []) ~(config : Server.config)
+let run ?registry ?flight ?backend ?(faults = []) ?(window_ns = 5_000_000)
+    ?(sampler_interval_ns = 1_000_000) ~(config : Server.config)
     ~(spec : int -> Workload.server_spec) () =
   List.iter
     (fun (i, _) ->
       if i < 0 || i >= config.clients then
         invalid_arg "Churn.run: fault victim out of client range")
     faults;
+  if window_ns < 1 then invalid_arg "Churn.run: window_ns < 1";
   let fault_of id = List.assoc_opt id faults in
   let parked =
     List.length (List.filter (fun (_, f) -> f = Park) faults)
   in
   let server = Server.create ?registry ?flight ?backend ~parked config in
   let specs = Array.init config.clients spec in
-  let lat = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let lat_open = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let lat_closed = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
   let cold = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
   let warm = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
+  let rollups = Array.init config.clients (fun _ -> rollup ~window_ns ()) in
+  (* The sampler polls Server probes (read-only) from its own domain,
+     writing its own series and — when a registry is wired — its own
+     dedicated shard, per the single-writer rule. *)
+  let sampler =
+    if sampler_interval_ns <= 0 then None
+    else
+      let shard = Option.map (fun r -> Obs.Registry.shard r) registry in
+      Some
+        (Obs.Sampler.create ?shard ~window_ns (Server.sampler_sources server))
+  in
+  let handle =
+    Option.map
+      (fun s ->
+        Obs.Sampler.start s ~now_ns
+          ~sleep:(fun () ->
+            Unix.sleepf (float_of_int sampler_interval_ns /. 1e9)))
+      sampler
+  in
   let t0 = Unix.gettimeofday () in
   let domains =
     Array.init config.clients (fun id ->
         Domain.spawn (fun () ->
-            client_body server id (fault_of id) specs.(id) lat.(id) cold.(id)
-              warm.(id)))
+            client_body server id (fault_of id) specs.(id) rollups.(id)
+              lat_open.(id) lat_closed.(id) cold.(id) warm.(id)))
   in
   Array.iter Domain.join domains;
   Server.drain_all server (Server.client server 0);
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  Option.iter Obs.Sampler.stop handle;
   Server.merge_flight server;
   let result = Agg.result (Server.scoreboard server) in
   let cycles = Array.fold_left ( + ) 0 result.Agg.cycles_done in
@@ -159,6 +240,26 @@ let run ?registry ?flight ?backend ?(faults = []) ~(config : Server.config)
     Array.iter (fun h -> Obs.Histogram.merge ~into h) hs;
     Obs.Histogram.snap into
   in
+  let merge_series ~hist select =
+    let into = Obs.Timeseries.create ~hist ~window_ns () in
+    Array.iter (fun r -> Obs.Timeseries.merge ~into (select r)) rollups;
+    into
+  in
+  let telemetry =
+    {
+      window_ns;
+      latency = merge_series ~hist:true (fun r -> r.r_latency);
+      attempts = merge_series ~hist:false (fun r -> r.r_attempts);
+      grants = merge_series ~hist:false (fun r -> r.r_grants);
+      warm = merge_series ~hist:false (fun r -> r.r_warm);
+      sheds = merge_series ~hist:false (fun r -> r.r_sheds);
+      samples =
+        (match sampler with Some s -> Obs.Sampler.series s | None -> []);
+      sampler_ticks =
+        (match sampler with Some s -> Obs.Sampler.ticks s | None -> 0);
+    }
+  in
+  let latency_open = merge_all lat_open in
   {
     result;
     cycles;
@@ -170,8 +271,10 @@ let run ?registry ?flight ?backend ?(faults = []) ~(config : Server.config)
     drained_releases = sum (fun s -> s.drained_releases);
     elapsed_s;
     throughput = (if elapsed_s > 0. then float_of_int cycles /. elapsed_s else 0.);
-    latency = merge_all lat;
+    latency = latency_open;
+    latency_closed = merge_all lat_closed;
     cold_accesses = merge_all cold;
     warm_accesses = merge_all warm;
     outstanding = Server.outstanding server;
+    telemetry;
   }

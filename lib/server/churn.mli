@@ -39,6 +39,27 @@ val of_plan : Sim.Faults.plan -> (int * fault) list
     spins [100·n] — the simulator's global-step currency rendered as
     local work. *)
 
+(** Always-on telemetry for a run: windowed rollups of the request
+    stream (per-client {!Obs.Timeseries}, merged deterministically
+    after the join) plus the sampler's gauge series read from
+    {!Server} probes on a dedicated domain.  Canonical series names —
+    ["latency"], ["attempts"], ["grants"], ["warm"], ["sheds"], and
+    each sampler source (e.g. ["shard0.pending"], ["slab.free"]) —
+    are what {!Obs.Slo} clauses bind to. *)
+type telemetry = {
+  window_ns : int;
+  latency : Obs.Timeseries.t;  (** Open-loop ns per completed request. *)
+  attempts : Obs.Timeseries.t;  (** Every acquire call (count-only). *)
+  grants : Obs.Timeseries.t;
+  warm : Obs.Timeseries.t;  (** Warm grants (count-only). *)
+  sheds : Obs.Timeseries.t;
+  samples : (string * Obs.Timeseries.t) list;  (** Sampler series. *)
+  sampler_ticks : int;
+}
+
+val telemetry_series : telemetry -> string -> Obs.Timeseries.t option
+(** Lookup by canonical name — pass as [~series] to {!Obs.Slo.evaluate}. *)
+
 type report = {
   result : Runtime.Agg.result;
   cycles : int;  (** Completed acquire/release cycles, all clients. *)
@@ -50,10 +71,17 @@ type report = {
   drained_releases : int;
   elapsed_s : float;  (** Spawn to post-join drain, wall clock. *)
   throughput : float;  (** [cycles /. elapsed_s]. *)
-  latency : Obs.Histogram.snap;  (** Nanoseconds from scheduled arrival. *)
+  latency : Obs.Histogram.snap;
+      (** Open-loop: nanoseconds from scheduled arrival (equals
+          closed-loop for closed streams). *)
+  latency_closed : Obs.Histogram.snap;
+      (** Closed-loop: nanoseconds from actual issue.  The gap to
+          [latency] is queueing delay — a p100 that is high only
+          open-loop is backlog, not a server stall. *)
   cold_accesses : Obs.Histogram.snap;  (** Shared accesses per cold grant. *)
   warm_accesses : Obs.Histogram.snap;  (** Per warm grant — all zero. *)
   outstanding : int;  (** Names still held after the final drain: leaks. *)
+  telemetry : telemetry;
 }
 
 val run :
@@ -61,6 +89,8 @@ val run :
   ?flight:Obs.Flight.t ->
   ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
   ?faults:(int * fault) list ->
+  ?window_ns:int ->
+  ?sampler_interval_ns:int ->
   config:Server.config ->
   spec:(int -> Workload.server_spec) ->
   unit ->
@@ -70,5 +100,11 @@ val run :
     drains every batched release, merges flight rings, and reports.
     [Busy]/[Shed] outcomes consume the request slot without a retry —
     they are counted, not latency-measured.
+
+    Telemetry is on by default: rollup windows of [window_ns] (default
+    5 ms), and a sampler domain polling {!Server.sampler_sources}
+    every [sampler_interval_ns] (default 1 ms; [<= 0] disables the
+    sampler).  The sampler only reads — client request paths gain no
+    shared accesses (warm grants stay at 0).
     @raise Invalid_argument when a fault names a client out of range,
-    or every client parks. *)
+    every client parks, or [window_ns < 1]. *)

@@ -32,8 +32,10 @@ type client = {
   obs : Obs.Registry.shard option;
   ring : Obs.Flight.t option;
   ops : Store.ops array;  (* per shard; [pid] re-bound per request *)
-  cop : Store.counter;  (* per-operation access cost *)
-  clock : Store.counter;  (* running access clock for flight stamps *)
+  tally : Store.tally;
+      (* one arena serves the per-operation cost (mark/since), the
+         flight clock (running total) and — when a registry is wired —
+         the per-group store counters, from one store per access *)
   warm_src : int array;
   warm_slot : int array;
   mutable warm_n : int;  (* entries live at [0, warm_n), oldest first *)
@@ -126,7 +128,7 @@ let obs_observe c name v = match c.obs with Some o -> Obs.Registry.observe o nam
 let mark c tag v =
   match c.ring with
   | Some r ->
-      Obs.Flight.record r ~clock:(Store.accesses c.clock) ~pid:c.id
+      Obs.Flight.record r ~clock:(Store.tally_total c.tally) ~pid:c.id
         (Obs.Flight.Mark (tag, v))
   | None -> ()
 
@@ -275,10 +277,10 @@ let acquire t c ~src =
     else begin
       let slot = slot_take t c sh in
       let sd = t.shard_tbl.(sh) in
-      Store.reset c.cop;
+      Store.tally_mark c.tally;
       let base : Store.ops = c.ops.(sh) in
       let lease = Any.get_name sd.inst { base with pid = src } in
-      let accesses = Store.accesses c.cop in
+      let accesses = Store.tally_since c.tally in
       let name = sd.base + Any.name_of sd.inst lease in
       t.slot_src.(slot) <- src;
       t.slot_shard.(slot) <- sh;
@@ -391,19 +393,24 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
                 ())
             flight
         in
-        let cop = Store.counter () in
-        let clock = Store.counter () in
+        let tally = Store.tally () in
         let ops =
           Array.map
             (fun store ->
               let o = Atomic_store.ops store ~pid:0 in
-              let o = match obs with Some s -> Store.observed s o | None -> o in
-              let o = Store.counting cop o in
-              let o = Store.counting clock o in
+              (* one tally across all shard stores: with a registry it
+                 also feeds the per-group counters, without one it
+                 only keeps the totals the cost/flight paths need *)
+              let o =
+                match obs with
+                | Some s -> Store.observed_into tally s o
+                | None -> Store.tallying tally o
+              in
               match ring with
               | Some r ->
                   Store.probed
-                    (Obs.Flight.probe r ~pid:id ~clock:(fun () -> Store.accesses clock))
+                    (Obs.Flight.probe r ~pid:id ~clock:(fun () ->
+                         Store.tally_total tally))
                     o
               | None -> o)
             stores
@@ -413,8 +420,7 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
           obs;
           ring;
           ops;
-          cop;
-          clock;
+          tally;
           warm_src = Array.make (max 1 cfg.warm_capacity) (-1);
           warm_slot = Array.make (max 1 cfg.warm_capacity) (-1);
           warm_n = 0;
@@ -472,3 +478,68 @@ let client_stats (c : client) =
   }
 
 let client_obs c = c.obs
+
+(* ----- telemetry probes -----
+
+   Everything below is read-only: atomics are [Atomic.get]s, client
+   warm counters are plain reads of another domain's non-atomic fields
+   (well-defined under the OCaml memory model, possibly stale —
+   telemetry-grade by design).  No probe writes anything, so attaching
+   a sampler adds zero shared accesses to any request path; in
+   particular the warm-grant path stays at its verified 0. *)
+
+type shard_probe = { admitted : int; pending : int; warm : int }
+
+let probe_warm_shard t sh =
+  let w = ref 0 in
+  Array.iter
+    (fun (c : client) ->
+      let n = min c.warm_n (Array.length c.warm_slot) in
+      for r = 0 to n - 1 do
+        let slot = c.warm_slot.(r) in
+        if slot >= 0 && slot < Array.length t.slot_shard && t.slot_shard.(slot) = sh
+        then incr w
+      done)
+    t.clients_tbl;
+  !w
+
+let probe_shard t sh =
+  if sh < 0 || sh >= t.cfg.shards then invalid_arg "Server.probe_shard: bad shard";
+  {
+    admitted = Pad.get t.admitted sh;
+    pending = Pad.get t.pending_n sh;
+    warm = probe_warm_shard t sh;
+  }
+
+let probe_free t =
+  (* slab occupancy mirrors admission: cap minus every admitted slot *)
+  let used = ref 0 in
+  for sh = 0 to t.cfg.shards - 1 do
+    used := !used + Pad.get t.admitted sh
+  done;
+  max 0 ((t.cfg.shards * t.cfg.k_per_shard) - !used)
+
+let probe_claims t =
+  let n = ref 0 in
+  Array.iter (fun a -> if Atomic.get a <> 0 then incr n) t.claims;
+  !n
+
+let sampler_sources t =
+  let shard_sources =
+    List.concat
+      (List.init t.cfg.shards (fun sh ->
+           let p = string_of_int sh in
+           [
+             { Obs.Sampler.name = "shard" ^ p ^ ".admitted";
+               read = (fun () -> Pad.get t.admitted sh) };
+             { Obs.Sampler.name = "shard" ^ p ^ ".pending";
+               read = (fun () -> Pad.get t.pending_n sh) };
+             { Obs.Sampler.name = "shard" ^ p ^ ".warm";
+               read = (fun () -> probe_warm_shard t sh) };
+           ]))
+  in
+  shard_sources
+  @ [
+      { Obs.Sampler.name = "slab.free"; read = (fun () -> probe_free t) };
+      { Obs.Sampler.name = "claims.held"; read = (fun () -> probe_claims t) };
+    ]

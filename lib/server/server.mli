@@ -159,3 +159,33 @@ val client_stats : client -> client_stats
 val client_obs : client -> Obs.Registry.shard option
 (** The client's registry shard (when a registry was supplied) — the
     load harness adds its latency series to the same shard. *)
+
+(** {1 Telemetry probes} — read-only snapshots for a sampler.
+
+    Every probe below only {e reads}: admission/pending atomics via
+    [Atomic.get], warm-cache residency via plain reads of the clients'
+    own fields (possibly stale — telemetry-grade by design).  Nothing
+    is written, so attaching a {!Obs.Sampler} adds {b zero} shared
+    accesses to any request path; the warm-grant path keeps its
+    verified 0. *)
+
+type shard_probe = {
+  admitted : int;  (** Admission occupancy: held + warm + pending ≤ k. *)
+  pending : int;  (** Pending-release list depth. *)
+  warm : int;  (** Warm leases parked on this shard across clients. *)
+}
+
+val probe_shard : t -> int -> shard_probe
+(** @raise Invalid_argument on a bad shard index. *)
+
+val probe_free : t -> int
+(** Free slab slots (capacity minus every shard's admitted count). *)
+
+val probe_claims : t -> int
+(** Source names currently claimed — an [O(source_space)] scan; fine
+    at sampler tick rates, not for request paths. *)
+
+val sampler_sources : t -> Obs.Sampler.source list
+(** The canonical gauge set for {!Obs.Sampler.create}: per shard
+    [shardN.admitted] / [shardN.pending] / [shardN.warm], plus
+    [slab.free] and [claims.held]. *)

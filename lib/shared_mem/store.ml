@@ -61,55 +61,155 @@ let group c =
   let n = Cell.name c in
   match String.index_opt n '[' with Some i -> String.sub n 0 i | None -> n
 
-let observed shard ops =
-  (* Resolve each register's group counters once per cell id, not per
-     access; [rt]/[wt]/[ut] are the ungrouped totals.  Layout hands out
-     dense ids from 0, so the cache is a growable array — the hot path
-     is one bounds check and a load, no hashing. *)
-  let cache = ref [||] in
-  let rt = Obs.Registry.counter shard "store.reads"
-  and wt = Obs.Registry.counter shard "store.writes"
-  and ut = Obs.Registry.counter shard "store.rmws" in
-  let counters cell =
-    let id = Cell.id cell in
-    if id >= Array.length !cache then begin
-      let grown = Array.make (max 64 (max (id + 1) (2 * Array.length !cache))) None in
-      Array.blit !cache 0 grown 0 (Array.length !cache);
-      cache := grown
-    end;
-    match !cache.(id) with
-    | Some cs -> cs
-    | None ->
-        let g = group cell in
-        let cs =
-          ( Obs.Registry.counter shard ("store.reads." ^ g),
-            Obs.Registry.counter shard ("store.writes." ^ g),
-            Obs.Registry.counter shard ("store.rmws." ^ g) )
-        in
-        !cache.(id) <- Some cs;
-        cs
-  in
+(* ----- the flat access arena -----
+
+   One [tally] replaces the per-cell counter-tuple cache of the old
+   [observed] and the extra [counting] layers that used to be stacked
+   on top of it.  Counts live in a flat int array indexed by
+   [3 * Cell.id + kind] — Layout hands out dense ids from 0, so the
+   hot path is one registered-check, one store into the arena and one
+   bump of the running total.  Nothing touches the registry per
+   access: group counters are materialized lazily, as deltas, when a
+   snapshot runs (via [Registry.on_snapshot]) or on an explicit
+   [tally_flush].  Single-writer, like every [lib/obs] shard. *)
+
+type tally = {
+  mutable slots : int array; (* 3 per cell id: reads / writes / rmws *)
+  mutable flushed : int array; (* counts already pushed to the registry *)
+  mutable cells : Cell.t option array; (* registered = Some *)
+  mutable total : int; (* every access ever, never reset *)
+  mutable mark : int; (* set by [tally_mark], read by [tally_since] *)
+  mutable bound : Obs.Registry.shard option;
+}
+
+let tally () =
+  { slots = [||]; flushed = [||]; cells = [||]; total = 0; mark = 0; bound = None }
+
+let tally_register t cell =
+  let id = Cell.id cell in
+  if id >= Array.length t.cells then begin
+    let n = max 64 (max (id + 1) (2 * Array.length t.cells)) in
+    let cells = Array.make n None in
+    Array.blit t.cells 0 cells 0 (Array.length t.cells);
+    let slots = Array.make (3 * n) 0 in
+    Array.blit t.slots 0 slots 0 (Array.length t.slots);
+    let flushed = Array.make (3 * n) 0 in
+    Array.blit t.flushed 0 flushed 0 (Array.length t.flushed);
+    t.cells <- cells;
+    t.slots <- slots;
+    t.flushed <- flushed
+  end;
+  t.cells.(id) <- Some cell
+
+let tally_total t = t.total
+let tally_mark t = t.mark <- t.total
+let tally_since t = t.total - t.mark
+
+let kind_total = [| "store.reads"; "store.writes"; "store.rmws" |]
+let kind_prefix = [| "store.reads."; "store.writes."; "store.rmws." |]
+
+let tally_flush t =
+  match t.bound with
+  | None -> ()
+  | Some sh ->
+      for id = 0 to Array.length t.cells - 1 do
+        match t.cells.(id) with
+        | None -> ()
+        | Some cell ->
+            let g = group cell in
+            for k = 0 to 2 do
+              let i = (3 * id) + k in
+              let d = t.slots.(i) - t.flushed.(i) in
+              if d > 0 then begin
+                Obs.Counter.add (Obs.Registry.counter sh (kind_prefix.(k) ^ g)) d;
+                Obs.Counter.add (Obs.Registry.counter sh kind_total.(k)) d;
+                t.flushed.(i) <- t.slots.(i)
+              end
+            done
+      done
+
+let observed_into t shard ops =
+  (match t.bound with
+  | None ->
+      t.bound <- Some shard;
+      (* the ungrouped totals exist from wrap time (as they always
+         have), even if this ops set never runs — schema stability *)
+      Array.iter
+        (fun n -> ignore (Obs.Registry.counter shard n : Obs.Counter.t))
+        kind_total;
+      Obs.Registry.on_snapshot shard (fun () -> tally_flush t)
+  | Some s ->
+      if not (s == shard) then
+        invalid_arg "Store.observed_into: tally already bound to another shard");
+  (* The hot path is written out in each closure (no helper calls —
+     this compiler doesn't cross-inline) and uses unsafe indexing: the
+     registered check establishes [id < length t.cells], and [t.slots]
+     is always allocated at [3 x] the cell-array length, so every
+     index below is in bounds. *)
+  let read = ops.read
+  and write = ops.write
+  and rmw = ops.rmw in
   {
     pid = ops.pid;
     read =
       (fun cell ->
-        let r, _, _ = counters cell in
-        Obs.Counter.incr r;
-        Obs.Counter.incr rt;
+        let id = Cell.id cell in
+        (if id < Array.length t.cells then begin
+           match Array.unsafe_get t.cells id with
+           | Some _ -> ()
+           | None -> tally_register t cell
+         end
+         else tally_register t cell);
+        t.total <- t.total + 1;
+        let i = 3 * id in
+        Array.unsafe_set t.slots i (Array.unsafe_get t.slots i + 1);
+        read cell);
+    write =
+      (fun cell v ->
+        let id = Cell.id cell in
+        (if id < Array.length t.cells then begin
+           match Array.unsafe_get t.cells id with
+           | Some _ -> ()
+           | None -> tally_register t cell
+         end
+         else tally_register t cell);
+        t.total <- t.total + 1;
+        let i = (3 * id) + 1 in
+        Array.unsafe_set t.slots i (Array.unsafe_get t.slots i + 1);
+        write cell v);
+    rmw =
+      (fun cell f ->
+        let id = Cell.id cell in
+        (if id < Array.length t.cells then begin
+           match Array.unsafe_get t.cells id with
+           | Some _ -> ()
+           | None -> tally_register t cell
+         end
+         else tally_register t cell);
+        t.total <- t.total + 1;
+        let i = (3 * id) + 2 in
+        Array.unsafe_set t.slots i (Array.unsafe_get t.slots i + 1);
+        rmw cell f);
+    probe = ops.probe;
+  }
+
+let tallying t ops =
+  {
+    pid = ops.pid;
+    read =
+      (fun cell ->
+        t.total <- t.total + 1;
         ops.read cell);
     write =
       (fun cell v ->
-        let _, w, _ = counters cell in
-        Obs.Counter.incr w;
-        Obs.Counter.incr wt;
+        t.total <- t.total + 1;
         ops.write cell v);
     rmw =
       (fun cell f ->
-        let _, _, u = counters cell in
-        Obs.Counter.incr u;
-        Obs.Counter.incr ut;
+        t.total <- t.total + 1;
         ops.rmw cell f);
     probe = ops.probe;
   }
 
+let observed shard ops = observed_into (tally ()) shard ops
 let probed p ops = { ops with probe = p }

@@ -83,11 +83,54 @@ val probed : Obs.Probe.t -> ops -> ops
     (pipeline chaining, crash recovery) carries the probe along
     unchanged, so attribution stays with the original process. *)
 
+(** {1 The access arena}
+
+    A {!tally} is one process's flat, preallocated access ledger:
+    per-register-kind counts indexed by dense {!Cell.id} plus a
+    running total, all plain int-array stores on the hot path.  It
+    replaces stacking [counting] layers on top of [observed] — one
+    arena serves per-group registry metrics ({e deferred}: deltas are
+    pushed only when a snapshot runs), per-operation access counts
+    ([tally_mark]/[tally_since]) and the flight recorder's logical
+    clock ([tally_total]) from a single branch + store per access.
+    Single-writer, like every registry shard. *)
+
+type tally
+
+val tally : unit -> tally
+
+val observed_into : tally -> Obs.Registry.shard -> ops -> ops
+(** [observed_into t shard ops] forwards to [ops], recording each
+    access in [t].  Group counters ([store.reads.<group>], …, plus the
+    ungrouped totals [store.reads] / [store.writes] / [store.rmws]; a
+    register's {e group} is its {!Cell.name} up to the first ['[']) are
+    materialized into [shard] as deltas when {!Obs.Registry.snapshot}
+    runs, or on {!tally_flush}.  Several [ops] may share one tally
+    (e.g. one per server shard store) but a tally binds to a single
+    registry shard: a second [observed_into] with a different shard
+    raises [Invalid_argument]. *)
+
+val tallying : tally -> ops -> ops
+(** Total-only variant for runs without a registry: bumps the running
+    total (so [tally_total]/[tally_since] work) but skips per-register
+    bookkeeping. *)
+
+val tally_total : tally -> int
+(** Every access since creation — never reset; the flight recorder's
+    logical clock. *)
+
+val tally_mark : tally -> unit
+(** Mark the current total; {!tally_since} reports accesses since. *)
+
+val tally_since : tally -> int
+
+val tally_flush : tally -> unit
+(** Push unpushed deltas into the bound registry shard now (no-op for
+    an unbound tally).  Registered automatically via
+    {!Obs.Registry.on_snapshot}, so explicit calls are rarely
+    needed. *)
+
 val observed : Obs.Registry.shard -> ops -> ops
-(** [observed shard ops] forwards to [ops] and bumps per-register-group
-    counters in [shard]: [store.reads.<group>], [store.writes.<group>],
-    [store.rmws.<group>] plus the ungrouped totals [store.reads] /
-    [store.writes] / [store.rmws].  A register's {e group} is its
-    {!Cell.name} up to the first ['['] — i.e. one series per
-    {!Layout.alloc_array} family.  Group counters are resolved once per
-    cell and cached, so the per-access cost is two counter bumps. *)
+(** [observed shard ops] = [observed_into (tally ()) shard ops] — the
+    per-register-group counters land in [shard] with the same names as
+    always, just deferred until snapshot. *)

@@ -232,8 +232,15 @@ let test_export_prometheus () =
       "renaming_names_held_hwm 1";
       "renaming_op_get_accesses_count 1";
       "renaming_op_get_accesses_max 42";
-      "quantile=";
+      (* native histogram exposition: typed family, cumulative
+         buckets closed by +Inf, quantile gauges *)
+      "# TYPE renaming_op_get_accesses histogram";
+      "renaming_op_get_accesses_bucket{le=\"+Inf\"} 1";
+      "renaming_op_get_accesses_sum 42";
+      "# TYPE renaming_op_get_accesses_p99 gauge";
+      "renaming_op_get_accesses_p99 ";
       "# TYPE renaming_store_reads counter";
+      "# TYPE renaming_names_held gauge";
     ]
 
 let test_export_json_truncation () =
