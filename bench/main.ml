@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- obs --smoke -- same, with a short measurement quota
      dune exec bench/main.exe -- trace    -- flight-recorder overhead only
      dune exec bench/main.exe -- recovery -- lib/recovery lease-wrapper overhead only
+     dune exec bench/main.exe -- shootout -- cross-backend shootout only
      dune exec bench/main.exe -- --csv    -- also write results/<id>_<n>.csv
 
    The modelcheck bench additionally writes BENCH_modelcheck.json (one
@@ -34,10 +35,15 @@
    below 0.9x the recorded bench/server_baseline.json (0.4x under
    --smoke).  The obs bench likewise measures with the sampler live
    and gates full runs at min(2.0, 2x baseline).
-   The trend bench ("trend") runs obs + server gated and appends one
-   timestamped JSON line combining both payloads to
-   BENCH_history.jsonl, the cross-run log consumed by the CLI's
-   [observe diff]. *)
+   The shootout bench ("shootout") races every registered backend
+   (lib/core/backends.ml) over the fault campaign's seed matrix —
+   names used, shared accesses, solo wall-clock and name-server
+   warm-hit rate per backend — and writes BENCH_backends.json,
+   failing on any uniqueness violation or truncated run.
+   The trend bench ("trend") runs obs + server gated plus the
+   shootout and appends one timestamped JSON line combining the
+   payloads to BENCH_history.jsonl, the cross-run log consumed by the
+   CLI's [observe diff]. *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -731,6 +737,217 @@ let run_server_bench ~smoke ~rebaseline () =
           (if ok then "OK" else "REGRESSED");
         ok
 
+(* ----- cross-backend shootout ----- *)
+
+(* Every registered backend (lib/core/backends.ml), one row each, over
+   the fault campaign's seed matrix: names used and shared-access
+   distribution from seeded concurrent simulator runs (gated on zero
+   uniqueness violations), solo wall-clock on the sequential store,
+   and — for backends that can serve arbitrary source names — the
+   warm-hit rate and sustained throughput of the real name server
+   under Zipf churn.  Writes BENCH_backends.json: one JSON object,
+   one line, with a per-backend array plus the two cross-backend
+   scalars ("worst_get_accesses", "best_warm_hit_rate") that [observe
+   diff] tracks across trend entries. *)
+
+type shootout_row = {
+  b_spec : Renaming.Backends.spec;
+  b_name_space : int;
+  b_names_used : int;
+  b_max_name : int;
+  b_get_mean : float;
+  b_get_max : int;
+  b_rel_mean : float;
+  b_wall_ns : float;
+  b_warm : (float * float) option;  (** hit rate, acquires/sec *)
+  b_violations : int;
+  b_truncated : int;
+}
+
+let run_backends_bench ~smoke () =
+  Printf.printf "\n=== cross-backend shootout (k=4, campaign seed matrix)%s ===\n"
+    (if smoke then " [smoke]" else "");
+  let k = 4 and s = 64 in
+  let seeds =
+    let all = Campaign.default_seeds in
+    if smoke then List.filteri (fun i _ -> i < 8) all else all
+  in
+  let cycles = if smoke then 2 else 4 in
+  let measure_backend (spec : Renaming.Backends.spec) =
+    let pids = Renaming.Backends.default_pids ~k ~s in
+    let module A = Renaming.Protocol.Any in
+    (* --- seeded concurrent runs: names used, access costs, uniqueness --- *)
+    let name_space = ref 0 in
+    let names_used = ref 0 and max_name = ref (-1) in
+    let get_costs = ref [] and rel_costs = ref [] in
+    let violations = ref 0 and truncated = ref 0 in
+    List.iter
+      (fun seed ->
+        let layout = Layout.create () in
+        let proto = spec.build layout ~k ~s ~participants:pids in
+        name_space := A.name_space proto;
+        let work = Layout.alloc layout ~name:"work" 0 in
+        let body (ops : Store.ops) =
+          let c = Store.counter () in
+          let counted = Store.counting c ops in
+          for _ = 1 to cycles do
+            Store.reset c;
+            let lease = A.get_name proto counted in
+            get_costs := Store.accesses c :: !get_costs;
+            Sim.Sched.emit (Sim.Event.Acquired (A.name_of proto lease));
+            ignore (ops.read work);
+            Sim.Sched.emit (Sim.Event.Released (A.name_of proto lease));
+            Store.reset c;
+            A.release_name proto counted lease;
+            rel_costs := Store.accesses c :: !rel_costs
+          done
+        in
+        let u = Sim.Checks.uniqueness ~name_space:!name_space () in
+        let t =
+          Sim.Sched.create
+            ~monitor:(Sim.Checks.uniqueness_monitor u)
+            layout
+            (Array.map (fun pid -> (pid, body)) pids)
+        in
+        (match
+           Sim.Sched.run ~max_steps:2_000_000 t (Sim.Sched.random (Sim.Rng.make seed))
+         with
+        | outcome -> if outcome.Sim.Sched.truncated then incr truncated
+        | exception Sim.Model_check.Violation _ -> incr violations);
+        names_used := max !names_used (Sim.Checks.names_used u);
+        max_name := max !max_name (Sim.Checks.max_name u))
+      seeds;
+    let mean = function
+      | [] -> 0.
+      | l ->
+          float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+    in
+    let maxi l = List.fold_left max 0 l in
+    (* --- solo wall clock, sequential store --- *)
+    let wall_ns =
+      let layout = Layout.create () in
+      let proto = spec.build layout ~k ~s ~participants:pids in
+      let mem = Store.seq_create layout in
+      let ops = Store.seq_ops mem ~pid:pids.(0) in
+      let reps = if smoke then 1 else 3 in
+      let iters = if smoke then 20_000 else 200_000 in
+      measure_direct_ns ~reps ~iters (fun () ->
+          let lease = A.get_name proto ops in
+          A.release_name proto ops lease)
+    in
+    (* --- name server under Zipf churn: warm-hit rate --- *)
+    let warm =
+      if spec.fixed_participants then None
+      else begin
+        let source_space = 256 in
+        let config =
+          Server.default_config ~shards:2 ~k_per_shard:k ~warm_capacity:2 ~batch:8
+            ~clients:2 ~source_space ()
+        in
+        let backend layout ~stage:_ ~k =
+          spec.build layout ~k ~s:source_space
+            ~participants:(Renaming.Backends.default_pids ~k ~s:source_space)
+        in
+        let requests = if smoke then 2_000 else 20_000 in
+        let report =
+          Churn.run ~backend ~config
+            ~spec:(fun client ->
+              Workload.server_churn ~s:source_space ~requests ~seed:42 ~client ())
+            ()
+        in
+        if report.Churn.result.violations > 0 || report.Churn.result.leaked > 0 then begin
+          incr violations;
+          None
+        end
+        else
+          let rate =
+            if report.Churn.acquires = 0 then 0.
+            else
+              float_of_int report.Churn.warm_hits /. float_of_int report.Churn.acquires
+          in
+          Some (rate, report.Churn.throughput)
+      end
+    in
+    {
+      b_spec = spec;
+      b_name_space = !name_space;
+      b_names_used = !names_used;
+      b_max_name = !max_name;
+      b_get_mean = mean !get_costs;
+      b_get_max = maxi !get_costs;
+      b_rel_mean = mean !rel_costs;
+      b_wall_ns = wall_ns;
+      b_warm = warm;
+      b_violations = !violations;
+      b_truncated = !truncated;
+    }
+  in
+  let rows = List.map measure_backend (Renaming.Backends.all ()) in
+  let tbl =
+    Stats.table
+      [
+        "backend"; "names (space)"; "max"; "get acc mean"; "get max"; "rel mean";
+        "ns/cycle"; "warm hit"; "verdict";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Stats.add_row tbl
+        [
+          r.b_spec.name;
+          Printf.sprintf "%d (%d)" r.b_names_used r.b_name_space;
+          string_of_int r.b_max_name;
+          Printf.sprintf "%.1f" r.b_get_mean;
+          string_of_int r.b_get_max;
+          Printf.sprintf "%.1f" r.b_rel_mean;
+          Printf.sprintf "%.0f" r.b_wall_ns;
+          (match r.b_warm with
+          | Some (rate, _) -> Printf.sprintf "%.1f%%" (100. *. rate)
+          | None -> "n/a");
+          (if r.b_violations = 0 && r.b_truncated = 0 then "OK" else "FAILED");
+        ])
+    rows;
+  Stats.print tbl;
+  let worst_get =
+    List.fold_left (fun acc r -> max acc r.b_get_max) 0 rows
+  in
+  let best_warm =
+    List.fold_left
+      (fun acc r -> match r.b_warm with Some (rate, _) -> Float.max acc rate | None -> acc)
+      0. rows
+  in
+  let row_json r =
+    Printf.sprintf
+      "{\"backend\":%S,\"summary\":%S,\"read_write_only\":%b,\"name_space\":%d,\"names_used\":%d,\"max_name\":%d,\"get_accesses\":{\"mean\":%.2f,\"max\":%d},\"release_accesses_mean\":%.2f,\"wall_ns\":%.1f,%s\"violations\":%d,\"truncated\":%d}"
+      r.b_spec.name r.b_spec.summary r.b_spec.read_write_only r.b_name_space
+      r.b_names_used r.b_max_name r.b_get_mean r.b_get_max r.b_rel_mean r.b_wall_ns
+      (match r.b_warm with
+      | Some (rate, tput) ->
+          Printf.sprintf "\"warm_hit_rate\":%.4f,\"server_acquires_per_sec\":%.0f," rate
+            tput
+      | None -> "\"warm_hit_rate\":null,")
+      r.b_violations r.b_truncated
+  in
+  let json =
+    Printf.sprintf
+      "{\"id\":\"backends\",\"smoke\":%b,\"k\":%d,\"s\":%d,\"seeds\":%d,\"cycles\":%d,\"worst_get_accesses\":%d,\"best_warm_hit_rate\":%.4f,\"backends\":[%s]}\n"
+      smoke k s (List.length seeds) cycles worst_get best_warm
+      (String.concat "," (List.map row_json rows))
+  in
+  let oc = open_out "BENCH_backends.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_backends.json";
+  let bad =
+    List.filter (fun r -> r.b_violations > 0 || r.b_truncated > 0) rows
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "uniqueness gate: %s FAILED (%d violations, %d truncated)\n"
+        r.b_spec.name r.b_violations r.b_truncated)
+    bad;
+  bad = []
+
 (* ----- trend: both gated benches, appended to the history log ----- *)
 
 (* Every gated run of [bench trend] appends one JSON line (timestamp +
@@ -752,23 +969,30 @@ let read_file path =
 let run_trend_bench ~smoke ~rebaseline () =
   let obs_ok = run_obs_bench ~smoke ~rebaseline () in
   let server_ok = run_server_bench ~smoke ~rebaseline () in
+  (* shootout always runs in smoke quota under trend: the tracked keys
+     (worst accesses, warm-hit rate) are seed-deterministic counts and
+     rates, not wall-clock, so the short quota does not blur them *)
+  let backends_ok = run_backends_bench ~smoke:true () in
   let entry key path =
     match read_file path with
     | Some line when line <> "" -> Printf.sprintf "%S:%s" key line
     | Some _ | None -> Printf.sprintf "%S:null" key
   in
   let line =
-    Printf.sprintf "{\"ts\":%.0f,%s,%s}\n" (Unix.time ())
+    Printf.sprintf "{\"ts\":%.0f,%s,%s,%s}\n" (Unix.time ())
       (entry "obs" "BENCH_obs.json")
       (entry "server" "BENCH_server.json")
+      (entry "backends" "BENCH_backends.json")
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
   output_string oc line;
   close_out oc;
-  Printf.printf "\nappended trend entry to %s (obs %s, server %s)\n" history_path
+  Printf.printf "\nappended trend entry to %s (obs %s, server %s, backends %s)\n"
+    history_path
     (if obs_ok then "OK" else "FAILED")
-    (if server_ok then "OK" else "FAILED");
-  obs_ok && server_ok
+    (if server_ok then "OK" else "FAILED")
+    (if backends_ok then "OK" else "FAILED");
+  obs_ok && server_ok && backends_ok
 
 (* ----- driver ----- *)
 
@@ -815,13 +1039,16 @@ let () =
       else if String.equal id "server" then begin
         if not (run_server_bench ~smoke ~rebaseline ()) then incr failures
       end
+      else if String.equal id "shootout" then begin
+        if not (run_backends_bench ~smoke ()) then incr failures
+      end
       else if String.equal id "trend" then begin
         if not (run_trend_bench ~smoke ~rebaseline ()) then incr failures
       end
       else
         match Experiments.find id with
         | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server, trend)\n"
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server, shootout, trend)\n"
               id
         | Some run ->
             let r = run () in

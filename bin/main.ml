@@ -55,6 +55,30 @@ let build name layout ~k ~s ~procs =
   | "tas" ->
       let t = Renaming.Tas_baseline.create layout ~k in
       (Setup { proto = (module Renaming.Tas_baseline); inst = t; label = "tas (k names)" }, pids)
+  | "level" ->
+      let la = Renaming.Level_array.create layout ~k in
+      ( Setup
+          {
+            proto = (module Renaming.Level_array);
+            inst = la;
+            label =
+              Printf.sprintf "level (%d levels, %d names)"
+                (Renaming.Level_array.levels la)
+                (Renaming.Level_array.name_space la);
+          },
+        pids )
+  | "compact" ->
+      let cs = Renaming.Compact_split.create layout ~k in
+      ( Setup
+          {
+            proto = (module Renaming.Compact_split);
+            inst = cs;
+            label =
+              Printf.sprintf "compact (%d cells, %d names)"
+                (Renaming.Compact_split.cells cs)
+                (Renaming.Compact_split.name_space cs);
+          },
+        pids )
   | "pipeline" ->
       let p = Pipeline.create layout ~k ~s ~participants:pids in
       let label =
@@ -96,6 +120,10 @@ let bound_for protocol ~k ~s =
       Some ("Theorem 10", (4 * set_size * levels) + (6 * p.d * (k - 1) * levels))
   | "ma" -> Some ("Moir-Anderson", (k * (s + 4)) + 1)
   | "pipeline" -> Some ("Theorem 11 plan", Params.plan_worst_get (Params.plan ~k ~s))
+  | "compact" ->
+      (* every stage costs at most 7 accesses per cell on the solo
+         path; worst case walks all k-1 stages plus side descents *)
+      Some ("compact cascade", 7 * k * (k - 1) / 2)
   | _ -> None
 
 (* ----- simulate ----- *)
@@ -516,7 +544,15 @@ let observe_diff history tolerance =
           let server_ok =
             check "server acquires/sec" ~worse_if_over:false "\"acquires_per_sec\":"
           in
-          if obs_ok && server_ok then 0 else 1
+          (* shootout keys: the cross-backend worst access count may
+             not grow, the warm-serving rate may not collapse *)
+          let backends_ok =
+            check "shootout worst accesses" ~worse_if_over:true
+              "\"worst_get_accesses\":"
+            && check "shootout warm-hit rate" ~worse_if_over:false
+                 "\"best_warm_hit_rate\":"
+          in
+          if obs_ok && server_ok && backends_ok then 0 else 1
       | _ ->
           Fmt.pr "fewer than 2 entries in %s; nothing to diff@." history;
           0)
@@ -1019,9 +1055,14 @@ let trace_provenance protocol k s procs cycles seed ndomains recover_mode file p
 (* ----- cmdliner wiring ----- *)
 
 let protocol_arg =
-  let doc = "Protocol: split, filter, ma, tas or pipeline." in
-  Arg.(value & opt (enum [ ("split", "split"); ("filter", "filter"); ("ma", "ma");
-                           ("tas", "tas"); ("pipeline", "pipeline") ]) "pipeline"
+  (* one entry per registered backend (lib/core/backends.ml), so a
+     backend added to the registry is selectable here the same day *)
+  let doc =
+    Printf.sprintf "Protocol: %s."
+      (String.concat ", " (Renaming.Backends.names ()))
+  in
+  Arg.(value
+       & opt (enum (List.map (fun n -> (n, n)) (Renaming.Backends.names ()))) "pipeline"
        & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc)
 
 let k_arg default =

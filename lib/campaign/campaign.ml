@@ -267,6 +267,32 @@ let targets () =
           ~pids:[| 3; 11 |] ~cycles:1;
     };
     {
+      name = "level";
+      correct = true;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 24;
+      sched_per_plan = 4;
+      builder =
+        proto_config
+          (module Renaming.Level_array)
+          (fun l -> Renaming.Level_array.create l ~k:2)
+          ~pids:[| 1; 4 |] ~cycles:2;
+    };
+    {
+      name = "compact";
+      correct = true;
+      nprocs = 3;
+      tags = proto_tags;
+      max_access = 32;
+      sched_per_plan = 4;
+      builder =
+        proto_config
+          (module Renaming.Compact_split)
+          (fun l -> Renaming.Compact_split.create l ~k:3)
+          ~pids:[| 1; 2; 3 |] ~cycles:2;
+    };
+    {
       name = "mutant:mutex-read-before-write";
       correct = false;
       nprocs = 2;
@@ -326,6 +352,32 @@ let targets () =
           (module Mut.Mutant_ma)
           (fun l -> Mut.Mutant_ma.create l Mut.Mutant_ma.No_recheck ~k:2 ~s:3)
           ~pids:[| 0; 2 |] ~cycles:2;
+    };
+    {
+      name = "mutant:level-torn-claim";
+      correct = false;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 12;
+      sched_per_plan = 8;
+      builder =
+        proto_config
+          (module Mut.Mutant_level)
+          (fun l -> Mut.Mutant_level.create l Mut.Mutant_level.Torn_claim ~k:2)
+          ~pids:[| 1; 4 |] ~cycles:2;
+    };
+    {
+      name = "mutant:compact-no-interference";
+      correct = false;
+      nprocs = 2;
+      tags = proto_tags;
+      max_access = 12;
+      sched_per_plan = 8;
+      builder =
+        proto_config
+          (module Mut.Mutant_compact)
+          (fun l -> Mut.Mutant_compact.create l ~k:2)
+          ~pids:[| 1; 4 |] ~cycles:2;
     };
     {
       name = "mutant:ma-costly";
@@ -577,6 +629,8 @@ let crash_targets () =
   let split_make l = Renaming.Split.create l ~k:3 in
   let ma_make l = Renaming.Ma.create l ~k:2 ~s:4 in
   let pipeline_make l = Renaming.Pipeline.create l ~k:2 ~s:16 ~participants:[| 3; 11 |] in
+  let level_make l = Renaming.Level_array.create l ~k:2 in
+  let compact_make l = Renaming.Compact_split.create l ~k:3 in
   List.concat
     [
       family "split"
@@ -584,6 +638,20 @@ let crash_targets () =
         (recovered_crash_config
            (module Renaming.Split)
            split_make ~pids:[| 1; 2; 3 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:3;
+      family "level"
+        (bare_crash_config (module Renaming.Level_array) level_make ~pids:[| 1; 4 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Level_array)
+           level_make ~pids:[| 1; 4 |] ~cycles:2 ~lease_ttl:4)
+        ~nprocs:2;
+      family "compact"
+        (bare_crash_config
+           (module Renaming.Compact_split)
+           compact_make ~pids:[| 1; 2; 3 |] ~cycles:2)
+        (recovered_crash_config
+           (module Renaming.Compact_split)
+           compact_make ~pids:[| 1; 2; 3 |] ~cycles:2 ~lease_ttl:4)
         ~nprocs:3;
       family "ma"
         (bare_crash_config (module Renaming.Ma) ma_make ~pids:[| 0; 2 |] ~cycles:2)

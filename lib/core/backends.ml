@@ -1,0 +1,89 @@
+type spec = {
+  name : string;
+  summary : string;
+  recoverable : bool;
+  read_write_only : bool;
+  fixed_participants : bool;
+  build :
+    Shared_mem.Layout.t -> k:int -> s:int -> participants:int array -> Protocol.Any.t;
+}
+
+let default_pids ~k ~s =
+  if s < k then invalid_arg "Backends.default_pids: s < k";
+  let stride = max 1 (s / k) in
+  Array.init k (fun i -> (i * stride) mod s)
+
+let all () =
+  [
+    {
+      name = "split";
+      summary = "SPLIT ternary splitter tree: 3^(k-1) names in O(k) (Thm 2)";
+      recoverable = true;
+      read_write_only = true;
+      fixed_participants = false;
+      build = (fun layout ~k ~s:_ ~participants:_ ->
+          Protocol.Any.pack (module Split) (Split.create layout ~k));
+    };
+    {
+      name = "compact";
+      summary = "compact splitter cascade: 2^k - 1 names from 2^k - k - 1 cells";
+      recoverable = true;
+      read_write_only = true;
+      fixed_participants = false;
+      build = (fun layout ~k ~s:_ ~participants:_ ->
+          Protocol.Any.pack (module Compact_split) (Compact_split.create layout ~k));
+    };
+    {
+      name = "level";
+      summary = "LevelArray bit-array cascade: < 4k names, O(contention) probes";
+      recoverable = true;
+      read_write_only = false;
+      fixed_participants = false;
+      build = (fun layout ~k ~s:_ ~participants:_ ->
+          Protocol.Any.pack (module Level_array) (Level_array.create layout ~k));
+    };
+    {
+      name = "filter";
+      summary = "FILTER fast-path over mutual-exclusion tournament trees (Thm 10)";
+      recoverable = true;
+      read_write_only = true;
+      fixed_participants = true;
+      build = (fun layout ~k ~s ~participants ->
+          let (p : Params.filter_params) = Params.choose ~k ~s in
+          Protocol.Any.pack
+            (module Filter)
+            (Filter.create layout { k; d = p.d; z = p.z; s; participants }));
+    };
+    {
+      name = "ma";
+      summary = "Moir-Anderson grid baseline: k(k+1)/2 names in Theta(kS)";
+      recoverable = true;
+      read_write_only = true;
+      fixed_participants = false;
+      build = (fun layout ~k ~s ~participants:_ ->
+          Protocol.Any.pack (module Ma) (Ma.create layout ~k ~s));
+    };
+    {
+      name = "tas";
+      summary = "test&set baseline: k names with a stronger primitive";
+      recoverable = true;
+      read_write_only = false;
+      fixed_participants = false;
+      build = (fun layout ~k ~s:_ ~participants:_ ->
+          Protocol.Any.pack (module Tas_baseline) (Tas_baseline.create layout ~k));
+    };
+    {
+      name = "pipeline";
+      summary = "Theorem 11 pipeline: any S down to k(k+1)/2 names";
+      recoverable = true;
+      read_write_only = true;
+      fixed_participants = true;
+      build = (fun layout ~k ~s ~participants ->
+          Protocol.Any.pack
+            (module Pipeline)
+            (Pipeline.create layout ~k ~s ~participants));
+    };
+  ]
+
+let names () = List.map (fun b -> b.name) (all ())
+let find name = List.find_opt (fun b -> b.name = name) (all ())

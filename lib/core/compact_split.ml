@@ -1,0 +1,125 @@
+module type CELL = sig
+  type t
+  type token
+
+  val create : ?loc:Obs.Loc.t -> Shared_mem.Layout.t -> t
+  val enter : t -> Shared_mem.Store.ops -> token
+  val direction : token -> int
+  val release : t -> Shared_mem.Store.ops -> token -> unit
+  val reset : (t -> Shared_mem.Store.ops -> token -> unit) option
+end
+
+module Make (C : CELL) = struct
+  (* One stage per concurrency bound b = k, k-1, …, 2: a binary tree of
+     cells over the two *side* output sets only (children of heap index
+     [i] are [2i+1] for -1 and [2i+2] for +1), depths 0..b-2, with
+     2^(b-1) side leaves.  The middle output set of *every* cell of a
+     stage routes to the next stage's root; the cascade ends in a
+     single bound-1 backstop name.
+
+     Soundness: a side set of a cell with at most b concurrent users
+     holds at most max(1, b-1) processes (Theorem 5), so depth h of the
+     bound-b stage is used by at most b-h processes and the side leaves
+     by at most one — exactly the SPLIT argument, minus the middle
+     subtrees.  The shared overflow is bounded because a middle exit
+     needs a *live interferer*: a process only joins output set 0 after
+     reading a LAST value some other process wrote after its own write,
+     and a solo process never does (Lemma 4).  So while all but one of
+     the b processes using a stage sit in later stages, the remaining
+     process runs the stage alone and always side-exits; the next stage
+     therefore never sees more than b-1 concurrent users.  Both new
+     facts — the per-stage bound and end-to-end uniqueness — are
+     model-checked exhaustively at small sizes and hammered by the
+     fault campaign rather than trusted on paper. *)
+  type stage = {
+    bound : int; (* >= 2 *)
+    cells : C.t array;
+    base : int; (* first side-leaf name of this stage *)
+  }
+
+  type t = { k : int; stages : stage array; backstop : int }
+  type lease = { name : int; path : (C.t * C.token) list (* deepest first *) }
+
+  let create ?(stage = 0) layout ~k =
+    if k < 1 then invalid_arg "Compact_split.create: k must be >= 1";
+    if k > 12 then invalid_arg "Compact_split.create: k > 12 needs a 2^k-cell cascade";
+    let node = ref 0 in
+    let base = ref 0 in
+    let stages =
+      Array.init (max 0 (k - 1)) (fun j ->
+          let bound = k - j in
+          let cells =
+            Array.init
+              ((1 lsl (bound - 1)) - 1)
+              (fun _ ->
+                let i = !node in
+                incr node;
+                C.create ~loc:(Obs.Loc.Splitter { stage; node = i }) layout)
+          in
+          let st = { bound; cells; base = !base } in
+          base := !base + (1 lsl (bound - 1));
+          st)
+    in
+    { k; stages; backstop = !base }
+
+  let k t = t.k
+  let name_space t = (1 lsl t.k) - 1
+
+  let cells t =
+    Array.fold_left (fun acc st -> acc + Array.length st.cells) 0 t.stages
+
+  let get_name t ops =
+    let path = ref [] in
+    let rec stage j =
+      if j >= Array.length t.stages then { name = t.backstop; path = !path }
+      else begin
+        let st = t.stages.(j) in
+        let depth = st.bound - 1 in
+        let rec descend h idx offset weight =
+          let cell = st.cells.(idx) in
+          let tok = C.enter cell ops in
+          path := (cell, tok) :: !path;
+          match C.direction tok with
+          | 0 -> stage (j + 1)
+          | d ->
+              let bit = (1 + d) / 2 in
+              let offset = offset + (bit * weight) in
+              if h = depth - 1 then { name = st.base + offset; path = !path }
+              else descend (h + 1) ((2 * idx) + 1 + bit) offset (weight * 2)
+        in
+        descend 0 0 0 1
+      end
+    in
+    stage 0
+
+  let name_of _ lease = lease.name
+
+  (* deepest cell first: Using(child stage) must end before
+     Inside(parent stage), exactly as in [Split.release_name] *)
+  let release_name _ ops lease =
+    List.iter (fun (cell, tok) -> C.release cell ops tok) lease.path
+
+  let reset_footprint =
+    match C.reset with
+    | Some reset ->
+        Some
+          (fun _ ops (lease : lease) ->
+            List.iter (fun (cell, tok) -> reset cell ops tok) lease.path)
+    | None -> None
+
+  let path_string _ lease =
+    Array.of_list (List.rev_map (fun (_, tok) -> C.direction tok) lease.path)
+end
+
+module Splitter_cell = struct
+  type t = Splitter.t
+  type token = Splitter.token
+
+  let create = Splitter.create
+  let enter = Splitter.enter
+  let direction = Splitter.direction
+  let release = Splitter.release
+  let reset = Some Splitter.reset
+end
+
+include Make (Splitter_cell)

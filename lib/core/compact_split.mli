@@ -1,0 +1,73 @@
+(** A compact splitter network: renaming to [2^k - 1] names with
+    [2^k - k - 1] splitters, in the direction of Aspnes, {e Slightly
+    smaller splitter networks} — fewer cells than {!Split}'s ternary
+    tree ([3^(k-1)] names, [(3^(k-1) - 1)/2] splitters) by sharing the
+    overflow structure instead of duplicating it per node.
+
+    Wiring: one {e stage} per concurrency bound [b = k, k-1, …, 2],
+    each a binary tree over the two side output sets only, with
+    [2^(b-1)] side-leaf names; the middle output set of {e every} cell
+    of a stage routes to the next stage's root, and the cascade ends in
+    a single bound-1 backstop name.  A middle exit requires a live
+    interferer (a solo process never joins output set 0), so a stage
+    never passes more than [b - 1] concurrent processes down — the
+    claim the model checker closes exhaustively at small sizes.
+
+    The trade: fewer cells and names, identical solo path ([k - 1]
+    splitter visits, ≤ [7(k-1)] accesses), but a contended acquire can
+    re-descend each stage for up to [7k(k-1)/2] accesses worst-case —
+    measured against the other backends in the [shootout] bench. *)
+
+(** The cell interface the wiring needs — {!Splitter} satisfies it;
+    [Mutations] instantiates it with broken cells. *)
+module type CELL = sig
+  type t
+  type token
+
+  val create : ?loc:Obs.Loc.t -> Shared_mem.Layout.t -> t
+  val enter : t -> Shared_mem.Store.ops -> token
+  val direction : token -> int
+  val release : t -> Shared_mem.Store.ops -> token -> unit
+  val reset : (t -> Shared_mem.Store.ops -> token -> unit) option
+end
+
+module Make (C : CELL) : sig
+  type t
+  type lease
+
+  val create : ?stage:int -> Shared_mem.Layout.t -> k:int -> t
+  val k : t -> int
+  val name_space : t -> int
+  val cells : t -> int
+  val get_name : t -> Shared_mem.Store.ops -> lease
+  val name_of : t -> lease -> int
+  val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+  val reset_footprint : (t -> Shared_mem.Store.ops -> lease -> unit) option
+  val path_string : t -> lease -> int array
+end
+
+type t
+type lease
+
+val create : ?stage:int -> Shared_mem.Layout.t -> k:int -> t
+(** Cascade for at most [k] concurrent processes; each cell is
+    labelled [Obs.Loc.Splitter {stage; node}] with a cascade-wide node
+    index (default [stage = 0]).
+    @raise Invalid_argument if [k < 1] or [k > 12]. *)
+
+val k : t -> int
+
+val name_space : t -> int
+(** [2^k - 1]. *)
+
+val cells : t -> int
+(** Splitter count, [2^k - k - 1]. *)
+
+val get_name : t -> Shared_mem.Store.ops -> lease
+val name_of : t -> lease -> int
+val release_name : t -> Shared_mem.Store.ops -> lease -> unit
+val reset_footprint : (t -> Shared_mem.Store.ops -> lease -> unit) option
+
+val path_string : t -> lease -> int array
+(** Directions taken, in entry order (crosses stage boundaries at
+    every [0]). *)

@@ -118,6 +118,54 @@ module Mutant_costly = struct
   let reset_footprint = None
 end
 
+module Mutant_level = struct
+  type variant = Torn_claim
+
+  type t = { k : int; bits : Cell.t array }
+  type lease = { name : int }
+
+  let create layout Torn_claim ~k =
+    if k < 1 then invalid_arg "Mutant_level.create: k must be >= 1";
+    { k; bits = Layout.alloc_array layout ~name:"MLVL" k 0 }
+
+  let name_space t = t.k
+
+  (* the probe/claim discipline with the claim torn into a read and a
+     write: two probers can both see slot 0 free and both claim it *)
+  let get_name t (ops : Store.ops) =
+    let rec probe j =
+      let s = j mod t.k in
+      if ops.read t.bits.(s) = 0 then begin
+        ops.write t.bits.(s) 1;
+        { name = s }
+      end
+      else probe (j + 1)
+    in
+    probe 0
+
+  let name_of _ lease = lease.name
+  let release_name t (ops : Store.ops) lease = ops.write t.bits.(lease.name) 0
+  let reset_footprint = None
+end
+
+module Mutant_compact = struct
+  (* the compact cascade wiring over interference-blind cells: lockstep
+     entrants read the same advice, take the same side at every level
+     and land on the same leaf *)
+  module Cell = struct
+    type t = Mutant_splitter.t
+    type token = Mutant_splitter.token
+
+    let create ?loc:_ layout = Mutant_splitter.create layout No_interference_check
+    let enter = Mutant_splitter.enter
+    let direction = Mutant_splitter.direction
+    let release = Mutant_splitter.release
+    let reset = None
+  end
+
+  include Compact_split.Make (Cell)
+end
+
 module Mutant_ma = struct
   type variant = No_recheck
 

@@ -74,6 +74,30 @@ module Mutant_costly : sig
   include Protocol.S with type t := t
 end
 
+(** Faulty LevelArray, drop-in shaped like {!Level_array} (single
+    level): the claim is torn into a read and a write instead of
+    test&set, so two probers can both take slot 0. *)
+module Mutant_level : sig
+  type t
+
+  type variant = Torn_claim
+
+  val create : Shared_mem.Layout.t -> variant -> k:int -> t
+
+  include Protocol.S with type t := t
+end
+
+(** The compact splitter cascade wired over interference-blind cells
+    (the [No_interference_check] splitter): lockstep entrants follow
+    the same advice to the same leaf. *)
+module Mutant_compact : sig
+  type t
+
+  val create : ?stage:int -> Shared_mem.Layout.t -> k:int -> t
+
+  include Protocol.S with type t := t
+end
+
 (** Faulty MA grid, drop-in shaped like {!Ma}. *)
 module Mutant_ma : sig
   type t

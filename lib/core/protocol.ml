@@ -37,6 +37,9 @@ module Any = struct
         match P.reset_footprint with
         | Some reset -> reset inst ops l
         | None -> invalid_arg "Protocol.Any.reset_footprint: protocol has no recovery path")
+
+  let reset_available (Packed ((module P), _)) =
+    match P.reset_footprint with Some _ -> true | None -> false
 end
 
 module Chain (A : S) (B : S) = struct
@@ -76,7 +79,21 @@ end
 
 module Chain_any = Chain (Any) (Any)
 
-let chain_any a b = Any.pack (module Chain_any) (Chain_any.make a b)
+(* Same wiring, no recovery hook: the dynamic analogue of the static
+   [Chain]'s [| _ -> None].  Packing this (rather than [Chain_any],
+   whose [reset_footprint] is unconditionally [Some] and raises at
+   reclaim time) makes [Any.reset_available] answer honestly for
+   chains with an unrecoverable stage. *)
+module Chain_any_norecover = struct
+  include Chain_any
+
+  let reset_footprint = None
+end
+
+let chain_any a b =
+  if Any.reset_available a && Any.reset_available b then
+    Any.pack (module Chain_any) (Chain_any.make a b)
+  else Any.pack (module Chain_any_norecover) (Chain_any.make a b)
 
 let chain_all = function
   | [] -> invalid_arg "Protocol.chain_all: empty pipeline"

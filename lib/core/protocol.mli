@@ -54,6 +54,12 @@ module Any : sig
 
   val pack : (module S with type t = 'a) -> 'a -> t
   val of_packed : packed -> t
+
+  val reset_available : t -> bool
+  (** Whether the packed protocol has a recovery path.  [Any]'s own
+      [reset_footprint] is statically [Some] (the packed module decides
+      at run time, raising [Invalid_argument] when it has none); check
+      this before building a reclaimer over a dynamic value. *)
 end
 
 (** [Chain (A) (B)] runs [B] on top of [A]: a process first acquires an
@@ -72,7 +78,10 @@ module Chain (A : S) (B : S) : sig
 end
 
 val chain_any : Any.t -> Any.t -> Any.t
-(** {!Chain} at the dynamic level. *)
+(** {!Chain} at the dynamic level.  Like the static functor, the
+    chain's recovery hook exists only when {e both} stages have one:
+    if either stage lacks it, the result answers [false] to
+    {!Any.reset_available} instead of raising mid-reclaim. *)
 
 val chain_all : Any.t list -> Any.t
 (** Left-nested chain of one or more stages.

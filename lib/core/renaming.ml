@@ -48,11 +48,20 @@ module One_time = One_time
 (** Test&Set baseline: [k] names with a stronger primitive (§1). *)
 module Tas_baseline = Tas_baseline
 
+(** LevelArray bit-array cascade (Alistarh et al., ICDCS 2014). *)
+module Level_array = Level_array
+
+(** Compact splitter cascade (after Aspnes's smaller networks). *)
+module Compact_split = Compact_split
+
 (** FILTER parameter selection (§4.1, §4.4) and pipeline planning. *)
 module Params = Params
 
 (** The Theorem 11 pipeline: any [S] → [k(k+1)/2] in [O(k^3)]. *)
 module Pipeline = Pipeline
+
+(** The backend registry: every protocol, uniformly buildable. *)
+module Backends = Backends
 
 (** Deliberately faulty variants — mutation tests for the checkers. *)
 module Mutations = Mutations

@@ -1,0 +1,140 @@
+(* Adaptivity of the LevelArray backend as a property: over generated
+   workloads whose live set grows and shrinks (staggered arrivals,
+   random holds and idle gaps, early leavers), every acquisition's name
+   AND shared-access cost are bounded by functions of the contention
+   [m] alone — never of the capacity [k] the instance was created for.
+   The same workload is also replayed against k = 16 and k = 48 under
+   the same seed and must produce the {e identical} acquisition trace:
+   capacity must be invisible to any run that never exhausts it.
+
+   Bound sketch (see level_array.mli): a prober leaves level [i]
+   (capacity [c_i = 2^(i+1)]) only after burning a failure budget of
+   [c_i / 2], and every failed probe is chargeable to a concurrently
+   live process, so with [m] live processes it settles by the first
+   level whose budget can absorb them.  Names below that level sum to
+   [c_i - 2 < 8m], the level itself holds [< 8m] more; each failure
+   costs at most 2 shared accesses (read + lost test&set) and the claim
+   costs 2.  We assert [name < 10m] and [cost <= 12m + 4] — slack over
+   the analytic constants, still flat in [m] and independent of [k] —
+   and let the generator hunt for counterexamples. *)
+
+open Shared_mem
+module La = Renaming.Level_array
+
+type acq = { proc : int; cycle : int; name : int; cost : int }
+
+(* Run [m] processes with staggered arrivals/departures against a
+   LevelArray of capacity [kcap]; returns the acquisition trace (in
+   per-process program order) plus the run outcome. *)
+let run_trace ~kcap ~m ~cycles ~seed =
+  let layout = Layout.create () in
+  let la = La.create layout ~k:kcap in
+  let work = Layout.alloc layout ~name:"work" 0 in
+  let trace = ref [] in
+  let body i (ops : Store.ops) =
+    let rng = Sim.Rng.make (seed + (i * 7919)) in
+    (* staggered arrival: the live set grows as processes join … *)
+    for _ = 1 to i * (1 + Sim.Rng.int rng 3) do
+      ignore (ops.read work)
+    done;
+    (* … and shrinks as the early arrivals run out of cycles *)
+    let my_cycles = max 1 (cycles - (i / 2)) in
+    for c = 1 to my_cycles do
+      let lease = La.get_name la ops in
+      trace :=
+        { proc = i; cycle = c; name = La.name_of la lease; cost = La.accesses lease }
+        :: !trace;
+      Sim.Sched.emit (Sim.Event.Acquired (La.name_of la lease));
+      for _ = 0 to Sim.Rng.int rng 4 do
+        ignore (ops.read work)
+      done;
+      Sim.Sched.emit (Sim.Event.Released (La.name_of la lease));
+      La.release_name la ops lease;
+      for _ = 1 to Sim.Rng.int rng 6 do
+        ignore (ops.read work)
+      done
+    done
+  in
+  let procs = Array.init m (fun i -> (i, body i)) in
+  let u = Sim.Checks.uniqueness ~name_space:(La.name_space la) () in
+  let t = Sim.Sched.create ~monitor:(Sim.Checks.uniqueness_monitor u) layout procs in
+  let outcome = Sim.Sched.run ~max_steps:500_000 t (Sim.Sched.random (Sim.Rng.make seed)) in
+  (outcome, List.rev !trace)
+
+let name_bound m = 10 * m
+let cost_bound m = (12 * m) + 4
+
+let gen_workload =
+  QCheck2.Gen.(
+    triple (int_range 1 6) (int_range 1 4) (int_bound 10_000_000)
+    |> map (fun (m, cycles, seed) -> (m, cycles, seed)))
+
+let print_workload (m, cycles, seed) =
+  Printf.sprintf "{m=%d; cycles=%d; seed=%d}" m cycles seed
+
+let check_bounds ~kcap (m, cycles, seed) =
+  let outcome, trace = run_trace ~kcap ~m ~cycles ~seed in
+  if outcome.Sim.Sched.truncated then
+    QCheck2.Test.fail_reportf "k=%d m=%d seed=%d: run truncated" kcap m seed;
+  if not (Array.for_all Fun.id outcome.Sim.Sched.completed) then
+    QCheck2.Test.fail_reportf "k=%d m=%d seed=%d: a process never finished" kcap m seed;
+  List.iter
+    (fun a ->
+      if a.name >= name_bound m then
+        QCheck2.Test.fail_reportf
+          "k=%d m=%d seed=%d: p%d cycle %d got name %d >= %d — cost grew with \
+           capacity, not contention"
+          kcap m seed a.proc a.cycle a.name (name_bound m);
+      if a.cost > cost_bound m then
+        QCheck2.Test.fail_reportf
+          "k=%d m=%d seed=%d: p%d cycle %d spent %d accesses > %d" kcap m seed a.proc
+          a.cycle a.cost (cost_bound m))
+    trace;
+  trace
+
+let prop_contention_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:250
+       ~name:"names and accesses bounded by contention m, any capacity"
+       ~print:print_workload gen_workload
+       (fun w ->
+         ignore (check_bounds ~kcap:16 w);
+         ignore (check_bounds ~kcap:48 w);
+         true))
+
+let prop_capacity_invisible =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:250
+       ~name:"k=16 and k=48 produce the identical acquisition trace"
+       ~print:print_workload gen_workload
+       (fun w ->
+         let t16 = check_bounds ~kcap:16 w in
+         let t48 = check_bounds ~kcap:48 w in
+         if t16 <> t48 then
+           QCheck2.Test.fail_reportf
+             "%s: traces diverge (%d vs %d acquisitions) — capacity leaked into \
+              behaviour"
+             (print_workload w) (List.length t16) (List.length t48);
+         true))
+
+(* The sharp solo case: with zero contention every acquisition is slot
+   0 of level 0 at exactly 2 shared accesses (one read, one test&set),
+   whatever the capacity. *)
+let prop_solo_constant =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"solo acquisitions cost exactly 2, name 0"
+       QCheck2.Gen.(pair (int_range 1 8) (int_bound 1_000_000))
+       (fun (cycles, seed) ->
+         List.for_all
+           (fun kcap ->
+             let _, trace = run_trace ~kcap ~m:1 ~cycles ~seed in
+             List.length trace = cycles
+             && List.for_all (fun a -> a.name = 0 && a.cost = 2) trace)
+           [ 2; 16; 48 ]))
+
+let () =
+  Alcotest.run "prop_level_adaptive"
+    [
+      ( "adaptivity",
+        [ prop_contention_bounded; prop_capacity_invisible; prop_solo_constant ] );
+    ]

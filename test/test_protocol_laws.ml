@@ -1,6 +1,8 @@
 (* Uniform laws every long-lived renaming protocol must satisfy,
-   checked through the dynamic Protocol.Any interface so the same
-   test body covers split, filter, ma, tas and the pipeline. *)
+   checked through the dynamic Protocol.Any interface.  The subjects
+   are enumerated from the backend registry (Renaming.Backends), so a
+   backend registered there is under every law the day it lands —
+   unknown names get default sizes rather than being skipped. *)
 
 open Shared_mem
 module P = Renaming.Protocol
@@ -9,34 +11,38 @@ type subject = {
   label : string;
   build : unit -> Layout.t * P.Any.t * int array; (* layout, protocol, legal pids *)
   k : int;
+  recoverable : bool;
 }
 
-let subjects =
+(* Per-backend sizes: (k, s).  Backends not listed here are still
+   tested, at the default size. *)
+let sizes = [ ("filter", (3, 25)); ("ma", (3, 30)); ("pipeline", (3, 50_000)) ]
+let default_size = (4, 100)
+
+let registry_subjects =
+  List.map
+    (fun (b : Renaming.Backends.spec) ->
+      let k, s = Option.value ~default:default_size (List.assoc_opt b.name sizes) in
+      {
+        label = Printf.sprintf "%s k=%d s=%d" b.name k s;
+        k;
+        recoverable = b.recoverable;
+        build =
+          (fun () ->
+            let layout = Layout.create () in
+            let pids = Renaming.Backends.default_pids ~k ~s in
+            (layout, b.build layout ~k ~s ~participants:pids, pids));
+      })
+    (Renaming.Backends.all ())
+
+(* Registry coverage that would otherwise be lost: the tight-z FILTER
+   variant exercises a different fast-path shape. *)
+let extra_subjects =
   [
-    {
-      label = "split k=4";
-      k = 4;
-      build =
-        (fun () ->
-          let layout = Layout.create () in
-          let sp = Renaming.Split.create layout ~k:4 in
-          (layout, P.Any.pack (module Renaming.Split) sp, Array.init 4 (fun i -> (i * 7919) + 1)));
-    };
-    {
-      label = "filter k=3 d=1 z=5 s=25";
-      k = 3;
-      build =
-        (fun () ->
-          let layout = Layout.create () in
-          let participants = [| 3; 11; 19 |] in
-          let f =
-            Renaming.Filter.create layout { k = 3; d = 1; z = 5; s = 25; participants }
-          in
-          (layout, P.Any.pack (module Renaming.Filter) f, participants));
-    };
     {
       label = "filter tight-z k=3 d=2 z=5 s=25";
       k = 3;
+      recoverable = true;
       build =
         (fun () ->
           let layout = Layout.create () in
@@ -47,35 +53,26 @@ let subjects =
           in
           (layout, P.Any.pack (module Renaming.Filter) f, participants));
     };
-    {
-      label = "ma k=3 s=30";
-      k = 3;
-      build =
-        (fun () ->
-          let layout = Layout.create () in
-          let m = Renaming.Ma.create layout ~k:3 ~s:30 in
-          (layout, P.Any.pack (module Renaming.Ma) m, [| 2; 15; 28 |]));
-    };
-    {
-      label = "tas k=4";
-      k = 4;
-      build =
-        (fun () ->
-          let layout = Layout.create () in
-          let t = Renaming.Tas_baseline.create layout ~k:4 in
-          (layout, P.Any.pack (module Renaming.Tas_baseline) t, [| 0; 7; 13; 21 |]));
-    };
-    {
-      label = "pipeline k=3 s=50000";
-      k = 3;
-      build =
-        (fun () ->
-          let layout = Layout.create () in
-          let pids = [| 17; 25_000; 49_999 |] in
-          let p = Renaming.Pipeline.create layout ~k:3 ~s:50_000 ~participants:pids in
-          (layout, P.Any.pack (module Renaming.Pipeline) p, pids));
-    };
   ]
+
+let subjects = registry_subjects @ extra_subjects
+
+(* Wrap ops in a hard access budget so a protocol that spins on a
+   leaked name fails the test instead of hanging it. *)
+let bounded ~limit (ops : Store.ops) =
+  let n = ref 0 in
+  let tick () =
+    incr n;
+    if !n > limit then Alcotest.failf "access budget %d exceeded (leaked name?)" limit
+  in
+  {
+    ops with
+    read = (fun c -> tick (); ops.read c);
+    write = (fun c v -> tick (); ops.write c v);
+    rmw = (fun c f -> tick (); ops.rmw c f);
+  }
+
+let budget = 100_000
 
 (* Law 1+2: sequential acquire/release cycles always give in-range
    names and the protocol stays usable (long-lived). *)
@@ -86,7 +83,7 @@ let law_sequential_reuse s =
   for round = 1 to 4 do
     Array.iter
       (fun pid ->
-        let ops = Store.seq_ops mem ~pid in
+        let ops = bounded ~limit:budget (Store.seq_ops mem ~pid) in
         let lease = P.Any.get_name proto ops in
         let name = P.Any.name_of proto lease in
         Alcotest.(check bool)
@@ -98,23 +95,64 @@ let law_sequential_reuse s =
   done
 
 (* Law 3: k processes holding simultaneously (no release in between)
-   get k distinct names, sequentially. *)
+   get k distinct names within the declared name space. *)
 let law_simultaneous_distinct s =
   let layout, proto, pids = s.build () in
   let mem = Store.seq_create layout in
+  let d = P.Any.name_space proto in
   let leases =
     Array.map
       (fun pid ->
-        let ops = Store.seq_ops mem ~pid in
+        let ops = bounded ~limit:budget (Store.seq_ops mem ~pid) in
         (ops, P.Any.get_name proto ops))
       pids
   in
   let names = Array.map (fun (_, l) -> P.Any.name_of proto l) leases in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: simultaneous name %d within [0,%d)" s.label n d)
+        true (n >= 0 && n < d))
+    names;
   let sorted = List.sort_uniq compare (Array.to_list names) in
   Alcotest.(check int) (s.label ^ ": simultaneous names distinct") s.k (List.length sorted);
   Array.iter (fun (ops, l) -> P.Any.release_name proto ops l) leases
 
-(* Law 4: uniqueness under concurrent random workloads. *)
+(* Law 4: a released name really is back in the pool whatever order
+   the holders let go in — full capacity is re-acquirable after both a
+   LIFO and a FIFO release of all k names. *)
+let law_release_order s =
+  let layout, proto, pids = s.build () in
+  let mem = Store.seq_create layout in
+  let acquire_all () =
+    Array.map
+      (fun pid ->
+        let ops = bounded ~limit:budget (Store.seq_ops mem ~pid) in
+        (ops, P.Any.get_name proto ops))
+      pids
+  in
+  let distinct leases =
+    let names = Array.map (fun (_, l) -> P.Any.name_of proto l) leases in
+    List.length (List.sort_uniq compare (Array.to_list names))
+  in
+  let release_in order leases =
+    List.iter (fun i -> let ops, l = leases.(i) in P.Any.release_name proto ops l) order
+  in
+  let n = Array.length pids in
+  let fifo = List.init n Fun.id in
+  let lifo = List.rev fifo in
+  List.iter
+    (fun order ->
+      let leases = acquire_all () in
+      Alcotest.(check int) (s.label ^ ": distinct before release") s.k (distinct leases);
+      release_in order leases)
+    [ lifo; fifo ];
+  (* pool is whole again *)
+  let leases = acquire_all () in
+  Alcotest.(check int) (s.label ^ ": distinct after mixed releases") s.k (distinct leases);
+  release_in (List.rev (List.init n Fun.id)) leases
+
+(* Law 5: uniqueness under concurrent random workloads. *)
 let law_concurrent_uniqueness s =
   let _, proto0, _ = s.build () in
   let d = P.Any.name_space proto0 in
@@ -138,7 +176,7 @@ let law_concurrent_uniqueness s =
         (Sim.Checks.max_concurrent u <= s.k))
     (Test_util.seeds 15)
 
-(* Law 5: determinism — identical seeds give identical access totals. *)
+(* Law 6: determinism — identical seeds give identical access totals. *)
 let law_deterministic s =
   let run seed =
     let layout, proto, pids = s.build () in
@@ -156,13 +194,193 @@ let law_deterministic s =
       Alcotest.(check int) (s.label ^ ": deterministic replay") (run seed) (run seed))
     (Test_util.seeds 5)
 
+(* Law 7: chainability (§4.4) — the protocol's destination names work
+   as source names for a further stage, and the chain still hands out
+   k distinct names. *)
+let law_chainable s =
+  let layout, proto, pids = s.build () in
+  let tas = Renaming.Tas_baseline.create layout ~k:s.k in
+  let chain = P.chain_any proto (P.Any.pack (module Renaming.Tas_baseline) tas) in
+  Alcotest.(check int) (s.label ^ ": chain name space") s.k (P.Any.name_space chain);
+  Alcotest.(check bool)
+    (s.label ^ ": chain recovery availability")
+    s.recoverable
+    (P.Any.reset_available chain);
+  let mem = Store.seq_create layout in
+  let leases =
+    Array.map
+      (fun pid ->
+        let ops = bounded ~limit:budget (Store.seq_ops mem ~pid) in
+        (ops, P.Any.get_name chain ops))
+      pids
+  in
+  let names = Array.map (fun (_, l) -> P.Any.name_of chain l) leases in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (s.label ^ ": chain name in range")
+        true
+        (n >= 0 && n < s.k))
+    names;
+  Alcotest.(check int)
+    (s.label ^ ": chain names distinct")
+    s.k
+    (List.length (List.sort_uniq compare (Array.to_list names)));
+  Array.iter (fun (ops, l) -> P.Any.release_name chain ops l) leases
+
+(* Law 8: reclaim-after-crash — resetting a dead holder's footprint on
+   its behalf returns the name to service: afterwards all k processes
+   (corpse included) can hold simultaneously again.  Protocols without
+   a recovery hook must say so via reset_available. *)
+let law_reclaim_after_crash s =
+  let layout, proto, pids = s.build () in
+  Alcotest.(check bool)
+    (s.label ^ ": recovery availability")
+    s.recoverable (P.Any.reset_available proto);
+  if s.recoverable then begin
+    let mem = Store.seq_create layout in
+    let corpse = pids.(0) in
+    let corpse_ops = bounded ~limit:budget (Store.seq_ops mem ~pid:corpse) in
+    let dead_lease = P.Any.get_name proto corpse_ops in
+    (* the corpse takes no further step; a reclaimer resets its
+       footprint using the corpse's source name *)
+    (match P.Any.reset_footprint with
+    | Some reset -> reset proto corpse_ops dead_lease
+    | None -> Alcotest.fail (s.label ^ ": reset_available but no hook"));
+    let leases =
+      Array.map
+        (fun pid ->
+          let ops = bounded ~limit:budget (Store.seq_ops mem ~pid) in
+          (ops, P.Any.get_name proto ops))
+        pids
+    in
+    let names = Array.map (fun (_, l) -> P.Any.name_of proto l) leases in
+    Alcotest.(check int)
+      (s.label ^ ": full capacity after reclaim")
+      s.k
+      (List.length (List.sort_uniq compare (Array.to_list names)));
+    Array.iter (fun (ops, l) -> P.Any.release_name proto ops l) leases
+  end
+
 let cases law = List.map (fun s -> Alcotest.test_case s.label `Slow (fun () -> law s)) subjects
+
+(* ----- Chain composition regressions (release ordering, recovery
+   propagation) pinned with an instrumented probe protocol ----- *)
+
+module Probe_proto = struct
+  type t = { id : string; log : (string * int) list ref; space : int }
+  type lease = int
+
+  let make ~id ~log ~space = { id; log; space }
+  let name_space t = t.space
+
+  let get_name t (ops : Store.ops) =
+    t.log := (t.id ^ ".get", ops.pid) :: !(t.log);
+    ops.pid mod t.space
+
+  let name_of _ lease = lease
+
+  let release_name t (ops : Store.ops) _lease =
+    t.log := (t.id ^ ".release", ops.pid) :: !(t.log)
+
+  let reset_footprint =
+    Some (fun t (ops : Store.ops) _lease -> t.log := (t.id ^ ".reset", ops.pid) :: !(t.log))
+end
+
+module Probe_noreset = struct
+  include Probe_proto
+
+  let reset_footprint = None
+end
+
+module Probe_chain = P.Chain (Probe_proto) (Probe_proto)
+module Probe_chain_noreset = P.Chain (Probe_proto) (Probe_noreset)
+
+let dummy_ops ~pid =
+  let layout = Layout.create () in
+  let _ = Layout.alloc layout ~name:"pad" 0 in
+  Store.seq_ops (Store.seq_create layout) ~pid
+
+let chain_release_order () =
+  let log = ref [] in
+  (* A maps pid 13 to 13 mod 7 = 6; B then sees pid 6 *)
+  let a = Probe_proto.make ~id:"A" ~log ~space:7 in
+  let b = Probe_proto.make ~id:"B" ~log ~space:5 in
+  let c = Probe_chain.make a b in
+  let ops = dummy_ops ~pid:13 in
+  let lease = Probe_chain.get_name c ops in
+  Alcotest.(check int) "chain name is B's" (6 mod 5) (Probe_chain.name_of c lease);
+  Probe_chain.release_name c ops lease;
+  (match Probe_chain.reset_footprint with
+  | Some reset -> reset c ops lease
+  | None -> Alcotest.fail "Chain(A)(B) with two hooks must compose them");
+  Alcotest.(check (list (pair string int)))
+    "acquire outer-first, release/reset innermost-first, inner pid = A-name"
+    [
+      ("A.get", 13);
+      ("B.get", 6);
+      (* release: B first, still holding the A-name *)
+      ("B.release", 6);
+      ("A.release", 13);
+      (* reset composes the same way *)
+      ("B.reset", 6);
+      ("A.reset", 13);
+    ]
+    (List.rev !log)
+
+let chain_reset_none_static () =
+  (* pinned: a chain whose inner stage lacks a recovery hook has none
+     itself — Option.is_none, not a hook that raises *)
+  Alcotest.(check bool)
+    "static Chain propagates None" true
+    (Option.is_none Probe_chain_noreset.reset_footprint)
+
+let chain_reset_none_dynamic () =
+  let log = ref [] in
+  let with_reset () =
+    P.Any.pack (module Probe_proto) (Probe_proto.make ~id:"R" ~log ~space:7)
+  in
+  let without_reset () =
+    P.Any.pack (module Probe_noreset) (Probe_proto.make ~id:"N" ~log ~space:7)
+  in
+  Alcotest.(check bool)
+    "chain_any of two recoverable stages is recoverable" true
+    (P.Any.reset_available (P.chain_any (with_reset ()) (with_reset ())));
+  List.iter
+    (fun (label, chain) ->
+      Alcotest.(check bool) (label ^ " is not recoverable") false (P.Any.reset_available chain);
+      (* and the dynamic hook refuses rather than half-resetting *)
+      let ops = dummy_ops ~pid:3 in
+      let lease = P.Any.get_name chain ops in
+      match P.Any.reset_footprint with
+      | None -> Alcotest.fail "Any.reset_footprint is statically Some"
+      | Some reset ->
+          Alcotest.check_raises (label ^ " reset raises")
+            (Invalid_argument "Protocol.Any.reset_footprint: protocol has no recovery path")
+            (fun () -> reset chain ops lease))
+    [
+      ("chain_any inner-noreset", P.chain_any (with_reset ()) (without_reset ()));
+      ("chain_any outer-noreset", P.chain_any (without_reset ()) (with_reset ()));
+      ( "chain_all mixed",
+        P.chain_all [ with_reset (); without_reset (); with_reset () ] );
+    ]
+
+let chain_cases =
+  [
+    Alcotest.test_case "release ordering + inner pid" `Quick chain_release_order;
+    Alcotest.test_case "reset None propagation (static)" `Quick chain_reset_none_static;
+    Alcotest.test_case "reset None propagation (dynamic)" `Quick chain_reset_none_dynamic;
+  ]
 
 let () =
   Alcotest.run "protocol_laws"
     [
       ("sequential reuse", cases law_sequential_reuse);
       ("simultaneous holders distinct", cases law_simultaneous_distinct);
+      ("release order independence", cases law_release_order);
       ("concurrent uniqueness", cases law_concurrent_uniqueness);
       ("deterministic", cases law_deterministic);
+      ("chainable", cases law_chainable);
+      ("reclaim after crash", cases law_reclaim_after_crash);
+      ("chain composition", chain_cases);
     ]
