@@ -40,10 +40,17 @@
    names used, shared accesses, solo wall-clock and name-server
    warm-hit rate per backend — and writes BENCH_backends.json,
    failing on any uniqueness violation or truncated run.
+   The chaos bench ("chaos") runs the whole-server fault campaign
+   (crash holding leases, crash mid-drain, crash on the reclaimer
+   seat, parked drainer, hot-shard stall over a 32-seed matrix, 4
+   under --smoke) plus a clean run, writes BENCH_chaos.json, and
+   fails if any cell breaks its invariants, the clean warm path
+   touches shared memory, or matrix-minimum availability drops below
+   0.9x the recorded bench/chaos_baseline.json.
    The trend bench ("trend") runs obs + server gated plus the
-   shootout and appends one timestamped JSON line combining the
-   payloads to BENCH_history.jsonl, the cross-run log consumed by the
-   CLI's [observe diff]. *)
+   shootout and chaos (smoke quota) and appends one timestamped JSON
+   line combining the payloads to BENCH_history.jsonl, the cross-run
+   log consumed by the CLI's [observe diff]. *)
 
 open Shared_mem
 module Split = Renaming.Split
@@ -737,6 +744,95 @@ let run_server_bench ~smoke ~rebaseline () =
           (if ok then "OK" else "REGRESSED");
         ok
 
+(* ----- chaos: availability under the fault campaign ----- *)
+
+(* A clean (no-fault) run prices the resilience stack and records the
+   availability baseline; the seeded chaos matrix then gates that
+   availability holds to within 0.9x of it with every fault plan
+   firing.  The warm path must stay at zero shared accesses in the
+   clean run — resilience must not tax the fast path. *)
+let chaos_baseline_path = "bench/chaos_baseline.json"
+
+let run_chaos_bench ~smoke ~rebaseline () =
+  let seeds =
+    List.filteri (fun i _ -> i < if smoke then 4 else 32) Campaign.default_seeds
+  in
+  let requests = if smoke then 600 else 1500 in
+  Printf.printf "\n=== chaos campaign (%d seeds x %d faults, %d requests/client)%s ===\n"
+    (List.length seeds)
+    (List.length Campaign.chaos_faults)
+    requests
+    (if smoke then " [smoke]" else "");
+  let clean = Campaign.chaos_clean ~requests ~seed:(List.hd seeds) () in
+  let oc = clean.Churn.outcomes in
+  let clean_avail =
+    if oc.Churn.issued = 0 then 0.
+    else float_of_int oc.Churn.granted /. float_of_int oc.Churn.issued
+  in
+  let warm_p100 = clean.Churn.warm_accesses.Obs.Histogram.p100 in
+  Printf.printf "clean         : %.4f availability, warm p100=%d accesses\n"
+    clean_avail warm_p100;
+  let outcomes = Campaign.run_chaos ~seeds ~requests () in
+  let matrix_ok = Campaign.chaos_ok outcomes in
+  let avail =
+    List.fold_left
+      (fun m o -> Float.min m o.Campaign.co_availability)
+      clean_avail outcomes
+  in
+  let deaths =
+    List.fold_left (fun s o -> s + o.Campaign.co_deaths) 0 outcomes
+  in
+  let worst_reclaim =
+    List.fold_left (fun m o -> max m o.Campaign.co_reclaim_scans) 0 outcomes
+  in
+  List.iter
+    (fun o ->
+      if not o.Campaign.co_ok then
+        Printf.printf "cell FAILED   : seed=%#x fault=%s: %s\n" o.Campaign.co_seed
+          (Campaign.chaos_fault_name o.Campaign.co_fault)
+          o.Campaign.co_msg)
+    outcomes;
+  Printf.printf "matrix        : %d cells, %d deaths, worst reclaim %d scans -> %s\n"
+    (List.length outcomes) deaths worst_reclaim
+    (if matrix_ok then "OK" else "FAILED");
+  Printf.printf "availability  : %.4f (matrix minimum)\n" avail;
+  let json =
+    Printf.sprintf
+      "{\"id\":\"chaos\",\"smoke\":%b,\"seeds\":%d,\"requests_per_client\":%d,\"cells\":%d,\"matrix_ok\":%b,\"deaths\":%d,\"worst_reclaim_scans\":%d,\"clean_availability\":%.4f,\"warm_accesses_p100\":%d,\"chaos_availability\":%.4f}\n"
+      smoke (List.length seeds) requests (List.length outcomes) matrix_ok deaths
+      worst_reclaim clean_avail warm_p100 avail
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_chaos.json";
+  if warm_p100 <> 0 then begin
+    Printf.printf "warm path     : FAILED (%d shared accesses on a warm grant)\n"
+      warm_p100;
+    false
+  end
+  else if not matrix_ok then false
+  else if rebaseline then begin
+    let oc = open_out chaos_baseline_path in
+    Printf.fprintf oc "{\"id\":\"chaos_baseline\",\"availability\":%.4f}\n" avail;
+    close_out oc;
+    Printf.printf "recorded new baseline %.4f availability in %s\n" avail
+      chaos_baseline_path;
+    true
+  end
+  else
+    match read_baseline_key chaos_baseline_path "\"availability\":" with
+    | None ->
+        Printf.printf "no %s; skipping the regression gate\n" chaos_baseline_path;
+        true
+    | Some base ->
+        let floor = 0.9 *. base in
+        let ok = avail >= floor in
+        Printf.printf "baseline      : %8.4f availability (gate: >= %.4f) -> %s\n"
+          base floor
+          (if ok then "OK" else "REGRESSED");
+        ok
+
 (* ----- cross-backend shootout ----- *)
 
 (* Every registered backend (lib/core/backends.ml), one row each, over
@@ -973,26 +1069,34 @@ let run_trend_bench ~smoke ~rebaseline () =
      (worst accesses, warm-hit rate) are seed-deterministic counts and
      rates, not wall-clock, so the short quota does not blur them *)
   let backends_ok = run_backends_bench ~smoke:true () in
+  (* chaos likewise runs in smoke quota under trend: the tracked key
+     (matrix-minimum availability) is a rate over a seeded fault
+     matrix, not wall-clock, and four seeds bound the tail well enough
+     for the cross-run diff *)
+  let chaos_ok = run_chaos_bench ~smoke:true ~rebaseline () in
   let entry key path =
     match read_file path with
     | Some line when line <> "" -> Printf.sprintf "%S:%s" key line
     | Some _ | None -> Printf.sprintf "%S:null" key
   in
   let line =
-    Printf.sprintf "{\"ts\":%.0f,%s,%s,%s}\n" (Unix.time ())
+    Printf.sprintf "{\"ts\":%.0f,%s,%s,%s,%s}\n" (Unix.time ())
       (entry "obs" "BENCH_obs.json")
       (entry "server" "BENCH_server.json")
       (entry "backends" "BENCH_backends.json")
+      (entry "chaos" "BENCH_chaos.json")
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
   output_string oc line;
   close_out oc;
-  Printf.printf "\nappended trend entry to %s (obs %s, server %s, backends %s)\n"
+  Printf.printf
+    "\nappended trend entry to %s (obs %s, server %s, backends %s, chaos %s)\n"
     history_path
     (if obs_ok then "OK" else "FAILED")
     (if server_ok then "OK" else "FAILED")
-    (if backends_ok then "OK" else "FAILED");
-  obs_ok && server_ok && backends_ok
+    (if backends_ok then "OK" else "FAILED")
+    (if chaos_ok then "OK" else "FAILED");
+  obs_ok && server_ok && backends_ok && chaos_ok
 
 (* ----- driver ----- *)
 
@@ -1039,6 +1143,9 @@ let () =
       else if String.equal id "server" then begin
         if not (run_server_bench ~smoke ~rebaseline ()) then incr failures
       end
+      else if String.equal id "chaos" then begin
+        if not (run_chaos_bench ~smoke ~rebaseline ()) then incr failures
+      end
       else if String.equal id "shootout" then begin
         if not (run_backends_bench ~smoke ()) then incr failures
       end
@@ -1048,7 +1155,7 @@ let () =
       else
         match Experiments.find id with
         | None ->
-            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server, shootout, trend)\n"
+            Printf.eprintf "unknown experiment %S (known: e1..e12, wall, modelcheck, obs, trace, recovery, server, chaos, shootout, trend)\n"
               id
         | Some run ->
             let r = run () in

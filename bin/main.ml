@@ -552,7 +552,13 @@ let observe_diff history tolerance =
             && check "shootout warm-hit rate" ~worse_if_over:false
                  "\"best_warm_hit_rate\":"
           in
-          if obs_ok && server_ok && backends_ok then 0 else 1
+          (* chaos key: matrix-minimum availability under the fault
+             campaign may not collapse (absent from pre-chaos entries) *)
+          let chaos_ok =
+            check "chaos availability" ~worse_if_over:false
+              "\"chaos_availability\":"
+          in
+          if obs_ok && server_ok && backends_ok && chaos_ok then 0 else 1
       | _ ->
           Fmt.pr "fewer than 2 entries in %s; nothing to diff@." history;
           0)
@@ -1361,12 +1367,63 @@ let telemetry_counters (tel : Churn.telemetry) =
    renaming.server/v1 JSON document with --json); exits nonzero on a
    uniqueness violation, on a leak no crash fault explains, or on a
    sustained --slo burn. *)
-let server shards k s clients requests warm batch theta rate think seed plan json
-    metrics_file slo trace_file tick =
+let server_chaos matrix requests json =
+  let seeds =
+    List.filteri (fun i _ -> i < max 1 matrix) Campaign.default_seeds
+  in
+  let outcomes = Campaign.run_chaos ~seeds ?requests () in
+  let ok = Campaign.chaos_ok outcomes in
+  if json then Fmt.pr "%s@." (Campaign.chaos_report_json ~seeds outcomes)
+  else begin
+    List.iter
+      (fun o ->
+        if not o.Campaign.co_ok then Fmt.pr "%a@." Campaign.pp_chaos_outcome o)
+      outcomes;
+    List.iter
+      (fun f ->
+        let runs = List.filter (fun o -> o.Campaign.co_fault = f) outcomes in
+        let sum g = List.fold_left (fun s o -> s + g o) 0 runs in
+        Fmt.pr
+          "%-16s %s  %d runs, min avail %.3f, %d reclaimed (max %d scans), %d \
+           deaths, %d/%d quarantined/rebuilt, %d steals@."
+          (Campaign.chaos_fault_name f)
+          (if List.for_all (fun o -> o.Campaign.co_ok) runs then "ok    "
+           else "FAILED")
+          (List.length runs)
+          (List.fold_left
+             (fun m o -> Float.min m o.Campaign.co_availability)
+             1.0 runs)
+          (sum (fun o -> o.Campaign.co_reclaimed))
+          (List.fold_left (fun m o -> max m o.Campaign.co_reclaim_scans) 0 runs)
+          (sum (fun o -> o.Campaign.co_deaths))
+          (sum (fun o -> o.Campaign.co_quarantines))
+          (sum (fun o -> o.Campaign.co_rebuilds))
+          (sum (fun o -> o.Campaign.co_seat_steals)))
+      Campaign.chaos_faults;
+    Fmt.pr "chaos verdict  : %s (%d cells, %d seeds)@."
+      (if ok then "OK" else "FAILED")
+      (List.length outcomes) (List.length seeds)
+  end;
+  if ok then 0 else 1
+
+let server shards k s clients requests warm batch theta rate think seed plan policy
+    chaos matrix json metrics_file slo trace_file tick =
   let config =
     Server.default_config ~shards ~k_per_shard:k ~warm_capacity:warm ~batch ~clients
       ~source_space:s ()
   in
+  match
+    match policy with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (Server.Policy.of_string spec)
+  with
+  | Error e ->
+      Fmt.epr "bad --policy: %s@." e;
+      2
+  | Ok policy when chaos ->
+      ignore (policy : Server.Policy.t option);
+      server_chaos matrix (if requests = 10_000 then None else Some requests) json
+  | Ok policy -> (
   match
     match slo with
     | None -> Ok None
@@ -1390,7 +1447,8 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
         Option.map (fun _ -> Obs.Flight.create ~capacity:65_536 ()) trace_file
       in
       let report =
-        Churn.run ~registry ?flight ~faults ~sampler_interval_ns:tick ~config
+        Churn.run ~registry ?flight ~faults ?policy ~sampler_interval_ns:tick
+          ~config
           ~spec:(fun client ->
             Workload.server_churn ~theta ~rate ~think ~s ~requests ~seed ~client ())
           ()
@@ -1433,8 +1491,24 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
                 (Obs.Slo.burning vs)
                 (String.concat "," (List.map v_json vs))
         in
+        let rs = report.Churn.resilience and oc = report.Churn.outcomes in
+        let resilience_json =
+          Printf.sprintf
+            {|,"outcomes":{"issued":%d,"granted":%d,"retried":%d,"deadline":%d,"shed_policy":%d,"shed_early":%d},"resilience":{"scans":%d,"deaths":%d,"reclaimed":%d,"claims_swept":%d,"reclaim_max_scans":%d,"drain_heals":%d,"adopted_walks":%d,"seat_steals":%d,"quarantines":%d,"rebuilds":%d,"fenced":%d,"failovers":%d},"health":[%s],"settle_scans":%d|}
+            oc.Churn.issued oc.Churn.granted oc.Churn.retried oc.Churn.deadline
+            oc.Churn.shed_policy oc.Churn.shed_early rs.Server.scans
+            rs.Server.deaths rs.Server.reclaimed rs.Server.claims_swept
+            rs.Server.reclaim_max_scans rs.Server.drain_heals
+            rs.Server.adopted_walks rs.Server.seat_steals rs.Server.quarantines
+            rs.Server.rebuilds rs.Server.fenced rs.Server.failovers
+            (String.concat ","
+               (Array.to_list report.Churn.health
+               |> List.map (fun h ->
+                      Printf.sprintf "%S" (Server.Health.to_string h))))
+            report.Churn.settle_scans
+        in
         Fmt.pr
-          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"latency_open_ns":%s,"latency_closed_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d,"sampler_ticks":%d%s}@.|}
+          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"latency_open_ns":%s,"latency_closed_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d,"sampler_ticks":%d%s%s}@.|}
           shards k s warm batch clients requests report.Churn.cycles
           report.Churn.elapsed_s report.Churn.throughput report.Churn.acquires
           report.Churn.warm_hits report.Churn.busy report.Churn.shed
@@ -1445,7 +1519,7 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
           (hist_json report.Churn.cold_accesses)
           (hist_json report.Churn.warm_accesses)
           r.violations r.leaked report.Churn.outstanding tel.Churn.sampler_ticks
-          slo_json
+          resilience_json slo_json
       end
       else begin
         Fmt.pr "name server: %d shard(s) x k=%d, %d clients, S=%d@." shards k clients
@@ -1470,6 +1544,22 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
         Fmt.pr "warm accesses  : mean=%.1f p100=%d (n=%d)@." wa.mean wa.p100 wa.count;
         Fmt.pr "sampler        : %d tick(s), %d series@." tel.Churn.sampler_ticks
           (List.length tel.Churn.samples);
+        let rs = report.Churn.resilience and oc = report.Churn.outcomes in
+        Fmt.pr "outcomes       : %d issued, %d granted, %d retried, %d deadline, \
+                %d/%d shed (policy/early)@."
+          oc.Churn.issued oc.Churn.granted oc.Churn.retried oc.Churn.deadline
+          oc.Churn.shed_policy oc.Churn.shed_early;
+        Fmt.pr "resilience     : %d scans, %d deaths, %d reclaimed (max %d \
+                scans), %d heals, %d steals@."
+          rs.Server.scans rs.Server.deaths rs.Server.reclaimed
+          rs.Server.reclaim_max_scans rs.Server.drain_heals rs.Server.seat_steals;
+        Fmt.pr "health         : %s (%d quarantined, %d rebuilt, %d failovers, \
+                %d fenced)@."
+          (String.concat " "
+             (Array.to_list report.Churn.health
+             |> List.map Server.Health.to_string))
+          rs.Server.quarantines rs.Server.rebuilds rs.Server.failovers
+          rs.Server.fenced;
         Fmt.pr "violations     : %d@." r.violations;
         (match r.first_violation with
         | Some m -> Fmt.pr "first violation: %s@." m
@@ -1501,7 +1591,7 @@ let server shards k s clients requests warm batch theta rate think seed plan jso
       if r.violations > 0 then 1
       else if r.leaked > 0 && not crashed then 1
       else
-        match verdicts with Some vs when Obs.Slo.burning vs -> 1 | _ -> 0)
+        match verdicts with Some vs when Obs.Slo.burning vs -> 1 | _ -> 0))
 
 let server_cmd =
   let shards = Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
@@ -1532,8 +1622,25 @@ let server_cmd =
                     ~doc:"Apply a fault plan to the clients (e.g. \
                           $(b,crash\\@p1:acc40,park\\@p3:acc1)); triggers map to \
                           request indices.") in
+  let policy = Arg.(value & opt (some string) None
+                    & info [ "policy" ] ~docv:"SPEC"
+                      ~doc:"Client resilience policy: seeded exponential backoff \
+                            with jitter, bounded retries, and a deadline (e.g. \
+                            $(b,retries=8,base=64,cap=4096,deadline_ms=5,seed=7)). \
+                            Without it, refused requests are dropped.") in
+  let chaos = Arg.(value & flag & info [ "chaos" ]
+                   ~doc:"Run the seeded chaos campaign instead of a churn run: a \
+                         matrix of whole-server fault plans (crash holding leases, \
+                         crash mid-drain, crash on the reclaimer seat, parked \
+                         drainer, hot-shard stall) asserting zero violations, \
+                         bounded reclamation, and an availability floor. Exits \
+                         nonzero if any cell fails.") in
+  let matrix = Arg.(value & opt int 32 & info [ "matrix" ] ~docv:"N"
+                    ~doc:"Seeds in the chaos matrix (with $(b,--chaos)); each seed \
+                          runs every fault in the campaign.") in
   let json = Arg.(value & flag & info [ "json" ]
-                  ~doc:"Print the renaming.server/v1 JSON report on stdout.") in
+                  ~doc:"Print the renaming.server/v1 (or renaming.chaos/v1 with \
+                        $(b,--chaos)) JSON report on stdout.") in
   let slo = Arg.(value & opt (some string) None
                  & info [ "slo" ] ~docv:"SPEC"
                    ~doc:"Evaluate the run against a service-level objective spec \
@@ -1553,7 +1660,8 @@ let server_cmd =
        ~doc:"Serve renaming as a service: sharded protocol pool, batched releases, \
              warm-name cache, driven by Zipf churn across OS domains")
     Term.(const server $ shards $ k $ s $ clients $ requests $ warm $ batch $ theta
-          $ rate $ think $ seed $ plan $ json $ metrics_arg $ slo $ trace $ tick)
+          $ rate $ think $ seed $ plan $ policy $ chaos $ matrix $ json
+          $ metrics_arg $ slo $ trace $ tick)
 
 let () =
   let info =

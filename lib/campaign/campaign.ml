@@ -835,3 +835,227 @@ let crash_report_json ~seeds outcomes =
     {|{"schema":"renaming.crash/v1","matrix_size":%d,"ok":%b,"targets":[%s]}|}
     (List.length seeds) (crash_ok outcomes)
     (String.concat "," (List.map crash_outcome_json outcomes))
+
+(* ----- chaos campaigns: killing the name server -----
+
+   The third discrimination axis: whole-server fault plans against the
+   resilient [Server]/[Churn] stack on real domains.  Where the crash
+   campaign kills simulated processes around one protocol instance,
+   chaos kills {e service} roles — a client holding leases, a drainer
+   mid-walk, the reclaimer-seat holder, a hot shard's tenant — and
+   asserts the self-healing contract: no uniqueness violation ever,
+   every leaked lease reclaimed within two lease TTLs of scans, the
+   live clients' availability above a floor, and every quarantined
+   shard rebuilt back to live by the end.  Everything derives from the
+   same seed matrix as the other campaigns. *)
+
+type chaos_fault =
+  | Crash_holding
+  | Crash_mid_drain
+  | Crash_seat
+  | Park_drainer
+  | Stall_hot_shard
+
+let chaos_faults =
+  [ Crash_holding; Crash_mid_drain; Crash_seat; Park_drainer; Stall_hot_shard ]
+
+let chaos_fault_name = function
+  | Crash_holding -> "crash-holding"
+  | Crash_mid_drain -> "crash-mid-drain"
+  | Crash_seat -> "crash-seat"
+  | Park_drainer -> "park-drainer"
+  | Stall_hot_shard -> "stall-hot-shard"
+
+let chaos_fault_of_name = function
+  | "crash-holding" -> Some Crash_holding
+  | "crash-mid-drain" -> Some Crash_mid_drain
+  | "crash-seat" -> Some Crash_seat
+  | "park-drainer" -> Some Park_drainer
+  | "stall-hot-shard" -> Some Stall_hot_shard
+  | _ -> None
+
+(* Small geometry so faults bite: 2 shards of k = 4 under 4 clients
+   gives real admission pressure, warm capacity 1 means a crashed
+   client always leaks its cached lease, and scans are wall-paced at
+   100 us so a preempted-but-live client is not instantly mistaken
+   for a corpse. *)
+let chaos_resilience =
+  {
+    Server.scan_interval_ns = 100_000;
+    lease_ttl = 30;
+    seat_ttl = 10;
+    tend_every = 8;
+    degrade_sheds = 32;
+    quarantine_leaks = 1;
+    drain_stale = 4;
+  }
+
+let chaos_sources = 128
+
+let chaos_config =
+  Server.default_config ~shards:2 ~k_per_shard:4 ~warm_capacity:1 ~batch:4
+    ~resilience:chaos_resilience ~clients:4 ~source_space:chaos_sources ()
+
+let chaos_victim = 1
+
+type chaos_outcome = {
+  co_seed : int;
+  co_fault : chaos_fault;
+  co_violations : int;
+  co_leaked : int;
+  co_outstanding : int;
+  co_reclaimed : int;
+  co_reclaim_scans : int;  (* worst staleness at reclaim, in scans *)
+  co_deaths : int;
+  co_availability : float;  (* granted / issued over the whole run *)
+  co_quarantines : int;
+  co_rebuilds : int;
+  co_seat_steals : int;
+  co_settle : int;
+  co_healthy : bool;  (* every shard Live at the end *)
+  co_ok : bool;
+  co_msg : string;
+}
+
+let chaos_policy seed =
+  Policy.make ~seed ~retries:8 ~base_spins:64 ~cap_spins:4096 ()
+
+let run_chaos_one ?(requests = 1500) seed fault =
+  let cfg = chaos_config in
+  let faults, prepare, pinned =
+    match fault with
+    | Crash_holding ->
+        ([ (chaos_victim, Churn.Crash { request = 64 + (seed land 63) }) ], None, false)
+    | Crash_mid_drain ->
+        ([ (chaos_victim, Churn.Crash_in_drain { drain = seed land 3 }) ], None, false)
+    | Crash_seat ->
+        ( [ (chaos_victim, Churn.Crash { request = 64 + (seed land 63) }) ],
+          Some
+            (fun server ->
+              ignore (Server.seize_seat server (Server.client server chaos_victim) : int)),
+          false )
+    | Park_drainer ->
+        ([ (chaos_victim, Churn.Park_in_drain { drain = seed land 3 }) ], None, false)
+    | Stall_hot_shard ->
+        ( [ (chaos_victim, Churn.Stall { request = 32 + (seed land 31); spins = 400_000 }) ],
+          None,
+          true )
+  in
+  let hot_sources =
+    Array.of_list
+      (List.filter
+         (fun src -> Server.shard_route ~shards:cfg.Server.shards ~src = 0)
+         (List.init chaos_sources Fun.id))
+  in
+  let spec id =
+    let s =
+      Workload.server_churn ~theta:0.45 ~s:chaos_sources ~requests ~seed ~client:id ()
+    in
+    if pinned then Workload.pin ~sources:hot_sources s else s
+  in
+  let rep =
+    Churn.run ~faults ?prepare ~policy:(chaos_policy seed)
+      ~sampler_interval_ns:0 ~config:cfg ~spec ()
+  in
+  let r = rep.Churn.result in
+  let rs = rep.Churn.resilience in
+  let oc = rep.Churn.outcomes in
+  let availability =
+    if oc.Churn.issued = 0 then 1.0
+    else float_of_int oc.Churn.granted /. float_of_int oc.Churn.issued
+  in
+  let healthy = Array.for_all (fun h -> h = Health.Live) rep.Churn.health in
+  let reclaim_bound = 2 * cfg.Server.resilience.Server.lease_ttl in
+  let checks =
+    [
+      (r.Runtime.Agg.violations = 0, "uniqueness violation");
+      (r.Runtime.Agg.leaked = 0, "leaked leases after settle");
+      (rep.Churn.outstanding = 0, "names still outstanding");
+      ( rs.Server.reclaimed = 0 || rs.Server.reclaim_max_scans <= reclaim_bound,
+        "reclaim exceeded 2 lease TTLs" );
+      (availability >= 0.90, "availability below 0.90");
+      (healthy, "shard not live at end");
+    ]
+  in
+  let failed = List.filter (fun (ok, _) -> not ok) checks in
+  {
+    co_seed = seed;
+    co_fault = fault;
+    co_violations = r.Runtime.Agg.violations;
+    co_leaked = r.Runtime.Agg.leaked;
+    co_outstanding = rep.Churn.outstanding;
+    co_reclaimed = rs.Server.reclaimed;
+    co_reclaim_scans = rs.Server.reclaim_max_scans;
+    co_deaths = rs.Server.deaths;
+    co_availability = availability;
+    co_quarantines = rs.Server.quarantines;
+    co_rebuilds = rs.Server.rebuilds;
+    co_seat_steals = rs.Server.seat_steals;
+    co_settle = rep.Churn.settle_scans;
+    co_healthy = healthy;
+    co_ok = failed = [];
+    co_msg = String.concat "; " (List.map snd failed);
+  }
+
+let run_chaos ?(seeds = default_seeds) ?requests () =
+  List.concat_map
+    (fun seed -> List.map (fun f -> run_chaos_one ?requests seed f) chaos_faults)
+    seeds
+
+let chaos_ok outcomes =
+  outcomes <> []
+  && List.for_all (fun o -> o.co_ok) outcomes
+  (* a matrix where no client ever died proves the reclaimer nothing *)
+  && List.exists (fun o -> o.co_deaths > 0) outcomes
+
+let chaos_clean ?(requests = 1500) ~seed () =
+  let spec id =
+    Workload.server_churn ~theta:0.45 ~s:chaos_sources ~requests ~seed ~client:id ()
+  in
+  Churn.run ~policy:(chaos_policy seed) ~sampler_interval_ns:0
+    ~config:chaos_config ~spec ()
+
+let pp_chaos_outcome ppf o =
+  if o.co_ok then
+    Fmt.pf ppf
+      "%-16s seed %-8d ok   avail %.3f, %d reclaimed (<=%d scans), %d deaths, %d/%d quarantine/rebuild, %d steals"
+      (chaos_fault_name o.co_fault)
+      o.co_seed o.co_availability o.co_reclaimed o.co_reclaim_scans o.co_deaths
+      o.co_quarantines o.co_rebuilds o.co_seat_steals
+  else
+    Fmt.pf ppf "%-16s seed %-8d FAILED: %s (avail %.3f, outstanding %d)"
+      (chaos_fault_name o.co_fault)
+      o.co_seed o.co_msg o.co_availability o.co_outstanding
+
+let chaos_outcome_json o =
+  Printf.sprintf
+    {|{"fault":%S,"seed":%d,"ok":%b,"violations":%d,"leaked":%d,"outstanding":%d,"reclaimed":%d,"reclaim_scans":%d,"deaths":%d,"availability":%.4f,"quarantines":%d,"rebuilds":%d,"seat_steals":%d,"settle_scans":%d,"healthy":%b,"msg":%S}|}
+    (chaos_fault_name o.co_fault)
+    o.co_seed o.co_ok o.co_violations o.co_leaked o.co_outstanding o.co_reclaimed
+    o.co_reclaim_scans o.co_deaths o.co_availability o.co_quarantines o.co_rebuilds
+    o.co_seat_steals o.co_settle o.co_healthy o.co_msg
+
+let chaos_fault_summary_json outcomes fault =
+  let runs = List.filter (fun o -> o.co_fault = fault) outcomes in
+  let fold f init = List.fold_left f init runs in
+  Printf.sprintf
+    {|{"fault":%S,"runs":%d,"ok":%b,"min_availability":%.4f,"reclaimed":%d,"max_reclaim_scans":%d,"deaths":%d,"quarantines":%d,"rebuilds":%d,"seat_steals":%d}|}
+    (chaos_fault_name fault) (List.length runs)
+    (List.for_all (fun o -> o.co_ok) runs)
+    (fold (fun m o -> Float.min m o.co_availability) 1.0)
+    (fold (fun s o -> s + o.co_reclaimed) 0)
+    (fold (fun m o -> max m o.co_reclaim_scans) 0)
+    (fold (fun s o -> s + o.co_deaths) 0)
+    (fold (fun s o -> s + o.co_quarantines) 0)
+    (fold (fun s o -> s + o.co_rebuilds) 0)
+    (fold (fun s o -> s + o.co_seat_steals) 0)
+
+let chaos_report_json ~seeds outcomes =
+  let min_avail =
+    List.fold_left (fun m o -> Float.min m o.co_availability) 1.0 outcomes
+  in
+  Printf.sprintf
+    {|{"schema":"renaming.chaos/v1","matrix_size":%d,"ok":%b,"chaos_availability":%.4f,"faults":[%s],"runs":[%s]}|}
+    (List.length seeds) (chaos_ok outcomes) min_avail
+    (String.concat "," (List.map (chaos_fault_summary_json outcomes) chaos_faults))
+    (String.concat "," (List.map chaos_outcome_json outcomes))

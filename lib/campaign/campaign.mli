@@ -194,3 +194,86 @@ val pp_crash_outcome : Format.formatter -> crash_outcome -> unit
 val crash_report_json : seeds:int list -> crash_outcome list -> string
 (** One JSON document (["renaming.crash/v1"]); deterministic, so
     byte-identical across runs of the same matrix. *)
+
+(** {1 Chaos campaigns}
+
+    Discrimination along the {e service} axis: whole-server fault
+    plans against the resilient {!Server}/{!Churn} stack on real
+    domains.  Each (matrix seed, fault) pair runs four closed-loop
+    Zipf clients against a small sharded server (2 shards × k=4,
+    warm capacity 1, reclaimer scans wall-paced at 100 µs) with
+    client 1 as the victim,
+    and asserts the self-healing contract:
+
+    - zero uniqueness violations, ever;
+    - zero leaked or outstanding leases after the settle epilogue,
+      with every reclaim landing within {b two lease TTLs} of scans;
+    - whole-run availability (granted / issued) at or above {b 0.90};
+    - every quarantined shard rebuilt back to [Live] by the end.
+
+    A matrix in which no client was ever declared dead fails
+    {!chaos_ok} — it would prove the reclaimer nothing. *)
+
+type chaos_fault =
+  | Crash_holding  (** Victim crashes at a request boundary, leaking
+                       its warm lease and possibly a claim. *)
+  | Crash_mid_drain  (** Victim crashes inside a drain walk, orphaning
+                         the pending chain it was retiring. *)
+  | Crash_seat  (** Victim is pre-seated as the reclaimer, then
+                    crashes holding the seat — someone must steal it. *)
+  | Park_drainer  (** Victim parks mid-drain until every normal client
+                      finishes — the wedged drainer. *)
+  | Stall_hot_shard  (** All sources pinned to shard 0; victim stalls
+                         400k spins holding one of its names. *)
+
+val chaos_faults : chaos_fault list
+val chaos_fault_name : chaos_fault -> string
+val chaos_fault_of_name : string -> chaos_fault option
+
+type chaos_outcome = {
+  co_seed : int;
+  co_fault : chaos_fault;
+  co_violations : int;
+  co_leaked : int;
+  co_outstanding : int;
+  co_reclaimed : int;
+  co_reclaim_scans : int;  (** Worst staleness at reclaim, in scans. *)
+  co_deaths : int;
+  co_availability : float;  (** granted / issued, whole run. *)
+  co_quarantines : int;
+  co_rebuilds : int;
+  co_seat_steals : int;
+  co_settle : int;  (** Epilogue scans to reach zero outstanding. *)
+  co_healthy : bool;  (** Every shard [Live] at the end. *)
+  co_ok : bool;
+  co_msg : string;  (** Failed criteria, empty when [co_ok]. *)
+}
+
+val chaos_config : Server.config
+(** The fixed chaos geometry (exported so the CLI can echo it). *)
+
+val chaos_policy : int -> Policy.t
+(** The per-seed retry policy chaos clients run under. *)
+
+val run_chaos_one : ?requests:int -> int -> chaos_fault -> chaos_outcome
+(** One (seed, fault) cell of the matrix; [requests] (default 1500)
+    per client. *)
+
+val run_chaos :
+  ?seeds:int list -> ?requests:int -> unit -> chaos_outcome list
+(** The full matrix: every fault under every seed (default
+    {!default_seeds} — 32 seeds × 5 faults). *)
+
+val chaos_ok : chaos_outcome list -> bool
+(** Every cell [co_ok], and at least one death fired somewhere. *)
+
+val chaos_clean : ?requests:int -> seed:int -> unit -> Churn.report
+(** The same geometry and policy with {e no} fault plan — the
+    availability/warm-path baseline the chaos bench gates against. *)
+
+val pp_chaos_outcome : Format.formatter -> chaos_outcome -> unit
+
+val chaos_report_json : seeds:int list -> chaos_outcome list -> string
+(** One JSON document (["renaming.chaos/v1"]): per-run entries, a
+    per-fault summary table, and the headline ["chaos_availability"]
+    (the matrix-wide minimum). *)

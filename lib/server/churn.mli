@@ -11,7 +11,14 @@
     through the server's {!Runtime.Agg} scoreboard; latency and
     shared-access-cost histograms are client-local {!Obs.Histogram}s
     merged after the join — the same single-writer-then-merge
-    discipline as the registry. *)
+    discipline as the registry.
+
+    Every client {!Server.tend}s once per request, so the resilience
+    layer is live: crashed clients are declared dead and their leases
+    reclaimed {e during} the run when it lasts long enough, and the
+    post-join {e settle} epilogue drives the reclaimer directly until
+    nothing is outstanding (or two lease TTLs of scans have passed —
+    the chaos campaign's reclaim bound). *)
 
 (** Client-side fault behaviours, mirroring the {!Sim.Faults} actions
     on real domains (the simulator freezes a victim's scheduler slot;
@@ -28,8 +35,17 @@ type fault =
   | Crash of { request : int }
       (** Stop dead before issuing request [request]: no release of
           warm leases, no flush — whatever the client cached leaks
-          until {!Server.drain_all} (which cannot reach a dead
-          client's warm cache) and shows up in [outstanding]. *)
+          until the reclaimer expires its lease (or forever, without
+          scans) and shows up in [outstanding] meanwhile. *)
+  | Crash_in_drain of { drain : int }
+      (** Crash at the [drain]-th drain-walk slot boundary this client
+          reaches: the pending chain it was retiring is orphaned
+          mid-walk — healed by cursor adoption + the orphaned-pending
+          sweep. *)
+  | Park_in_drain of { drain : int }
+      (** Park (until every normal client finishes) at the [drain]-th
+          drain-walk slot boundary, then resume — the wedged drainer
+          the per-shard drain-staleness healing exists for. *)
 
 val of_plan : Sim.Faults.plan -> (int * fault) list
 (** Map a simulator fault plan onto client faults: victims become
@@ -43,13 +59,18 @@ val of_plan : Sim.Faults.plan -> (int * fault) list
     stream (per-client {!Obs.Timeseries}, merged deterministically
     after the join) plus the sampler's gauge series read from
     {!Server} probes on a dedicated domain.  Canonical series names —
-    ["latency"], ["attempts"], ["grants"], ["warm"], ["sheds"], and
-    each sampler source (e.g. ["shard0.pending"], ["slab.free"]) —
-    are what {!Obs.Slo} clauses bind to. *)
+    ["latency"], ["attempts"], ["attempts_failed"], ["grants"],
+    ["warm"], ["sheds"], and each sampler source (e.g.
+    ["shard0.pending"], ["slab.free"]) — are what {!Obs.Slo} clauses
+    bind to. *)
 type telemetry = {
   window_ns : int;
   latency : Obs.Timeseries.t;  (** Open-loop ns per completed request. *)
-  attempts : Obs.Timeseries.t;  (** Every acquire call (count-only). *)
+  attempts : Obs.Timeseries.t;  (** Every request issued (count-only). *)
+  failed : Obs.Timeseries.t;
+      (** Every refused attempt — [Busy] and [Shed] both — in its own
+          series, so failed work is first-class telemetry rather than
+          silently excluded from the latency story. *)
   grants : Obs.Timeseries.t;
   warm : Obs.Timeseries.t;  (** Warm grants (count-only). *)
   sheds : Obs.Timeseries.t;
@@ -59,6 +80,21 @@ type telemetry = {
 
 val telemetry_series : telemetry -> string -> Obs.Timeseries.t option
 (** Lookup by canonical name — pass as [~series] to {!Obs.Slo.evaluate}. *)
+
+(** Policy outcome census over the whole run (all clients summed):
+    what happened to each issued request under the resilience policy.
+    Without a policy, [retried]/[deadline]/[shed_*] stay 0 and
+    refusals are visible in [attempts_failed]. *)
+type outcomes = {
+  issued : int;  (** Requests issued (one per request slot). *)
+  granted : int;
+  retried : int;  (** Backed-off re-attempts across all requests. *)
+  deadline : int;  (** Requests that hit their deadline mid-retry. *)
+  shed_policy : int;  (** Requests that exhausted their retries. *)
+  shed_early : int;
+      (** Requests shed before their first attempt because the
+          observed p99 already burned the deadline. *)
+}
 
 type report = {
   result : Runtime.Agg.result;
@@ -80,8 +116,13 @@ type report = {
           open-loop is backlog, not a server stall. *)
   cold_accesses : Obs.Histogram.snap;  (** Shared accesses per cold grant. *)
   warm_accesses : Obs.Histogram.snap;  (** Per warm grant — all zero. *)
-  outstanding : int;  (** Names still held after the final drain: leaks. *)
+  outstanding : int;
+      (** Names still held after drain {e and} settle: true leaks. *)
   telemetry : telemetry;
+  outcomes : outcomes;
+  resilience : Server.resilience_stats;
+  health : Health.state array;  (** Final per-shard health. *)
+  settle_scans : int;  (** Epilogue scans needed to reach 0 outstanding. *)
 }
 
 val run :
@@ -89,6 +130,8 @@ val run :
   ?flight:Obs.Flight.t ->
   ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
   ?faults:(int * fault) list ->
+  ?policy:Policy.t ->
+  ?prepare:(Server.t -> unit) ->
   ?window_ns:int ->
   ?sampler_interval_ns:int ->
   config:Server.config ->
@@ -97,14 +140,24 @@ val run :
   report
 (** [run ~config ~spec ()] creates the server, spawns [config.clients]
     domains (client [i] driven by [spec i]), joins them, flushes and
-    drains every batched release, merges flight rings, and reports.
-    [Busy]/[Shed] outcomes consume the request slot without a retry —
-    they are counted, not latency-measured.
+    drains every batched release, settles leaked leases through the
+    reclaimer, merges flight rings, and reports.
+
+    Without [?policy], [Busy]/[Shed] outcomes consume the request slot
+    without a retry — counted (in [busy]/[shed] and the
+    ["attempts_failed"] series), not latency-measured.  With a policy,
+    each request is driven through {!Policy.drive}: refusals back off
+    and retry under the policy's jittered schedule, deadlines and
+    early sheds land in {!outcomes}.
+
+    [?prepare] runs against the server after construction, before any
+    domain spawns — fault plans use it to pre-seat a victim on the
+    reclaimer seat.
 
     Telemetry is on by default: rollup windows of [window_ns] (default
     5 ms), and a sampler domain polling {!Server.sampler_sources}
     every [sampler_interval_ns] (default 1 ms; [<= 0] disables the
     sampler).  The sampler only reads — client request paths gain no
-    shared accesses (warm grants stay at 0).
+    shared accesses (warm grants stay at 0 protocol accesses).
     @raise Invalid_argument when a fault names a client out of range,
     every client parks, or [window_ns < 1]. *)

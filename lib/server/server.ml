@@ -4,6 +4,29 @@ module Any = Renaming.Protocol.Any
 module Pad = Runtime.Pad
 module Agg = Runtime.Agg
 module Atomic_store = Runtime.Atomic_store
+module Health = Health
+module Policy = Policy
+
+type resilience = {
+  scan_interval_ns : int;
+  lease_ttl : int;
+  seat_ttl : int;
+  tend_every : int;
+  degrade_sheds : int;
+  quarantine_leaks : int;
+  drain_stale : int;
+}
+
+let default_resilience =
+  {
+    scan_interval_ns = 1_000_000;
+    lease_ttl = 8;
+    seat_ttl = 4;
+    tend_every = 32;
+    degrade_sheds = 64;
+    quarantine_leaks = 1;
+    drain_stale = 4;
+  }
 
 type config = {
   shards : int;
@@ -12,11 +35,12 @@ type config = {
   warm_capacity : int;
   batch : int;
   clients : int;
+  resilience : resilience;
 }
 
 let default_config ?(shards = 4) ?(k_per_shard = 4) ?(warm_capacity = 2) ?(batch = 8)
-    ~clients ~source_space () =
-  { shards; k_per_shard; source_space; warm_capacity; batch; clients }
+    ?(resilience = default_resilience) ~clients ~source_space () =
+  { shards; k_per_shard; source_space; warm_capacity; batch; clients; resilience }
 
 (* Slab tokens are slot indices.  The freelist head packs (tag, idx+1)
    into one int — the tag advances on every successful swap, so a
@@ -24,6 +48,36 @@ let default_config ?(shards = 4) ?(k_per_shard = 4) ?(warm_capacity = 2) ?(batch
    its CAS can never satisfy that CAS (the classic Treiber ABA). *)
 let idx_bits = 21
 let idx_mask = (1 lsl idx_bits) - 1
+
+(* Per-slot retirement fence.  Every lease retirement — batched drain
+   or lease reclaim — must win exactly one CAS into [fence_retiring],
+   so a pending release can never be both drained and reclaimed, and a
+   walker straying onto a recycled link retires nothing.  States:
+
+     0 FREE      on the freelist
+     1 HELD      granted, client holds the token
+     2 WARM      released into the owner's warm cache (still leased)
+     3 PENDING   on a shard's pending-release list
+     4 RETIRING  one retirer owns it; next state is FREE
+
+   No crash point exists between RETIRING and FREE (the chaos hooks
+   fire only at slot boundaries), so RETIRING is always transient. *)
+let fence_free = 0
+let fence_held = 1
+let fence_warm = 2
+let fence_pending = 3
+let fence_retiring = 4
+
+(* Reclaimer seat: (epoch lsl seat_bits) lor (holder+1), 0 vacant.
+   The epoch advances on every steal, so a deposed holder's stale view
+   of the seat can never CAS itself back in by accident. *)
+let seat_bits = 20
+let seat_mask = (1 lsl seat_bits) - 1
+let seat_pack ~epoch ~holder = (epoch lsl seat_bits) lor (holder + 1)
+let seat_holder s = (s land seat_mask) - 1
+
+let failover_salt = 0x5DEECE66D
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 type shard = { inst : Any.t; base : int }
 
@@ -39,12 +93,22 @@ type client = {
   warm_src : int array;
   warm_slot : int array;
   mutable warm_n : int;  (* entries live at [0, warm_n), oldest first *)
+  mutable my_epoch : int;  (* last epoch this client resynced to *)
+  mutable tend_count : int;
+  mutable last_seat_hb : int;
+  mutable seat_stale : int;
+  mutable last_seat_check_ns : int;
+  mutable chaos : (string -> unit) option;
+      (* fault-injection hook, called at drain slot boundaries; set
+         only by the owning domain (Churn's chaos plans) *)
   mutable acquires : int;
   mutable warm_hits : int;
   mutable busy : int;
   mutable shed : int;
   mutable drains : int;
   mutable drained : int;
+  mutable fenced : int;
+  mutable failovers : int;
 }
 
 type t = {
@@ -62,7 +126,41 @@ type t = {
   slot_held : bool array;  (* granted and not yet released *)
   slot_lease : Any.lease option array;
   slot_next : int array;  (* freelist / pending link, -1 terminated *)
+  fence : int Atomic.t array;
   free : int Atomic.t;
+  (* liveness + reclamation *)
+  hb : Pad.t;  (* per client: heartbeat, bumped by [tend] *)
+  epoch : Pad.t;  (* per client: bumped when declared dead *)
+  cursor : Pad.t;  (* per client: (shard+1) lsl idx_bits lor (slot+1) *)
+  seat : int Atomic.t;
+  seat_hb : int Atomic.t;
+  last_scan_ns : int Atomic.t;
+  health_w : Pad.t;  (* per shard: 0 live / 1 degraded / 2 quarantined *)
+  shard_sheds : Pad.t;
+  shard_leaks : Pad.t;
+  (* seat-holder working state: written under seat ownership only
+     (overlap with a deposed holder is benign — every retirement is
+     fence-guarded; these are bookkeeping) *)
+  hx : Health.t array;
+  last_hb : int array;  (* per client *)
+  stale : int array;
+  dead : bool array;
+  pending_seen : int array;  (* per slot: consecutive scans at PENDING *)
+  last_pend : int array;  (* per shard *)
+  shard_stale : int array;
+  last_sheds : int array;
+  last_leaks : int array;
+  (* resilience counters (atomic: deposed/current seats may overlap) *)
+  rs_scans : int Atomic.t;
+  rs_deaths : int Atomic.t;
+  rs_reclaimed : int Atomic.t;
+  rs_claims_swept : int Atomic.t;
+  rs_reclaim_max : int Atomic.t;
+  rs_drain_heals : int Atomic.t;
+  rs_adopted : int Atomic.t;
+  rs_seat_steals : int Atomic.t;
+  rs_quarantines : int Atomic.t;
+  rs_rebuilds : int Atomic.t;
   agg : Agg.t;
   total_space : int;
   clients_tbl : client array;
@@ -84,6 +182,11 @@ let route src shards =
     h := (!h lxor (!h lsr 27)) * 0x94D049BB133111E land max_int;
     (!h lxor (!h lsr 31)) mod shards
   end
+
+let health_code = function
+  | Health.Live -> 0
+  | Health.Degraded -> 1
+  | Health.Quarantined -> 2
 
 (* ----- freelist (tag-CAS Treiber stack) ----- *)
 
@@ -132,42 +235,117 @@ let mark c tag v =
         (Obs.Flight.Mark (tag, v))
   | None -> ()
 
-let drain_shard t (c : client) sh =
+let bump_max a v =
+  let rec go () =
+    let m = Atomic.get a in
+    if v > m && not (Atomic.compare_and_set a m v) then go ()
+  in
+  go ()
+
+(* ----- epoch fencing -----
+
+   A client's epoch advances when the reclaimer seat declares it dead.
+   Any surviving warm lease is pushed to pending (the fence CAS
+   filters the ones that really were reclaimed), the cache is dropped,
+   and the client carries on — its outstanding tokens were retired on
+   its behalf, so a later release of one is silently fenced rather
+   than double-retired. *)
+
+let resync t (c : client) e =
+  for r = 0 to c.warm_n - 1 do
+    let slot = c.warm_slot.(r) in
+    if Atomic.compare_and_set t.fence.(slot) fence_warm fence_pending then
+      pending_push t t.slot_shard.(slot) slot
+  done;
+  c.warm_n <- 0;
+  c.my_epoch <- e
+
+let check_epoch t (c : client) =
+  let e = Pad.get t.epoch c.id in
+  if e = c.my_epoch then false
+  else begin
+    resync t c e;
+    c.fenced <- c.fenced + 1;
+    obs_inc c "server.fenced";
+    true
+  end
+
+(* ----- retirement (the only way a lease returns to the protocol) ----- *)
+
+(* Caller must have won the CAS into [fence_retiring].  [was_pending]
+   keeps the pending census; [reset] reclaims through the protocol's
+   [reset_footprint] (a dead holder's lease may be mid-operation)
+   instead of a plain release. *)
+let retire_slot t (c : client) slot ~was_pending ~reset =
+  let ssh = t.slot_shard.(slot) in
+  let sd = t.shard_tbl.(ssh) in
+  let src = t.slot_src.(slot) in
+  let owner = t.slot_owner.(slot) in
+  let lease = match t.slot_lease.(slot) with Some l -> l | None -> assert false in
+  t.slot_lease.(slot) <- None;
+  t.slot_held.(slot) <- false;
+  Agg.released t.agg ~name:t.slot_name.(slot);
+  (* Run the protocol release under the original source name.  The
+     holder has retired (or been fenced off by its epoch), so no step
+     of pid [src] can overlap this one, and the claim below stays set
+     until the release lands — a new claimant of [src] cannot start a
+     get_name that would overlap its own release.  That any agent may
+     execute the register operations on the holder's behalf is the
+     same handoff long-lived reclamation relies on. *)
+  let base : Store.ops = c.ops.(ssh) in
+  let ops = { base with Store.pid = src } in
+  (if reset && Any.reset_available sd.inst then
+     (Option.get Any.reset_footprint) sd.inst ops lease
+   else Any.release_name sd.inst ops lease);
+  ignore (Atomic.compare_and_set t.claims.(src) (owner + 1) 0 : bool);
+  Atomic.set t.fence.(slot) fence_free;
+  free_push t slot;
+  ignore (Atomic.fetch_and_add (Pad.cells t.admitted).(ssh) (-1));
+  if was_pending then
+    ignore (Atomic.fetch_and_add (Pad.cells t.pending_n).(ssh) (-1))
+
+let cursor_pack sh slot = ((sh + 1) lsl idx_bits) lor (slot + 1)
+
+(* Walk a pending chain from [head], retiring every link whose
+   PENDING→RETIRING fence CAS we win.  The walker's cursor always
+   names a link whose retirement has not completed, so a seat adopting
+   a dead walker's cursor re-walks the suffix and the fences make the
+   overlap exactly-once.  The walk is bounded by the slab size: a
+   stale link (the chain raced a concurrent retirer and now points
+   into the freelist) can wander but not loop us forever, and a stale
+   link that happens to reach some other chain's PENDING slot just
+   retires it early — correctly, since retirement reads the slot's own
+   shard. *)
+let drain_walk ?(hook = true) t (c : client) head =
+  let cap = Array.length t.slot_next in
+  let cur = (Pad.cells t.cursor).(c.id) in
+  let n = ref 0 in
+  let i = ref head in
+  let steps = ref 0 in
+  while !i >= 0 && !steps < cap do
+    incr steps;
+    let slot = !i in
+    Atomic.set cur (cursor_pack t.slot_shard.(slot) slot);
+    (if hook then match c.chaos with Some f -> f "drain" | None -> ());
+    let next = t.slot_next.(slot) in
+    if Atomic.compare_and_set t.fence.(slot) fence_pending fence_retiring then begin
+      retire_slot t c slot ~was_pending:true ~reset:false;
+      incr n
+    end;
+    i := next
+  done;
+  Atomic.set cur 0;
+  !n
+
+let drain_shard ?(hook = true) t (c : client) sh =
   let h = Atomic.exchange (Pad.cells t.pending).(sh) 0 in
   if h <> 0 then begin
     c.drains <- c.drains + 1;
     obs_inc c "server.drains";
-    let sd = t.shard_tbl.(sh) in
-    let admitted = (Pad.cells t.admitted).(sh) in
-    let n = ref 0 in
-    let i = ref (h - 1) in
-    while !i >= 0 do
-      let slot = !i in
-      let next = t.slot_next.(slot) in
-      let src = t.slot_src.(slot) in
-      let lease = match t.slot_lease.(slot) with Some l -> l | None -> assert false in
-      t.slot_lease.(slot) <- None;
-      Agg.released t.agg ~name:t.slot_name.(slot);
-      (* Run the protocol release under the original source name.  The
-         holder has retired (warm leases are flushed before they reach
-         pending), so no step of pid [src] can overlap this one, and
-         the claim below stays set until the release lands — a new
-         claimant of [src] cannot start a get_name that would overlap
-         its own release.  That any agent may execute the register
-         operations on the holder's behalf is the same handoff
-         long-lived reclamation relies on. *)
-      let base : Store.ops = c.ops.(sh) in
-      Any.release_name sd.inst { base with pid = src } lease;
-      Atomic.set t.claims.(src) 0;
-      free_push t slot;
-      ignore (Atomic.fetch_and_add admitted (-1));
-      incr n;
-      i := next
-    done;
-    ignore (Atomic.fetch_and_add (Pad.cells t.pending_n).(sh) (- !n));
-    c.drained <- c.drained + !n;
-    obs_count c "server.drained" !n;
-    mark c "drain" !n
+    let n = drain_walk ~hook t c (h - 1) in
+    c.drained <- c.drained + n;
+    obs_count c "server.drained" n;
+    mark c "drain" n
   end
 
 let pending_release t c sh slot =
@@ -193,7 +371,15 @@ let flush_warm_shard t c sh =
   let w = ref 0 in
   for r = 0 to c.warm_n - 1 do
     let slot = c.warm_slot.(r) in
-    if t.slot_shard.(slot) = sh then pending_push t sh slot
+    if t.slot_shard.(slot) = sh then begin
+      if Atomic.compare_and_set t.fence.(slot) fence_warm fence_pending then
+        pending_push t sh slot
+      else begin
+        (* reclaimed from the cache behind our back — already retired *)
+        c.fenced <- c.fenced + 1;
+        obs_inc c "server.fenced"
+      end
+    end
     else begin
       c.warm_src.(!w) <- c.warm_src.(r);
       c.warm_slot.(!w) <- slot;
@@ -216,18 +402,22 @@ let admit t c sh =
 
 let slot_take t c sh =
   (* Admission guarantees at most cap-1 slots are bound or pending, so
-     a slot is free or frees as soon as pending drains; spin + help. *)
+     a slot is free or frees as soon as pending drains; spin + help.
+     The chaos hook is suppressed in this one drain: admission is
+     already charged here and the slot not yet bound, so a crash at
+     this boundary would leak an [admitted] count no reclaim can see —
+     the one window the fault model promises does not exist. *)
   let rec go () =
     match free_pop t with
     | -1 ->
-        drain_shard t c sh;
+        drain_shard ~hook:false t c sh;
         Domain.cpu_relax ();
         go ()
     | i -> i
   in
   go ()
 
-(* ----- warm cache (client-local; no shared state at all) ----- *)
+(* ----- warm cache (client-local; shared state only in the fences) ----- *)
 
 let warm_find c src =
   let rec go r = if r >= c.warm_n then -1 else if c.warm_src.(r) = src then r else go (r + 1) in
@@ -240,87 +430,179 @@ let warm_remove c r =
   done;
   c.warm_n <- c.warm_n - 1
 
+(* ----- routing with failover ----- *)
+
+let route_live t src primary =
+  if Pad.get t.health_w primary <> 2 || t.cfg.shards = 1 then primary
+  else begin
+    (* Spill off the quarantined shard: salted rehash, then a linear
+       probe to the first non-quarantined sibling.  Uniqueness is
+       carried by the claim table, not the route — two clients asking
+       for the same src still serialize on claims.(src) no matter
+       which shard each one's route picked. *)
+    let cand = ref (route (src lxor failover_salt) t.cfg.shards) in
+    let chosen = ref primary in
+    (try
+       for _ = 1 to t.cfg.shards do
+         if Pad.get t.health_w !cand <> 2 then begin
+           chosen := !cand;
+           raise Exit
+         end;
+         cand := (!cand + 1) mod t.cfg.shards
+       done
+     with Exit -> ());
+    !chosen
+  end
+
 (* ----- the service ----- *)
+
+let cold_grant t c ~src ~sh =
+  let slot = slot_take t c sh in
+  let sd = t.shard_tbl.(sh) in
+  Store.tally_mark c.tally;
+  let base : Store.ops = c.ops.(sh) in
+  let lease = Any.get_name sd.inst { base with pid = src } in
+  let accesses = Store.tally_since c.tally in
+  let name = sd.base + Any.name_of sd.inst lease in
+  t.slot_src.(slot) <- src;
+  t.slot_shard.(slot) <- sh;
+  t.slot_name.(slot) <- name;
+  t.slot_owner.(slot) <- c.id;
+  t.slot_held.(slot) <- true;
+  t.slot_lease.(slot) <- Some lease;
+  (* publish last: the slot only becomes visible to retirers once its
+     fields are in place *)
+  Atomic.set t.fence.(slot) fence_held;
+  ignore (Agg.acquired t.agg ~worker:c.id ~name : int * int);
+  c.acquires <- c.acquires + 1;
+  obs_inc c "server.acquired";
+  obs_observe c "server.acquire.accesses.cold" accesses;
+  Granted { name; token = slot; warm = false; accesses }
+
+let acquire_cold t c ~src =
+  let primary = route src t.cfg.shards in
+  let sh = route_live t src primary in
+  if sh <> primary then begin
+    c.failovers <- c.failovers + 1;
+    obs_inc c "server.failover"
+  end;
+  if not (Atomic.compare_and_set t.claims.(src) 0 (c.id + 1)) then begin
+    c.busy <- c.busy + 1;
+    obs_inc c "server.busy";
+    Busy
+  end
+  else if not (admit t c sh) then begin
+    ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
+    ignore (Atomic.fetch_and_add (Pad.cells t.shard_sheds).(sh) 1);
+    c.shed <- c.shed + 1;
+    obs_inc c "server.shed";
+    Shed
+  end
+  else if Pad.get t.epoch c.id <> c.my_epoch then begin
+    (* We may have spent a long time in [admit]'s drains; if the seat
+       declared us dead meanwhile our claim may already be swept —
+       back out rather than run the protocol without it. *)
+    ignore (Atomic.fetch_and_add (Pad.cells t.admitted).(sh) (-1));
+    ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
+    ignore (check_epoch t c : bool);
+    c.busy <- c.busy + 1;
+    obs_inc c "server.busy";
+    Busy
+  end
+  else cold_grant t c ~src ~sh
 
 let acquire t c ~src =
   if src < 0 || src >= t.cfg.source_space then
     invalid_arg "Server.acquire: source name out of range";
+  ignore (check_epoch t c : bool);
   let r = warm_find c src in
   if r >= 0 then begin
     (* Warm hit: the name was never returned to the protocol, so
        re-granting it to the claim holder is uniqueness-trivial — and
-       costs zero shared accesses. *)
+       costs zero protocol store accesses (the WARM→HELD fence CAS is
+       slab-local bookkeeping, invisible to the access tally). *)
     let slot = c.warm_slot.(r) in
     warm_remove c r;
-    t.slot_held.(slot) <- true;
-    c.acquires <- c.acquires + 1;
-    c.warm_hits <- c.warm_hits + 1;
-    obs_inc c "server.acquired";
-    obs_inc c "server.warm_hits";
-    obs_observe c "server.acquire.accesses.warm" 0;
-    mark c "warm" t.slot_name.(slot);
-    Granted { name = t.slot_name.(slot); token = slot; warm = true; accesses = 0 }
-  end
-  else begin
-    let sh = route src t.cfg.shards in
-    if not (Atomic.compare_and_set t.claims.(src) 0 (c.id + 1)) then begin
-      c.busy <- c.busy + 1;
-      obs_inc c "server.busy";
-      Busy
-    end
-    else if not (admit t c sh) then begin
-      Atomic.set t.claims.(src) 0;
-      c.shed <- c.shed + 1;
-      obs_inc c "server.shed";
-      Shed
+    if Atomic.compare_and_set t.fence.(slot) fence_warm fence_held then begin
+      t.slot_held.(slot) <- true;
+      c.acquires <- c.acquires + 1;
+      c.warm_hits <- c.warm_hits + 1;
+      obs_inc c "server.acquired";
+      obs_inc c "server.warm_hits";
+      obs_observe c "server.acquire.accesses.warm" 0;
+      mark c "warm" t.slot_name.(slot);
+      Granted { name = t.slot_name.(slot); token = slot; warm = true; accesses = 0 }
     end
     else begin
-      let slot = slot_take t c sh in
-      let sd = t.shard_tbl.(sh) in
-      Store.tally_mark c.tally;
-      let base : Store.ops = c.ops.(sh) in
-      let lease = Any.get_name sd.inst { base with pid = src } in
-      let accesses = Store.tally_since c.tally in
-      let name = sd.base + Any.name_of sd.inst lease in
-      t.slot_src.(slot) <- src;
-      t.slot_shard.(slot) <- sh;
-      t.slot_name.(slot) <- name;
-      t.slot_owner.(slot) <- c.id;
-      t.slot_held.(slot) <- true;
-      t.slot_lease.(slot) <- Some lease;
-      ignore (Agg.acquired t.agg ~worker:c.id ~name : int * int);
-      c.acquires <- c.acquires + 1;
-      obs_inc c "server.acquired";
-      obs_observe c "server.acquire.accesses.cold" accesses;
-      Granted { name; token = slot; warm = false; accesses }
+      (* the lease was reclaimed out of our cache — fall to cold *)
+      c.fenced <- c.fenced + 1;
+      obs_inc c "server.fenced";
+      acquire_cold t c ~src
     end
   end
+  else acquire_cold t c ~src
 
 let release t c ~token =
   let cap = Array.length t.slot_next in
-  if
-    token < 0 || token >= cap
-    || t.slot_owner.(token) <> c.id
-    || not t.slot_held.(token)
-  then invalid_arg "Server.release: not a token this client holds";
-  t.slot_held.(token) <- false;
-  if t.cfg.warm_capacity > 0 then begin
-    if c.warm_n = t.cfg.warm_capacity then begin
-      let old = c.warm_slot.(0) in
-      let osh = t.slot_shard.(old) in
-      warm_remove c 0;
-      pending_release t c osh old
-    end;
-    c.warm_src.(c.warm_n) <- t.slot_src.(token);
-    c.warm_slot.(c.warm_n) <- token;
-    c.warm_n <- c.warm_n + 1
+  if token < 0 || token >= cap then
+    invalid_arg "Server.release: not a token this client holds";
+  if check_epoch t c then begin
+    (* Declared dead while holding: if the reclaimer got to the slot
+       first it is already retired (the fence CAS below fails); if it
+       didn't, retire it through pending ourselves.  Either way the
+       caller's token dies silently — it was fenced, not mis-used. *)
+    if t.slot_owner.(token) = c.id && t.slot_held.(token) then begin
+      t.slot_held.(token) <- false;
+      if Atomic.compare_and_set t.fence.(token) fence_held fence_pending then
+        pending_release t c t.slot_shard.(token) token
+    end
   end
-  else pending_release t c t.slot_shard.(token) token
+  else if t.slot_owner.(token) <> c.id || not t.slot_held.(token) then
+    invalid_arg "Server.release: not a token this client holds"
+  else begin
+    t.slot_held.(token) <- false;
+    if Atomic.compare_and_set t.fence.(token) fence_held fence_warm then begin
+      if t.cfg.warm_capacity > 0 then begin
+        if c.warm_n = t.cfg.warm_capacity then begin
+          let old = c.warm_slot.(0) in
+          let osh = t.slot_shard.(old) in
+          warm_remove c 0;
+          if Atomic.compare_and_set t.fence.(old) fence_warm fence_pending then
+            pending_release t c osh old
+          else begin
+            c.fenced <- c.fenced + 1;
+            obs_inc c "server.fenced"
+          end
+        end;
+        c.warm_src.(c.warm_n) <- t.slot_src.(token);
+        c.warm_slot.(c.warm_n) <- token;
+        c.warm_n <- c.warm_n + 1
+      end
+      else if Atomic.compare_and_set t.fence.(token) fence_warm fence_pending then
+        pending_release t c t.slot_shard.(token) token
+      else begin
+        c.fenced <- c.fenced + 1;
+        obs_inc c "server.fenced"
+      end
+    end
+    else begin
+      (* reclaimed between grant and release (we were falsely expired
+         and re-synced meanwhile) — the lease is already retired *)
+      c.fenced <- c.fenced + 1;
+      obs_inc c "server.fenced"
+    end
+  end
 
 let flush t c =
+  ignore (check_epoch t c : bool);
   for r = 0 to c.warm_n - 1 do
     let slot = c.warm_slot.(r) in
-    pending_push t t.slot_shard.(slot) slot
+    if Atomic.compare_and_set t.fence.(slot) fence_warm fence_pending then
+      pending_push t t.slot_shard.(slot) slot
+    else begin
+      c.fenced <- c.fenced + 1;
+      obs_inc c "server.fenced"
+    end
   done;
   c.warm_n <- 0;
   for sh = 0 to t.cfg.shards - 1 do
@@ -339,9 +621,280 @@ let outstanding t =
   done;
   !s
 
+(* ----- the reclaimer seat -----
+
+   One cooperatively-claimed duty: scan heartbeats, expire dead
+   clients' leases (epoch bump first, heartbeat double-check, then
+   fence-guarded retirement), adopt dead walkers' drain cursors,
+   retire orphaned pending slots, and drive per-shard health.  Any
+   live client steals the seat when the scan heartbeat goes stale;
+   the seat epoch fences the deposed holder out of new reclaims, and
+   the per-slot fences make even a deposed holder's in-flight
+   retirement exactly-once. *)
+
+let adopt_cursor t (c : client) j =
+  let cur = (Pad.cells t.cursor).(j) in
+  let v = Atomic.get cur in
+  if v <> 0 then begin
+    let slot = (v land idx_mask) - 1 in
+    Atomic.set cur 0;
+    if slot >= 0 && slot < Array.length t.slot_next then begin
+      Atomic.incr t.rs_adopted;
+      obs_inc c "server.adopted_drains";
+      ignore (drain_walk t c slot : int)
+    end
+  end
+
+let reclaim_client t (c : client) j =
+  Atomic.incr (Pad.cells t.epoch).(j);
+  (* Double-check liveness after the epoch bump: if j's heartbeat
+     moved, it is alive — the bump only costs it one re-sync. *)
+  if Pad.get t.hb j <> t.last_hb.(j) then ()
+  else begin
+    t.dead.(j) <- true;
+    Atomic.incr t.rs_deaths;
+    obs_inc c "server.deaths";
+    (* finish the walk the corpse may have died inside *)
+    adopt_cursor t c j;
+    (* reclaim its held and warm leases *)
+    let cap = Array.length t.slot_next in
+    for slot = 0 to cap - 1 do
+      let f = Atomic.get t.fence.(slot) in
+      if (f = fence_held || f = fence_warm) && t.slot_owner.(slot) = j then begin
+        if Atomic.compare_and_set t.fence.(slot) f fence_retiring then begin
+          if t.slot_owner.(slot) <> j then
+            (* the slot was retired and re-granted between our owner
+               read and the CAS — hand it back untouched *)
+            Atomic.set t.fence.(slot) f
+          else begin
+            let ssh = t.slot_shard.(slot) in
+            retire_slot t c slot ~was_pending:false ~reset:true;
+            ignore (Atomic.fetch_and_add (Pad.cells t.shard_leaks).(ssh) 1);
+            Atomic.incr t.rs_reclaimed;
+            bump_max t.rs_reclaim_max t.stale.(j);
+            obs_inc c "server.reclaimed";
+            mark c "reclaim" slot
+          end
+        end
+      end
+    done;
+    (* sweep claims with no backing slot: a death inside an admission
+       drain leaves claims.(src) = j+1 and nothing else — without this
+       sweep that source name is Busy forever *)
+    for src = 0 to t.cfg.source_space - 1 do
+      if Atomic.get t.claims.(src) = j + 1 then begin
+        let backed = ref false in
+        for slot = 0 to cap - 1 do
+          if
+            (not !backed)
+            && t.slot_src.(slot) = src
+            && t.slot_owner.(slot) = j
+            && Atomic.get t.fence.(slot) <> fence_free
+          then backed := true
+        done;
+        if (not !backed) && Atomic.compare_and_set t.claims.(src) (j + 1) 0 then begin
+          Atomic.incr t.rs_claims_swept;
+          obs_inc c "server.claims_swept"
+        end
+      end
+    done
+  end
+
+let do_scan t (c : client) ~seat =
+  Atomic.incr t.seat_hb;
+  Atomic.incr t.rs_scans;
+  (* 1. liveness: stale heartbeats become reclaims (seat-fenced: a
+     deposed holder stops starting new reclaims) *)
+  for j = 0 to t.cfg.clients - 1 do
+    if j <> c.id then begin
+      let h = Pad.get t.hb j in
+      if h <> t.last_hb.(j) then begin
+        t.last_hb.(j) <- h;
+        t.stale.(j) <- 0;
+        t.dead.(j) <- false
+      end
+      else begin
+        t.stale.(j) <- t.stale.(j) + 1;
+        if
+          t.stale.(j) >= t.cfg.resilience.lease_ttl
+          && (not t.dead.(j))
+          && Atomic.get t.seat = seat
+        then reclaim_client t c j
+      end
+    end
+  done;
+  (* 2. orphaned pending slots: a walker that died between popping a
+     chain and finishing it leaves fence=PENDING slots reachable from
+     no list head.  Any slot stuck at PENDING for a full TTL is
+     retired directly — for a live, merely idle pending slot that is
+     just an early drain. *)
+  let cap = Array.length t.slot_next in
+  for slot = 0 to cap - 1 do
+    if Atomic.get t.fence.(slot) = fence_pending then begin
+      t.pending_seen.(slot) <- t.pending_seen.(slot) + 1;
+      if t.pending_seen.(slot) >= t.cfg.resilience.lease_ttl then begin
+        t.pending_seen.(slot) <- 0;
+        if Atomic.compare_and_set t.fence.(slot) fence_pending fence_retiring
+        then begin
+          retire_slot t c slot ~was_pending:true ~reset:false;
+          Atomic.incr t.rs_drain_heals;
+          obs_inc c "server.drain_heals"
+        end
+      end
+    end
+    else t.pending_seen.(slot) <- 0
+  done;
+  (* 3. per-shard health: heal wedged drains, then let the state
+     machine decide from this scan's deltas *)
+  for sh = 0 to t.cfg.shards - 1 do
+    let pend = Pad.get t.pending_n sh in
+    if pend > 0 && pend = t.last_pend.(sh) then begin
+      t.shard_stale.(sh) <- t.shard_stale.(sh) + 1;
+      if t.shard_stale.(sh) >= t.cfg.resilience.drain_stale then begin
+        t.shard_stale.(sh) <- 0;
+        drain_shard t c sh;
+        Atomic.incr t.rs_drain_heals
+      end
+    end
+    else t.shard_stale.(sh) <- 0;
+    t.last_pend.(sh) <- Pad.get t.pending_n sh;
+    let sheds = Pad.get t.shard_sheds sh in
+    let leaks = Pad.get t.shard_leaks sh in
+    let d_sheds = sheds - t.last_sheds.(sh) in
+    let d_leaks = leaks - t.last_leaks.(sh) in
+    t.last_sheds.(sh) <- sheds;
+    t.last_leaks.(sh) <- leaks;
+    let prev = Health.state t.hx.(sh) in
+    (* a quarantined shard is actively rebuilt: keep draining it *)
+    if prev = Health.Quarantined then drain_shard t c sh;
+    let st =
+      Health.observe t.hx.(sh) ~sheds:d_sheds ~leaks:d_leaks
+        ~pending:(Pad.get t.pending_n sh)
+        ~admitted:(Pad.get t.admitted sh)
+    in
+    Atomic.set (Pad.cells t.health_w).(sh) (health_code st);
+    (match (prev, st) with
+    | (Health.Live | Health.Degraded), Health.Quarantined ->
+        Atomic.incr t.rs_quarantines;
+        obs_inc c "server.quarantines"
+    | Health.Quarantined, Health.Live ->
+        Atomic.incr t.rs_rebuilds;
+        obs_inc c "server.rebuilds"
+    | _ -> ())
+  done
+
+let tend t (c : client) =
+  Atomic.incr (Pad.cells t.hb).(c.id);
+  c.tend_count <- c.tend_count + 1;
+  let rz = t.cfg.resilience in
+  if c.tend_count >= rz.tend_every then begin
+    c.tend_count <- 0;
+    ignore (check_epoch t c : bool);
+    let s = Atomic.get t.seat in
+    if seat_holder s = c.id then begin
+      let now = now_ns () in
+      if now - Atomic.get t.last_scan_ns >= rz.scan_interval_ns then begin
+        Atomic.set t.last_scan_ns now;
+        do_scan t c ~seat:s
+      end
+    end
+    else if s = 0 then begin
+      let s' = seat_pack ~epoch:1 ~holder:c.id in
+      if Atomic.compare_and_set t.seat 0 s' then begin
+        Atomic.set t.last_scan_ns (now_ns ());
+        do_scan t c ~seat:s'
+      end
+    end
+    else begin
+      (* watch the holder's scan heartbeat at scan cadence; steal the
+         seat (epoch+1) after seat_ttl silent intervals *)
+      let now = now_ns () in
+      if now - c.last_seat_check_ns >= rz.scan_interval_ns then begin
+        c.last_seat_check_ns <- now;
+        let hb = Atomic.get t.seat_hb in
+        if hb <> c.last_seat_hb then begin
+          c.last_seat_hb <- hb;
+          c.seat_stale <- 0
+        end
+        else begin
+          c.seat_stale <- c.seat_stale + 1;
+          if c.seat_stale >= rz.seat_ttl then begin
+            c.seat_stale <- 0;
+            let s' = seat_pack ~epoch:((s lsr seat_bits) + 1) ~holder:c.id in
+            if Atomic.compare_and_set t.seat s s' then begin
+              Atomic.incr t.rs_seat_steals;
+              obs_inc c "server.seat_steals";
+              Atomic.set t.last_scan_ns (now_ns ());
+              do_scan t c ~seat:s'
+            end
+          end
+        end
+      end
+    end
+  end
+
+let rec seize_seat t (c : client) =
+  let s = Atomic.get t.seat in
+  if seat_holder s = c.id then s
+  else begin
+    let s' = seat_pack ~epoch:((s lsr seat_bits) + 1) ~holder:c.id in
+    if Atomic.compare_and_set t.seat s s' then s' else seize_seat t c
+  end
+
+let scan t (c : client) =
+  let s = seize_seat t c in
+  Atomic.set t.last_scan_ns (now_ns ());
+  do_scan t c ~seat:s
+
+let set_chaos (c : client) f = c.chaos <- f
+let health t sh =
+  if sh < 0 || sh >= t.cfg.shards then invalid_arg "Server.health: bad shard";
+  match Pad.get t.health_w sh with
+  | 0 -> Health.Live
+  | 1 -> Health.Degraded
+  | _ -> Health.Quarantined
+
+type resilience_stats = {
+  scans : int;
+  deaths : int;
+  reclaimed : int;
+  claims_swept : int;
+  reclaim_max_scans : int;
+  drain_heals : int;
+  adopted_walks : int;
+  seat_steals : int;
+  quarantines : int;
+  rebuilds : int;
+  fenced : int;
+  failovers : int;
+}
+
+let resilience_stats t =
+  let fenced = ref 0 and failovers = ref 0 in
+  Array.iter
+    (fun (c : client) ->
+      fenced := !fenced + c.fenced;
+      failovers := !failovers + c.failovers)
+    t.clients_tbl;
+  {
+    scans = Atomic.get t.rs_scans;
+    deaths = Atomic.get t.rs_deaths;
+    reclaimed = Atomic.get t.rs_reclaimed;
+    claims_swept = Atomic.get t.rs_claims_swept;
+    reclaim_max_scans = Atomic.get t.rs_reclaim_max;
+    drain_heals = Atomic.get t.rs_drain_heals;
+    adopted_walks = Atomic.get t.rs_adopted;
+    seat_steals = Atomic.get t.rs_seat_steals;
+    quarantines = Atomic.get t.rs_quarantines;
+    rebuilds = Atomic.get t.rs_rebuilds;
+    fenced = !fenced;
+    failovers = !failovers;
+  }
+
 let name_space t = t.total_space
 let shards t = t.cfg.shards
 let shard_of t ~src = route src t.cfg.shards
+let shard_route ~shards ~src = route src shards
 let scoreboard t = t.agg
 
 let merge_flight t =
@@ -364,6 +917,13 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
   if cfg.warm_capacity < 0 then invalid_arg "Server.create: warm_capacity < 0";
   if cfg.batch < 1 then invalid_arg "Server.create: batch < 1";
   if cfg.clients < 1 then invalid_arg "Server.create: clients < 1";
+  if cfg.clients > seat_mask - 1 then
+    invalid_arg "Server.create: clients exceed seat encoding";
+  let rz = cfg.resilience in
+  if rz.scan_interval_ns < 0 then invalid_arg "Server.create: scan_interval_ns < 0";
+  if rz.lease_ttl < 1 then invalid_arg "Server.create: lease_ttl < 1";
+  if rz.seat_ttl < 1 then invalid_arg "Server.create: seat_ttl < 1";
+  if rz.tend_every < 1 then invalid_arg "Server.create: tend_every < 1";
   let cap = cfg.shards * cfg.k_per_shard in
   if cap > idx_mask - 1 then invalid_arg "Server.create: slab exceeds token encoding";
   let stores = Array.make cfg.shards None in
@@ -424,12 +984,20 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
           warm_src = Array.make (max 1 cfg.warm_capacity) (-1);
           warm_slot = Array.make (max 1 cfg.warm_capacity) (-1);
           warm_n = 0;
+          my_epoch = 0;
+          tend_count = 0;
+          last_seat_hb = 0;
+          seat_stale = 0;
+          last_seat_check_ns = 0;
+          chaos = None;
           acquires = 0;
           warm_hits = 0;
           busy = 0;
           shed = 0;
           drains = 0;
           drained = 0;
+          fenced = 0;
+          failovers = 0;
         })
   in
   {
@@ -447,7 +1015,43 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
     slot_held = Array.make cap false;
     slot_lease = Array.make cap None;
     slot_next;
+    fence = Array.init cap (fun _ -> Atomic.make fence_free);
     free = Atomic.make 1 (* slot 0, tag 0 *);
+    hb = Pad.create cfg.clients 0;
+    epoch = Pad.create cfg.clients 0;
+    cursor = Pad.create cfg.clients 0;
+    seat = Atomic.make 0;
+    seat_hb = Atomic.make 0;
+    last_scan_ns = Atomic.make 0;
+    health_w = Pad.create cfg.shards 0;
+    shard_sheds = Pad.create cfg.shards 0;
+    shard_leaks = Pad.create cfg.shards 0;
+    hx =
+      Array.init cfg.shards (fun _ ->
+          Health.create
+            {
+              Health.degrade_sheds = rz.degrade_sheds;
+              quarantine_leaks = rz.quarantine_leaks;
+              drain_stale = rz.drain_stale;
+            });
+    last_hb = Array.make cfg.clients min_int;
+    stale = Array.make cfg.clients 0;
+    dead = Array.make cfg.clients false;
+    pending_seen = Array.make cap 0;
+    last_pend = Array.make cfg.shards 0;
+    shard_stale = Array.make cfg.shards 0;
+    last_sheds = Array.make cfg.shards 0;
+    last_leaks = Array.make cfg.shards 0;
+    rs_scans = Atomic.make 0;
+    rs_deaths = Atomic.make 0;
+    rs_reclaimed = Atomic.make 0;
+    rs_claims_swept = Atomic.make 0;
+    rs_reclaim_max = Atomic.make 0;
+    rs_drain_heals = Atomic.make 0;
+    rs_adopted = Atomic.make 0;
+    rs_seat_steals = Atomic.make 0;
+    rs_quarantines = Atomic.make 0;
+    rs_rebuilds = Atomic.make 0;
     agg;
     total_space = !base;
     clients_tbl;
@@ -465,6 +1069,8 @@ type client_stats = {
   shed : int;
   drains : int;
   drained_releases : int;
+  fenced : int;
+  failovers : int;
 }
 
 let client_stats (c : client) =
@@ -475,9 +1081,12 @@ let client_stats (c : client) =
     shed = c.shed;
     drains = c.drains;
     drained_releases = c.drained;
+    fenced = c.fenced;
+    failovers = c.failovers;
   }
 
 let client_obs c = c.obs
+let client_id (c : client) = c.id
 
 (* ----- telemetry probes -----
 
@@ -486,7 +1095,8 @@ let client_obs c = c.obs
    (well-defined under the OCaml memory model, possibly stale —
    telemetry-grade by design).  No probe writes anything, so attaching
    a sampler adds zero shared accesses to any request path; in
-   particular the warm-grant path stays at its verified 0. *)
+   particular the warm-grant path stays at its verified 0 protocol
+   accesses. *)
 
 type shard_probe = { admitted : int; pending : int; warm : int }
 
@@ -536,10 +1146,14 @@ let sampler_sources t =
                read = (fun () -> Pad.get t.pending_n sh) };
              { Obs.Sampler.name = "shard" ^ p ^ ".warm";
                read = (fun () -> probe_warm_shard t sh) };
+             { Obs.Sampler.name = "shard" ^ p ^ ".health";
+               read = (fun () -> Pad.get t.health_w sh) };
            ]))
   in
   shard_sources
   @ [
       { Obs.Sampler.name = "slab.free"; read = (fun () -> probe_free t) };
       { Obs.Sampler.name = "claims.held"; read = (fun () -> probe_claims t) };
+      { Obs.Sampler.name = "seat.scans"; read = (fun () -> Atomic.get t.rs_scans) };
+      { Obs.Sampler.name = "reclaimed"; read = (fun () -> Atomic.get t.rs_reclaimed) };
     ]

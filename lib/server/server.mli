@@ -1,4 +1,5 @@
-(** Renaming as a service: a sharded, batched name server.
+(** Renaming as a service: a sharded, batched, {e self-healing} name
+    server.
 
     The paper's {e long-lived} property — names can be acquired and
     released forever, at a cost independent of the unbounded source
@@ -28,19 +29,56 @@
     {- {b A per-client warm-name cache.}  A released name stays {e
        held} from the protocol's point of view, cached client-side; a
        re-acquire of the same source name by the same client is
-       granted from the cache with {b zero} shared accesses.  This is
-       legal {e precisely because renaming is long-lived}: the server
-       never returned the name, it merely held it longer — §2's
+       granted from the cache with {b zero} protocol (store) accesses.
+       This is legal {e precisely because renaming is long-lived}: the
+       server never returned the name, it merely held it longer — §2's
        uniqueness condition cannot be violated by re-granting a name
        to the process that already holds it, and the claim table keeps
        every other client out ({!outcome.Busy}) until the lease is
-       actually drained.}}
+       actually drained.}
+    {- {b Resilience.}  Every lease retirement — batched drain or
+       crash reclaim — must win a CAS on the slot's {e retirement
+       fence}, so it happens exactly once no matter how drains,
+       reclaims and fenced clients interleave.  Liveness rides on
+       {!tend}: clients heartbeat, and one of them cooperatively holds
+       the {e reclaimer seat} — scanning for dead clients (reclaiming
+       their leases through the protocol's [reset_footprint], adopting
+       drain walks they died inside, sweeping their claims), healing
+       wedged drains, and driving per-shard {!Health}: a shard that
+       leaks leases or wedges its drain is {e quarantined}, its
+       acquires spill to a sibling (salted-rehash failover — the claim
+       table keeps uniqueness, not the route), and it is re-admitted
+       once rebuilt in place.  A client declared dead by mistake is
+       {e fenced} by its epoch: it re-syncs and carries on, its stale
+       tokens dying silently rather than double-retiring.}}
 
     Uniqueness is monitored on-line through a {!Runtime.Agg}
     scoreboard exactly as {!Runtime.Domain_runner} does, and when a
     registry / flight ring is supplied every client writes its own
     shard, so the whole [lib/obs] stack (occupancy, provenance,
     Perfetto export) applies to server runs unchanged. *)
+
+module Health = Health
+module Policy = Policy
+
+type resilience = {
+  scan_interval_ns : int;
+      (** Wall-clock spacing between reclaimer scans ([0] = every
+          eligible {!tend}). *)
+  lease_ttl : int;
+      (** Scans without a heartbeat before a client is declared dead
+          (also the orphaned-pending retirement threshold). *)
+  seat_ttl : int;
+      (** Silent scan intervals before the reclaimer seat is stolen. *)
+  tend_every : int;  (** {!tend} calls between seat/epoch checks. *)
+  degrade_sheds : int;  (** {!Health.thresholds.degrade_sheds}. *)
+  quarantine_leaks : int;  (** {!Health.thresholds.quarantine_leaks}. *)
+  drain_stale : int;  (** {!Health.thresholds.drain_stale}. *)
+}
+
+val default_resilience : resilience
+(** [scan_interval_ns = 1ms], [lease_ttl = 8], [seat_ttl = 4],
+    [tend_every = 32], and {!Health.default_thresholds}. *)
 
 type config = {
   shards : int;  (** Protocol instances in the pool. *)
@@ -49,6 +87,7 @@ type config = {
   warm_capacity : int;  (** Warm leases cached per client ([0] disables). *)
   batch : int;  (** Pending releases that trip a shard drain. *)
   clients : int;  (** Registered client handles (one per domain). *)
+  resilience : resilience;
 }
 
 val default_config :
@@ -56,11 +95,13 @@ val default_config :
   ?k_per_shard:int ->
   ?warm_capacity:int ->
   ?batch:int ->
+  ?resilience:resilience ->
   clients:int ->
   source_space:int ->
   unit ->
   config
-(** Defaults: 4 shards of [k = 4], warm capacity 2, batch 8. *)
+(** Defaults: 4 shards of [k = 4], warm capacity 2, batch 8,
+    {!default_resilience}. *)
 
 type t
 type client
@@ -91,22 +132,27 @@ val create :
     created here, before any domain runs.  [parked] (default [0]) is
     the number of clients that will park holding a name — forwarded
     to the {!Runtime.Agg} scoreboard.
-    @raise Invalid_argument on a non-positive dimension, or when the
-    slab would exceed the token encoding (≈2M slots). *)
+    @raise Invalid_argument on a non-positive dimension, a bad
+    resilience knob, or when the slab would exceed the token encoding
+    (≈2M slots). *)
 
 val client : t -> int -> client
 (** The preallocated handle of client [id ∈ \[0, clients)].  A handle
     is single-owner: exactly one domain may use it. *)
 
 val acquire : t -> client -> src:int -> outcome
-(** Serve one acquire request for source name [src].
+(** Serve one acquire request for source name [src].  When the
+    routed shard is quarantined the request fails over to a live
+    sibling (counted in {!resilience_stats.failovers}).
     @raise Invalid_argument when [src] is outside [\[0, source_space)]. *)
 
 val release : t -> client -> token:int -> unit
 (** Give a granted name back: into the warm cache (evicting the
     oldest warm lease onto the shard's pending list when full), or
     straight onto the pending list when caching is off.  Drains the
-    shard when the batch threshold trips.
+    shard when the batch threshold trips.  A client that was declared
+    dead and fenced does {e not} raise here: its token was retired on
+    its behalf (or is now), and the release is absorbed silently.
     @raise Invalid_argument if [token] is not a slot this client
     holds. *)
 
@@ -120,11 +166,71 @@ val drain_all : t -> client -> unit
 (** Drain every shard's pending list, [client] doing the work — call
     after the join to retire batched releases other clients left
     behind.  Cannot flush other clients' warm caches (see {!flush});
-    anything still warm after a crash stays held and shows up in
-    {!outstanding} — exactly a leak. *)
+    anything still warm after a crash stays held until {!scan}
+    reclaims it, and shows up in {!outstanding} meanwhile — exactly a
+    leak. *)
 
 val outstanding : t -> int
 (** Names currently held, warm, or pending drain, across all shards. *)
+
+(** {1 Liveness: heartbeats, the reclaimer seat, health}
+
+    Crash tolerance is cooperative: no external reclaimer process
+    exists.  Clients call {!tend} once per request (or at any
+    convenient cadence); it bumps the caller's heartbeat and, every
+    [tend_every] calls, checks the {e reclaimer seat} — claiming it if
+    vacant, scanning if held and due, stealing it if the holder's scan
+    heartbeat has been silent for [seat_ttl] intervals.  The seat's
+    epoch fences deposed holders; the per-slot fences make even an
+    in-flight deposed retirement exactly-once. *)
+
+val tend : t -> client -> unit
+(** Heartbeat + seat duty.  Cheap when off-duty: one atomic increment
+    per call, seat logic only every [tend_every] calls and at most
+    once per [scan_interval_ns]. *)
+
+val scan : t -> client -> unit
+(** Seize the seat unconditionally and run one scan now — for tests
+    and run epilogues (e.g. settling leaked leases after a join);
+    production clients should let {!tend} pace scans instead. *)
+
+val seize_seat : t -> client -> int
+(** Take the reclaimer seat (epoch-fenced CAS; returns the new seat
+    word).  Exposed so a fault plan can start a run with a chosen
+    victim on duty. *)
+
+val health : t -> int -> Health.state
+(** The router-visible health of a shard.
+    @raise Invalid_argument on a bad shard index. *)
+
+val set_chaos : client -> (string -> unit) option -> unit
+(** Install a fault-injection hook on a client handle; it fires at
+    every drain-walk slot boundary (tag ["drain"]) {e before} the
+    slot's retirement fence is attempted, so a hook that raises or
+    parks models a crash that can orphan a pending chain but never
+    half-retires a slot.  Owning domain only. *)
+
+type resilience_stats = {
+  scans : int;  (** Reclaimer scans executed (all seat holders). *)
+  deaths : int;  (** Clients declared dead. *)
+  reclaimed : int;  (** Leases reclaimed from dead clients. *)
+  claims_swept : int;  (** Orphaned source claims cleared. *)
+  reclaim_max_scans : int;
+      (** Worst staleness (in scans) at which a lease was reclaimed —
+          the chaos campaign's time-to-reclaim bound. *)
+  drain_heals : int;  (** Wedged-drain + orphaned-pending retirements. *)
+  adopted_walks : int;  (** Dead walkers' drain cursors adopted. *)
+  seat_steals : int;
+  quarantines : int;  (** Shard transitions into quarantine. *)
+  rebuilds : int;  (** Quarantined shards re-admitted. *)
+  fenced : int;  (** Client operations absorbed by an epoch fence. *)
+  failovers : int;  (** Acquires spilled off a quarantined shard. *)
+}
+
+val resilience_stats : t -> resilience_stats
+(** Snapshot of the liveness counters.  Atomics plus per-client
+    single-writer fields — read after the join for exact values,
+    any time for telemetry-grade ones. *)
 
 val name_space : t -> int
 val shards : t -> int
@@ -132,7 +238,12 @@ val shards : t -> int
 val shard_of : t -> src:int -> int
 (** The shard serving [src] — a pure function of [(src, shards)], so
     routing is stable across calls, clients and server instances of
-    the same geometry. *)
+    the same geometry.  Failover may serve [src] elsewhere while that
+    shard is quarantined. *)
+
+val shard_route : shards:int -> src:int -> int
+(** {!shard_of} without a server: the same pure routing function, for
+    harnesses that need a shard's source set before construction. *)
 
 val scoreboard : t -> Runtime.Agg.t
 (** The live uniqueness/concurrency scoreboard (violations, holder
@@ -153,9 +264,13 @@ type client_stats = {
   shed : int;
   drains : int;  (** Times this client drained a shard. *)
   drained_releases : int;  (** Protocol releases it executed doing so. *)
+  fenced : int;  (** Operations absorbed by this client's epoch fence. *)
+  failovers : int;  (** Acquires it spilled off quarantined shards. *)
 }
 
 val client_stats : client -> client_stats
+val client_id : client -> int
+
 val client_obs : client -> Obs.Registry.shard option
 (** The client's registry shard (when a registry was supplied) — the
     load harness adds its latency series to the same shard. *)
@@ -167,7 +282,8 @@ val client_obs : client -> Obs.Registry.shard option
     own fields (possibly stale — telemetry-grade by design).  Nothing
     is written, so attaching a {!Obs.Sampler} adds {b zero} shared
     accesses to any request path; the warm-grant path keeps its
-    verified 0. *)
+    verified 0 {e protocol} accesses (its one slab-local fence CAS is
+    outside the tallied store). *)
 
 type shard_probe = {
   admitted : int;  (** Admission occupancy: held + warm + pending ≤ k. *)
@@ -187,5 +303,6 @@ val probe_claims : t -> int
 
 val sampler_sources : t -> Obs.Sampler.source list
 (** The canonical gauge set for {!Obs.Sampler.create}: per shard
-    [shardN.admitted] / [shardN.pending] / [shardN.warm], plus
-    [slab.free] and [claims.held]. *)
+    [shardN.admitted] / [shardN.pending] / [shardN.warm] /
+    [shardN.health], plus [slab.free], [claims.held], [seat.scans]
+    and [reclaimed]. *)

@@ -127,6 +127,11 @@ let server_churn ?(theta = 0.99) ?(rate = 0.) ?(think = 0) ~s ~requests ~seed ~c
     think;
   }
 
+let pin ~sources spec =
+  let n = Array.length sources in
+  if n = 0 then invalid_arg "Workload.pin: empty source table";
+  { spec with source = (fun i -> sources.(spec.source i mod n)) }
+
 let idle (ops : Shared_mem.Store.ops) ~work n =
   for _ = 1 to n do
     ignore (ops.read work)

@@ -105,6 +105,13 @@ val server_churn :
     clients of the same [seed] share the distribution but draw
     independent request streams. *)
 
+val pin : sources:int array -> server_spec -> server_spec
+(** Remap a spec's source stream through a fixed table: request [i]
+    asks for [sources.(source i mod length)].  Keeps the stream's
+    skew but confines it to the given names — e.g. the sources one
+    shard serves, to build a hot-shard fault plan.
+    @raise Invalid_argument on an empty table. *)
+
 val body :
   (module Renaming.Protocol.S with type t = 'a) ->
   'a ->

@@ -1,0 +1,311 @@
+(* The resilience layer, checked three ways: exhaustive 2-process
+   interleaving models of the failover claim gate and the reclaimer
+   seat steal (with seeded mutants that must die), QCheck2 properties
+   of the backoff policy, the shard health state machine in
+   isolation, and a one-seed smoke of the whole chaos campaign.
+
+   The interleaving models are hand-rolled: each process is a small
+   program counter over atomic steps on a shared record, and the
+   checker DFS-enumerates every schedule.  The state spaces are tiny
+   (tens of states), so closure is total — no sampling, no
+   reductions.  What the models pin down is exactly the two arguments
+   the server code makes in prose: a failover re-route cannot break
+   uniqueness because the claim CAS is the gate, not the route; and a
+   deposed seat holder cannot double-retire a slot because the
+   per-slot fence CAS is the gate, not the seat check. *)
+
+(* ----- exhaustive 2-proc interleaving checker ----- *)
+
+(* A process is (pc, step): [step state pc] runs one atomic action and
+   returns the next pc, or None when done.  [explore] runs every
+   interleaving from a fresh state and folds [violated] over final
+   states; state is copied via [clone] so branches don't alias. *)
+let explore ~init ~clone ~step ~procs ~violated =
+  let bad = ref None in
+  let rec go state pcs =
+    let live =
+      List.filteri (fun _ pc -> pc >= 0) pcs |> List.length
+    in
+    if live = 0 then begin
+      match violated state with
+      | Some msg -> if !bad = None then bad := Some msg
+      | None -> ()
+    end
+    else
+      List.iteri
+        (fun i pc ->
+          if pc >= 0 && !bad = None then begin
+            let state' = clone state in
+            let pc' = match step state' i pc with Some p -> p | None -> -1 in
+            go state' (List.mapi (fun j p -> if j = i then pc' else p) pcs)
+          end)
+        pcs
+  in
+  go init (List.init procs (fun _ -> 0));
+  !bad
+
+(* ----- model 1: failover claim gate ----- *)
+
+(* Shard 0 is quarantined, so both processes re-route the same source
+   to shard 1 and race the admission.  Steps: read the claim word,
+   CAS it, bind a slot.  Correctness: at most one process ever holds
+   the source, no matter the schedule — the claim CAS is what
+   guarantees it, the (shared) failover route guarantees nothing. *)
+type claim_state = {
+  mutable claim : int; (* 0 free, else pid+1 *)
+  mutable read : int array; (* each proc's read of [claim] *)
+  mutable holders : int list; (* procs that bound a slot *)
+}
+
+let claim_clone s = { s with read = Array.copy s.read; holders = s.holders }
+
+let claim_step ~gated s i = function
+  | 0 ->
+      s.read.(i) <- s.claim;
+      Some 1
+  | 1 ->
+      if gated then
+        if s.read.(i) = 0 && s.claim = 0 then begin
+          (* CAS claim 0 -> i+1 *)
+          s.claim <- i + 1;
+          Some 2
+        end
+        else None (* Busy: give up *)
+      else begin
+        (* mutant: route checked, claim written blind *)
+        s.claim <- i + 1;
+        Some 2
+      end
+  | 2 ->
+      s.holders <- i :: s.holders;
+      None
+  | _ -> None
+
+let claim_violated s =
+  if List.length s.holders > 1 then Some "two holders of one source" else None
+
+let test_mc_failover_claim_gate () =
+  let run gated =
+    explore
+      ~init:{ claim = 0; read = [| 0; 0 |]; holders = [] }
+      ~clone:claim_clone ~step:(claim_step ~gated) ~procs:2
+      ~violated:claim_violated
+  in
+  (match run true with
+  | None -> ()
+  | Some m -> Alcotest.failf "claim gate broken: %s" m);
+  match run false with
+  | Some _ -> () (* the ungated mutant must be caught *)
+  | None -> Alcotest.fail "ungated mutant survived every interleaving"
+
+(* ----- model 2: seat steal vs in-flight retirement ----- *)
+
+(* The deposed holder O is mid-reclaim when S steals the seat and
+   scans the same slot.  Both try to retire it.  Steps for each:
+   check the seat (O only — S just stole it), CAS the slot fence
+   HELD -> RETIRING, then retire.  Correctness: the slot is retired
+   exactly once on every schedule.  The seat check alone cannot give
+   that (O may pass it before the steal); the fence CAS does. *)
+type seat_state = {
+  mutable seat : int; (* holder id *)
+  mutable fence : int; (* 0 held, 1 retiring, 2 free *)
+  mutable won : bool array; (* per-proc fence CAS result *)
+  mutable retired : int;
+}
+
+let seat_clone s = { s with won = Array.copy s.won }
+
+let seat_step ~fenced s i = function
+  | 0 ->
+      if i = 0 then
+        (* O re-checks its seat before starting the reclaim *)
+        if s.seat = 0 then Some 1 else None
+      else begin
+        (* S steals the seat, then scans *)
+        s.seat <- 1;
+        Some 1
+      end
+  | 1 ->
+      if fenced then
+        if s.fence = 0 then begin
+          s.fence <- 1;
+          s.won.(i) <- true;
+          Some 2
+        end
+        else None (* lost the CAS: someone else is retiring *)
+      else begin
+        s.won.(i) <- true;
+        Some 2
+      end
+  | 2 ->
+      s.retired <- s.retired + 1;
+      s.fence <- 2;
+      None
+  | _ -> None
+
+let seat_violated s =
+  if s.retired <> 1 then
+    Some (Printf.sprintf "slot retired %d times" s.retired)
+  else None
+
+let test_mc_seat_steal_fence () =
+  let run fenced =
+    explore
+      ~init:{ seat = 0; fence = 0; won = [| false; false |]; retired = 0 }
+      ~clone:seat_clone ~step:(seat_step ~fenced) ~procs:2
+      ~violated:seat_violated
+  in
+  (match run true with
+  | None -> ()
+  | Some m -> Alcotest.failf "fenced retirement broken: %s" m);
+  match run false with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unfenced mutant survived every interleaving"
+
+(* ----- backoff policy properties ----- *)
+
+let policy_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((seed, client), (attempt, (base, capx))) ->
+        (seed, client, attempt, base, base + capx))
+      (pair (pair int (int_range 0 63))
+         (pair (int_range 0 40) (pair (int_range 1 256) (int_range 0 8192)))))
+
+let test_backoff_bounded =
+  Test_util.qtest ~count:500 "backoff in [1, cap] at every coordinate"
+    policy_gen
+    (fun (seed, client, attempt, base, cap) ->
+      let p = Server.Policy.make ~seed ~base_spins:base ~cap_spins:cap () in
+      let n = Server.Policy.backoff_spins p ~client ~attempt in
+      n >= 1 && n <= cap)
+
+let test_backoff_deterministic =
+  Test_util.qtest ~count:500 "backoff is a pure function of its coordinates"
+    policy_gen
+    (fun (seed, client, attempt, base, cap) ->
+      let p = Server.Policy.make ~seed ~base_spins:base ~cap_spins:cap () in
+      let q = Server.Policy.make ~seed ~base_spins:base ~cap_spins:cap () in
+      Server.Policy.backoff_spins p ~client ~attempt
+      = Server.Policy.backoff_spins q ~client ~attempt)
+
+let test_backoff_seeds_differ =
+  (* jitter must actually decorrelate colliding clients: two seeds
+     give a different schedule somewhere in the early attempts (the
+     late ones are clamped to the cap for every seed) *)
+  Test_util.qtest ~count:300 "different seeds give different schedules"
+    QCheck2.Gen.(pair (pair int int) (int_range 0 63))
+    (fun ((s1, s2), client) ->
+      QCheck2.assume (s1 <> s2);
+      let p1 = Server.Policy.make ~seed:s1 () in
+      let p2 = Server.Policy.make ~seed:s2 () in
+      List.exists
+        (fun attempt ->
+          Server.Policy.backoff_spins p1 ~client ~attempt
+          <> Server.Policy.backoff_spins p2 ~client ~attempt)
+        (List.init 7 (fun i -> i)))
+
+let test_backoff_caps_out () =
+  (* once the exponential passes the cap, the spin count is exactly
+     the cap — including at shift-overflow attempts *)
+  let p = Server.Policy.make ~seed:7 ~base_spins:64 ~cap_spins:4096 () in
+  List.iter
+    (fun attempt ->
+      Alcotest.(check int)
+        (Printf.sprintf "attempt %d clamps to the cap" attempt)
+        4096
+        (Server.Policy.backoff_spins p ~client:3 ~attempt))
+    [ 6; 10; 20; 40; 1000 ]
+
+(* ----- the shard health state machine ----- *)
+
+let th =
+  { Server.Health.degrade_sheds = 4; quarantine_leaks = 1; drain_stale = 3 }
+
+let obs h ~sheds ~leaks ~pending ~admitted =
+  Server.Health.observe h ~sheds ~leaks ~pending ~admitted
+
+let test_health_degrade_recover () =
+  let h = Server.Health.create th in
+  Alcotest.(check bool) "starts live" true (Server.Health.state h = Live);
+  let st = obs h ~sheds:4 ~leaks:0 ~pending:0 ~admitted:2 in
+  Alcotest.(check bool) "sheds degrade" true (st = Degraded);
+  let st = obs h ~sheds:0 ~leaks:0 ~pending:0 ~admitted:2 in
+  Alcotest.(check bool) "a quiet scan heals" true (st = Live);
+  Alcotest.(check int) "no quarantine" 0 (Server.Health.quarantines h)
+
+let test_health_quarantine_rebuild () =
+  let h = Server.Health.create th in
+  let st = obs h ~sheds:0 ~leaks:1 ~pending:0 ~admitted:3 in
+  Alcotest.(check bool) "a leak quarantines" true (st = Quarantined);
+  (* still draining: not re-admitted *)
+  let st = obs h ~sheds:0 ~leaks:0 ~pending:1 ~admitted:0 in
+  Alcotest.(check bool) "pending blocks the rebuild" true (st = Quarantined);
+  let st = obs h ~sheds:0 ~leaks:0 ~pending:0 ~admitted:2 in
+  Alcotest.(check bool) "admissions block the rebuild" true (st = Quarantined);
+  let st = obs h ~sheds:0 ~leaks:0 ~pending:0 ~admitted:0 in
+  Alcotest.(check bool) "clean + empty re-admits" true (st = Live);
+  Alcotest.(check int) "one quarantine" 1 (Server.Health.quarantines h);
+  Alcotest.(check int) "one rebuild" 1 (Server.Health.rebuilds h)
+
+let test_health_wedged_drain () =
+  let h = Server.Health.create th in
+  (* the first sighting only records the census; staleness counts the
+     scans after it that fail to move the number *)
+  for _ = 0 to th.Server.Health.drain_stale do
+    ignore (obs h ~sheds:0 ~leaks:0 ~pending:5 ~admitted:1)
+  done;
+  Alcotest.(check bool) "a wedged drain quarantines" true
+    (Server.Health.state h = Quarantined);
+  (* pending moving at all resets the staleness clock *)
+  let h2 = Server.Health.create th in
+  ignore (obs h2 ~sheds:0 ~leaks:0 ~pending:5 ~admitted:1);
+  ignore (obs h2 ~sheds:0 ~leaks:0 ~pending:4 ~admitted:1);
+  ignore (obs h2 ~sheds:0 ~leaks:0 ~pending:4 ~admitted:1);
+  ignore (obs h2 ~sheds:0 ~leaks:0 ~pending:3 ~admitted:1);
+  Alcotest.(check bool) "a slow drain is not a wedged drain" true
+    (Server.Health.state h2 = Live)
+
+(* ----- one-seed chaos smoke ----- *)
+
+let test_chaos_smoke () =
+  let seed = List.hd Campaign.default_seeds in
+  let outcomes = Campaign.run_chaos ~seeds:[ seed ] ~requests:600 () in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %#x %s: %s" o.Campaign.co_seed
+           (Campaign.chaos_fault_name o.Campaign.co_fault)
+           o.Campaign.co_msg)
+        true o.Campaign.co_ok)
+    outcomes;
+  Alcotest.(check bool) "the campaign killed someone" true
+    (Campaign.chaos_ok outcomes)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "modelcheck",
+        [
+          Alcotest.test_case "failover claim gate, 2 procs exhaustive" `Quick
+            test_mc_failover_claim_gate;
+          Alcotest.test_case "seat steal vs retirement fence, 2 procs exhaustive"
+            `Quick test_mc_seat_steal_fence;
+        ] );
+      ( "backoff",
+        [
+          test_backoff_bounded;
+          test_backoff_deterministic;
+          test_backoff_seeds_differ;
+          Alcotest.test_case "clamps to the cap" `Quick test_backoff_caps_out;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "degrade and recover" `Quick test_health_degrade_recover;
+          Alcotest.test_case "quarantine and rebuild" `Quick
+            test_health_quarantine_rebuild;
+          Alcotest.test_case "wedged drain" `Quick test_health_wedged_drain;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "one-seed campaign" `Quick test_chaos_smoke ] );
+    ]

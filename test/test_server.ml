@@ -207,6 +207,139 @@ let test_fault_campaign_one_shard () =
   Alcotest.(check int) "leak accounting agrees" report.Churn.result.Agg.leaked
     report.Churn.outstanding
 
+(* --- crash-tolerant reclamation --- *)
+
+let test_reclaim_crashed_client () =
+  let config = cfg ~shards:2 ~k:4 ~warm:2 ~clients:2 ~s:64 () in
+  let t = Server.create config in
+  let c0 = Server.client t 0 and c1 = Server.client t 1 in
+  (* client 1 holds one lease, caches another warm, then crashes *)
+  (match Server.acquire t c1 ~src:5 with
+  | Server.Granted _ -> ()
+  | _ -> Alcotest.fail "c1 not granted");
+  (match Server.acquire t c1 ~src:9 with
+  | Server.Granted g -> Server.release t c1 ~token:g.token
+  | _ -> Alcotest.fail "c1 not granted a warm lease");
+  Alcotest.(check bool) "leases outstanding" true (Server.outstanding t > 0);
+  (match Server.acquire t c0 ~src:5 with
+  | Server.Busy -> ()
+  | _ -> Alcotest.fail "a corpse's held source is still Busy");
+  let ttl = config.Server.resilience.Server.lease_ttl in
+  for _ = 1 to ttl + 2 do
+    Server.scan t c0
+  done;
+  let rs = Server.resilience_stats t in
+  Alcotest.(check int) "one death declared" 1 rs.Server.deaths;
+  Alcotest.(check int) "held + warm leases reclaimed" 2 rs.Server.reclaimed;
+  Alcotest.(check int) "nothing outstanding after reclaim" 0 (Server.outstanding t);
+  Alcotest.(check bool) "reclaim bounded by the lease TTL" true
+    (rs.Server.reclaim_max_scans <= 2 * ttl);
+  (* the reclaimed sources serve again (possibly via failover) *)
+  (match Server.acquire t c0 ~src:5 with
+  | Server.Granted g -> Server.release t c0 ~token:g.token
+  | _ -> Alcotest.fail "a reclaimed source must be grantable");
+  Server.flush t c0;
+  let r = Agg.result ~reclaimed:rs.Server.reclaimed (Server.scoreboard t) in
+  Alcotest.(check int) "no violations" 0 r.Agg.violations;
+  Alcotest.(check int) "leaks reconciled by reclaim" 0 r.Agg.leaked
+
+let test_drain_reclaim_race () =
+  (* regression: a pending chain walked by a live drainer while the
+     reclaimer's orphan sweep retires the same slots must retire each
+     exactly once.  A double retirement double-decrements the
+     admission census or double-releases on the scoreboard — both
+     visible below.  The scanner also races liveness itself: the
+     churners tend, but on an oversubscribed host they still get
+     declared dead under the short TTL, so the false-expiry path
+     (epoch fence + re-sync) is exercised too. *)
+  let config = cfg ~shards:1 ~k:4 ~warm:1 ~batch:2 ~clients:3 ~s:32 () in
+  let t = Server.create config in
+  let churn id cycles =
+    Domain.spawn (fun () ->
+        let c = Server.client t id in
+        let seed = ref (id + 1) in
+        for _ = 1 to cycles do
+          seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+          (match Server.acquire t c ~src:(!seed mod 32) with
+          | Server.Granted g -> Server.release t c ~token:g.token
+          | Server.Busy | Server.Shed -> ());
+          Server.tend t c
+        done;
+        Server.flush t c)
+  in
+  let d0 = churn 0 3_000 and d1 = churn 1 3_000 in
+  let scanner =
+    Domain.spawn (fun () ->
+        let c = Server.client t 2 in
+        for _ = 1 to 400 do
+          Server.scan t c;
+          Server.drain_all t c
+        done)
+  in
+  Domain.join d0;
+  Domain.join d1;
+  Domain.join scanner;
+  let c0 = Server.client t 0 in
+  let settle = ref 0 in
+  while Server.outstanding t > 0 && !settle < 64 do
+    incr settle;
+    Server.scan t c0;
+    Server.drain_all t c0
+  done;
+  let rs = Server.resilience_stats t in
+  let r = Agg.result ~reclaimed:rs.Server.reclaimed (Server.scoreboard t) in
+  Alcotest.(check int) "no violations under drain/reclaim races" 0 r.Agg.violations;
+  Alcotest.(check int) "every slot retired exactly once" 0 (Server.outstanding t);
+  Alcotest.(check int) "scoreboard agrees" 0 r.Agg.leaked
+
+(* --- quarantine, failover, rebuild --- *)
+
+let test_failover_quarantine () =
+  let config = cfg ~shards:2 ~k:4 ~warm:0 ~clients:2 ~s:64 () in
+  let t = Server.create config in
+  let c0 = Server.client t 0 and c1 = Server.client t 1 in
+  (* a source served by shard 0, leaked by a crash *)
+  let src = ref 0 in
+  while Server.shard_of t ~src:!src <> 0 do
+    incr src
+  done;
+  let src = !src in
+  (match Server.acquire t c1 ~src with
+  | Server.Granted _ -> ()
+  | _ -> Alcotest.fail "c1 not granted");
+  (* the quarantine window is tight — the reclaim empties the shard,
+     so the very next clean scan rebuilds it.  Scan just far enough to
+     catch the shard in quarantine. *)
+  let ttl = config.Server.resilience.Server.lease_ttl in
+  let n = ref 0 in
+  while Server.health t 0 <> Server.Health.Quarantined && !n < 2 * ttl do
+    incr n;
+    Server.scan t c0
+  done;
+  Alcotest.(check bool) "leaking shard quarantined" true
+    (Server.health t 0 = Server.Health.Quarantined);
+  let rs = Server.resilience_stats t in
+  Alcotest.(check bool) "quarantine counted" true (rs.Server.quarantines >= 1);
+  (* acquires routed at the quarantined shard spill over and still grant *)
+  (match Server.acquire t c0 ~src with
+  | Server.Granted g -> Server.release t c0 ~token:g.token
+  | _ -> Alcotest.fail "failover must still grant");
+  let rs = Server.resilience_stats t in
+  Alcotest.(check bool) "failover counted" true (rs.Server.failovers >= 1);
+  Server.flush t c0;
+  (* clean scans rebuild the shard in place *)
+  let n = ref 0 in
+  while Server.health t 0 <> Server.Health.Live && !n < 16 do
+    incr n;
+    Server.scan t c0
+  done;
+  Alcotest.(check bool) "shard re-admitted as live" true
+    (Server.health t 0 = Server.Health.Live);
+  let rs = Server.resilience_stats t in
+  Alcotest.(check bool) "rebuild counted" true (rs.Server.rebuilds >= 1);
+  let r = Agg.result ~reclaimed:rs.Server.reclaimed (Server.scoreboard t) in
+  Alcotest.(check int) "no violations through failover" 0 r.Agg.violations
+
 let () =
   Alcotest.run "server"
     [
@@ -225,5 +358,14 @@ let () =
           Alcotest.test_case "releases survive the join" `Quick test_join_drain;
           Alcotest.test_case "fault campaign on one shard" `Quick
             test_fault_campaign_one_shard;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "crashed client reclaimed" `Quick
+            test_reclaim_crashed_client;
+          Alcotest.test_case "drain vs reclaim exactly-once" `Quick
+            test_drain_reclaim_race;
+          Alcotest.test_case "quarantine, failover, rebuild" `Quick
+            test_failover_quarantine;
         ] );
     ]
