@@ -502,6 +502,26 @@ let scan_float_key s key =
   in
   find 0
 
+(* Same discipline for a quoted string value following [key]. *)
+let scan_string_key s key =
+  let rec find i =
+    if i + String.length key > String.length s then None
+    else if String.sub s i (String.length key) = key then begin
+      let j = ref (i + String.length key) in
+      if !j < String.length s && s.[!j] = '"' then begin
+        incr j;
+        let start = !j in
+        while !j < String.length s && s.[!j] <> '"' do
+          incr j
+        done;
+        Some (String.sub s start (!j - start))
+      end
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
 (* Compare the last two entries of the bench trend log: the obs
    overhead ratio may not grow, and server throughput may not drop,
    beyond --tolerance percent.  Fewer than two entries is a clean
@@ -558,10 +578,127 @@ let observe_diff history tolerance =
             check "chaos availability" ~worse_if_over:false
               "\"chaos_availability\":"
           in
-          if obs_ok && server_ok && backends_ok && chaos_ok then 0 else 1
+          (* journey key: the extreme tail may not stretch (absent from
+             pre-journey entries — skipped cleanly) *)
+          let tail_ok =
+            check "tail p999 ns" ~worse_if_over:true "\"tail_p999_ns\":"
+          in
+          (match
+             (scan_string_key prev "\"top_blame_stage\":",
+              scan_string_key last "\"top_blame_stage\":")
+           with
+          | Some p, Some l when p <> l ->
+              Fmt.pr "%-20s %12s -> %12s (informational)@." "top blame stage" p l
+          | Some _, Some _ -> ()
+          | _ -> Fmt.pr "%-20s absent from one entry; skipped@." "top blame stage");
+          if obs_ok && server_ok && backends_ok && chaos_ok && tail_ok then 0
+          else 1
       | _ ->
           Fmt.pr "fewer than 2 entries in %s; nothing to diff@." history;
           0)
+
+(* ----- observe tail ----- *)
+
+(* Run the name server under churn with journey recorders wired and
+   print the slowest requests as per-stage waterfalls — "why was the
+   tail slow" as a first-class command.  Exits 1 when the recorder
+   cannot explain an extreme tail (the same guard [server --journeys]
+   enforces), 2 on a bad --plan. *)
+let observe_tail shards k s clients requests theta seed plan top json out =
+  match
+    match plan with
+    | None -> Ok []
+    | Some p -> Result.map Churn.of_plan (Sim.Faults.of_string p)
+  with
+  | Error e ->
+      Fmt.epr "bad --plan: %s@." e;
+      2
+  | Ok faults ->
+      let config =
+        Server.default_config ~shards ~k_per_shard:k ~warm_capacity:2 ~batch:8
+          ~clients ~source_space:s ()
+      in
+      let bound =
+        match bound_for "split" ~k ~s with Some (_, b) -> b | None -> 0
+      in
+      let jarr =
+        Array.init clients (fun _ -> Obs.Journey.create ~seed ~bound ())
+      in
+      let report =
+        Churn.run ~journeys:jarr ~faults ~config
+          ~spec:(fun client ->
+            Workload.server_churn ~theta ~rate:0. ~think:0 ~s ~requests ~seed
+              ~client ())
+          ()
+      in
+      let j =
+        match report.Churn.journeys with Some j -> j | None -> assert false
+      in
+      let s = Obs.Journey.snapshot j in
+      let unexplained = Obs.Journey.unexplained_tail j in
+      let views = Obs.Journey.top ~n:top j in
+      let p999 = Obs.Histogram.percentile (Obs.Journey.hist j) 0.999 in
+      (match out with
+      | Some f -> write_file f (Obs.Journey.to_string j)
+      | None -> ());
+      if json then begin
+        let view_json (v : Obs.Journey.view) =
+          let dwells =
+            Array.to_list v.Obs.Journey.dwells
+            |> List.mapi (fun i ns ->
+                   if ns > 0 then
+                     Some
+                       (Printf.sprintf "%S:%d"
+                          (Obs.Journey.stage_name Obs.Journey.stages.(i))
+                          ns)
+                   else None)
+            |> List.filter_map Fun.id
+          in
+          Printf.sprintf
+            {|{"id":%d,"total_ns":%d,"retries":%d,"accesses":%d,"warm":%b,"over_bound":%b,"dwells_ns":{%s}}|}
+            v.Obs.Journey.id v.Obs.Journey.total_ns v.Obs.Journey.retries
+            v.Obs.Journey.accesses v.Obs.Journey.warm v.Obs.Journey.over_bound
+            (String.concat "," dwells)
+        in
+        let blame =
+          String.concat ","
+            (Array.to_list
+               (Array.mapi
+                  (fun i ns ->
+                    Printf.sprintf "%S:%d"
+                      (Obs.Journey.stage_name Obs.Journey.stages.(i))
+                      ns)
+                  s.Obs.Journey.blame))
+        in
+        Fmt.pr
+          {|{"schema":"renaming.journeys/v1","completed":%d,"flagged":%d,"access_bound":%d,"top_blame_stage":%S,"tail_p999_ns":%d,"unexplained":%b,"blame_ns":{%s},"top":[%s]}@.|}
+          s.Obs.Journey.completed s.Obs.Journey.flagged bound
+          (match Obs.Journey.top_blame_stage s with
+          | Some (st, _) -> Obs.Journey.stage_name st
+          | None -> "none")
+          p999
+          (unexplained <> None)
+          blame
+          (String.concat "," (List.map view_json views))
+      end
+      else begin
+        Fmt.pr "journeys       : %d completed, %d over the %d-access bound@."
+          s.Obs.Journey.completed s.Obs.Journey.flagged bound;
+        (match Obs.Journey.top_blame_stage s with
+        | Some (st, ns) ->
+            Fmt.pr "top blame      : %s (%d ns all-time)@."
+              (Obs.Journey.stage_name st) ns
+        | None -> ());
+        Fmt.pr "tail p999 ns   : %d@." p999;
+        List.iter (fun v -> Fmt.pr "%a" Obs.Journey.pp_waterfall v) views;
+        match unexplained with
+        | Some (p100, p99) ->
+            Fmt.pr "UNEXPLAINED TAIL: p100=%d ns > 100 x p99=%d ns with no \
+                    journey exemplar@."
+              p100 p99
+        | None -> Fmt.pr "tail verdict   : OK (every extreme tail has a journey)@."
+      end;
+      if unexplained <> None then 1 else 0
 
 (* ----- faults ----- *)
 
@@ -1001,18 +1138,40 @@ let trace_analyze protocol k s procs cycles seed ndomains recover_mode file boun
       List.iter (fun v -> Fmt.pr "VIOLATION      : %s@." v) violations;
       1
 
-let trace_export protocol k s procs cycles seed ndomains recover_mode file out =
+let trace_export protocol k s procs cycles seed ndomains recover_mode file
+    journeys_file out =
   let ring, _ =
     load_ring file protocol ~k ~s ~procs ~cycles ~seed ~ndomains ~recover_mode
   in
-  let doc = Obs.Perfetto.to_chrome_json (Obs.Flight.items ring) in
-  (match out with
-  | Some path ->
-      write_file path doc;
-      Fmt.epr "wrote %d event(s) as Chrome trace JSON -> %s (open in ui.perfetto.dev)@."
-        (Obs.Flight.length ring) path
-  | None -> print_endline doc);
-  0
+  match
+    match journeys_file with
+    | None -> Ok []
+    | Some path -> (
+        let ic = open_in_bin path in
+        let doc = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Obs.Journey.of_string doc with
+        | Ok j -> Ok (Obs.Journey.top ~n:32 j)
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  with
+  | Error e ->
+      Fmt.epr "bad --journeys document: %s@." e;
+      2
+  | Ok journeys ->
+      let doc = Obs.Perfetto.to_chrome_json ~journeys (Obs.Flight.items ring) in
+      (match out with
+      | Some path ->
+          write_file path doc;
+          Fmt.epr
+            "wrote %d event(s)%s as Chrome trace JSON -> %s (open in \
+             ui.perfetto.dev)@."
+            (Obs.Flight.length ring)
+            (match journeys with
+            | [] -> ""
+            | js -> Printf.sprintf " + %d journey flow(s)" (List.length js))
+            path
+      | None -> print_endline doc);
+      0
 
 let trace_provenance protocol k s procs cycles seed ndomains recover_mode file pid_filter
     name_filter =
@@ -1190,14 +1349,21 @@ let trace_cmd =
       Term.(with_run (const run) $ file_arg $ bound)
   in
   let export_cmd =
-    let run protocol k s procs cycles seed ndomains recover file out =
+    let journeys_arg =
+      Arg.(value & opt (some string) None
+           & info [ "journeys" ] ~docv:"FILE"
+             ~doc:"Also emit the sampled journeys of a saved \
+                   renaming.journeys/v1 document (see $(b,observe tail -o)) \
+                   as flow-linked waterfall tracks.")
+    in
+    let run protocol k s procs cycles seed ndomains recover file journeys out =
       trace_export protocol k s (if procs <= 0 then k else procs) cycles seed ndomains
-        recover file out
+        recover file journeys out
     in
     Cmd.v
       (Cmd.info "export"
          ~doc:"Export a flight ring as Chrome trace-event JSON (open in ui.perfetto.dev)")
-      Term.(with_run (const run) $ file_arg $ out_arg)
+      Term.(with_run (const run) $ file_arg $ journeys_arg $ out_arg)
   in
   let provenance_cmd =
     let pid_f = Arg.(value & opt (some int) None
@@ -1255,14 +1421,45 @@ let observe_cmd =
                throughput); exit 1 on regression beyond tolerance")
       Term.(const observe_diff $ history $ tolerance)
   in
+  let tail_cmd =
+    let shards = Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
+                      ~doc:"Protocol instances in the pool.") in
+    let clients = Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N"
+                       ~doc:"Client domains driving the server.") in
+    let requests = Arg.(value & opt int 2_000 & info [ "requests" ] ~docv:"N"
+                        ~doc:"Requests per client.") in
+    let theta = Arg.(value & opt float 0.99 & info [ "theta" ] ~docv:"T"
+                     ~doc:"Zipf skew of the source names.") in
+    let plan = Arg.(value & opt (some string) None
+                    & info [ "plan" ] ~docv:"PLAN"
+                      ~doc:"Apply a client fault plan (e.g. $(b,park\\@p1:acc1)) \
+                            and watch it show up in the blame profile.") in
+    let top = Arg.(value & opt int 8 & info [ "top" ] ~docv:"N"
+                   ~doc:"Slowest journeys to print.") in
+    let json = Arg.(value & flag & info [ "json" ]
+                    ~doc:"Print the renaming.journeys/v1 JSON document on \
+                          stdout.") in
+    let out = Arg.(value & opt (some string) None
+                   & info [ "o"; "out" ] ~docv:"FILE"
+                     ~doc:"Also save the portable renaming.journeys/v1 text \
+                           document (feed to $(b,trace export --journeys)).") in
+    Cmd.v
+      (Cmd.info "tail"
+         ~doc:"Run the name server under churn with journey tracing and print \
+               the slowest requests as per-stage waterfalls; exit 1 on a tail \
+               no journey explains")
+      Term.(const observe_tail $ shards $ k_arg 4 $ s_arg 1024 $ clients
+            $ requests $ theta $ seed $ plan $ top $ json $ out)
+  in
   Cmd.group
     ~default:
       Term.(const observe $ protocol_arg $ k_arg 4 $ s_arg 1024 $ procs
             $ cycles_arg 5 $ seed $ ndomains $ format $ metrics_arg $ mutant)
     (Cmd.info "observe"
        ~doc:"Run fully instrumented and export the metrics snapshot \
-             (text/JSON/Prometheus; default), or diff the bench trend log")
-    [ diff_cmd ]
+             (text/JSON/Prometheus; default), or diff the bench trend log, or \
+             trace the tail of a churn run (tail)")
+    [ diff_cmd; tail_cmd ]
 
 let faults_cmd =
   let target = Arg.(value & opt (some string) None
@@ -1407,7 +1604,7 @@ let server_chaos matrix requests json =
   if ok then 0 else 1
 
 let server shards k s clients requests warm batch theta rate think seed plan policy
-    chaos matrix json metrics_file slo trace_file tick =
+    chaos matrix json metrics_file slo trace_file tick journeys_on =
   let config =
     Server.default_config ~shards ~k_per_shard:k ~warm_capacity:warm ~batch ~clients
       ~source_space:s ()
@@ -1446,9 +1643,21 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
       let flight =
         Option.map (fun _ -> Obs.Flight.create ~capacity:65_536 ()) trace_file
       in
+      (* The server pool's default backend is Split, so the per-shard
+         paper bound on a cold acquire is Theorem 2's 7(k-1). *)
+      let jbound =
+        match bound_for "split" ~k ~s with Some (_, b) -> b | None -> 0
+      in
+      let jarr =
+        if journeys_on then
+          Some
+            (Array.init clients (fun _ ->
+                 Obs.Journey.create ~seed ~bound:jbound ()))
+        else None
+      in
       let report =
-        Churn.run ~registry ?flight ~faults ?policy ~sampler_interval_ns:tick
-          ~config
+        Churn.run ~registry ?flight ?journeys:jarr ~faults ?policy
+          ~sampler_interval_ns:tick ~config
           ~spec:(fun client ->
             Workload.server_churn ~theta ~rate ~think ~s ~requests ~seed ~client ())
           ()
@@ -1476,6 +1685,38 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
         Printf.sprintf
           {|{"count":%d,"mean":%.1f,"min":%d,"p50":%d,"p95":%d,"p99":%d,"p100":%d}|}
           h.count h.mean h.min h.p50 h.p95 h.p99 h.p100
+      in
+      (* The regression guard: a p100 more than 100x the p99 with no
+         retained journey reaching it is a tail the recorder failed to
+         explain — that is an observability bug, and it fails the run. *)
+      let unexplained =
+        match report.Churn.journeys with
+        | Some j -> Obs.Journey.unexplained_tail j
+        | None -> None
+      in
+      let tail_json =
+        match report.Churn.journeys with
+        | None -> ""
+        | Some j ->
+            let s = Obs.Journey.snapshot j in
+            let blame =
+              String.concat ","
+                (Array.to_list
+                   (Array.mapi
+                      (fun i ns ->
+                        Printf.sprintf "%S:%d"
+                          (Obs.Journey.stage_name Obs.Journey.stages.(i))
+                          ns)
+                      s.Obs.Journey.blame))
+            in
+            Printf.sprintf
+              {|,"tail_blame":{"top_blame_stage":%S,"tail_p999_ns":%d,"completed":%d,"flagged":%d,"unexplained":%b,"blame_ns":{%s}}|}
+              (match Obs.Journey.top_blame_stage s with
+              | Some (st, _) -> Obs.Journey.stage_name st
+              | None -> "none")
+              (Obs.Histogram.percentile (Obs.Journey.hist j) 0.999)
+              s.Obs.Journey.completed s.Obs.Journey.flagged
+              (unexplained <> None) blame
       in
       if json then begin
         let slo_json =
@@ -1508,7 +1749,7 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
             report.Churn.settle_scans
         in
         Fmt.pr
-          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"latency_open_ns":%s,"latency_closed_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d,"sampler_ticks":%d%s%s}@.|}
+          {|{"schema":"renaming.server/v1","config":{"shards":%d,"k_per_shard":%d,"source_space":%d,"warm_capacity":%d,"batch":%d,"clients":%d},"requests_per_client":%d,"cycles":%d,"elapsed_s":%.6f,"acquires_per_sec":%.0f,"acquires":%d,"warm_hits":%d,"busy":%d,"shed":%d,"drains":%d,"drained_releases":%d,"latency_ns":%s,"latency_open_ns":%s,"latency_closed_ns":%s,"cold_accesses":%s,"warm_accesses":%s,"violations":%d,"leaked":%d,"outstanding":%d,"sampler_ticks":%d%s%s%s}@.|}
           shards k s warm batch clients requests report.Churn.cycles
           report.Churn.elapsed_s report.Churn.throughput report.Churn.acquires
           report.Churn.warm_hits report.Churn.busy report.Churn.shed
@@ -1519,7 +1760,7 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
           (hist_json report.Churn.cold_accesses)
           (hist_json report.Churn.warm_accesses)
           r.violations r.leaked report.Churn.outstanding tel.Churn.sampler_ticks
-          resilience_json slo_json
+          resilience_json slo_json tail_json
       end
       else begin
         Fmt.pr "name server: %d shard(s) x k=%d, %d clients, S=%d@." shards k clients
@@ -1566,6 +1807,28 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
         | None -> ());
         Fmt.pr "leaked         : %d%s@." r.leaked
           (if crashed && r.leaked > 0 then " (crash plan: expected)" else "");
+        (match report.Churn.journeys with
+        | None -> ()
+        | Some j ->
+            let s = Obs.Journey.snapshot j in
+            (match Obs.Journey.top_blame_stage s with
+            | Some (st, ns) ->
+                Fmt.pr "tail blame     : %s (%d ns across %d journeys, %d over \
+                        bound)@."
+                  (Obs.Journey.stage_name st)
+                  ns s.Obs.Journey.completed s.Obs.Journey.flagged
+            | None -> ());
+            Fmt.pr "tail p999 ns   : %d@."
+              (Obs.Histogram.percentile (Obs.Journey.hist j) 0.999);
+            List.iter
+              (fun v -> Fmt.pr "%a" Obs.Journey.pp_waterfall v)
+              (Obs.Journey.top ~n:3 j);
+            match unexplained with
+            | Some (p100, p99) ->
+                Fmt.pr "UNEXPLAINED TAIL: p100=%d ns > 100 x p99=%d ns with no \
+                        journey exemplar@."
+                  p100 p99
+            | None -> ());
         match verdicts with
         | None -> ()
         | Some vs ->
@@ -1590,6 +1853,7 @@ let server shards k s clients requests warm batch theta rate think seed plan pol
       | _ -> ());
       if r.violations > 0 then 1
       else if r.leaked > 0 && not crashed then 1
+      else if unexplained <> None then 1
       else
         match verdicts with Some vs when Obs.Slo.burning vs -> 1 | _ -> 0))
 
@@ -1655,13 +1919,19 @@ let server_cmd =
   let tick = Arg.(value & opt int 1_000_000 & info [ "tick" ] ~docv:"NS"
                   ~doc:"Sampler tick interval in nanoseconds (0 disables the \
                         sampler domain).") in
+  let journeys = Arg.(value & flag & info [ "journeys" ]
+                      ~doc:"Trace per-request journeys: tail-based reservoir of \
+                            the slowest requests with per-stage blame. Prints \
+                            the top waterfalls (JSON gains a $(b,tail_blame) \
+                            section); exits 1 when an extreme tail has no \
+                            captured journey to explain it.") in
   Cmd.v
     (Cmd.info "server"
        ~doc:"Serve renaming as a service: sharded protocol pool, batched releases, \
              warm-name cache, driven by Zipf churn across OS domains")
     Term.(const server $ shards $ k $ s $ clients $ requests $ warm $ batch $ theta
           $ rate $ think $ seed $ plan $ policy $ chaos $ matrix $ json
-          $ metrics_arg $ slo $ trace $ tick)
+          $ metrics_arg $ slo $ trace $ tick $ journeys)
 
 let () =
   let info =

@@ -898,6 +898,15 @@ let chaos_config =
 
 let chaos_victim = 1
 
+(* One journey recorder per client domain, so every chaos cell can explain
+   its p100: the paper bound for a cold acquire through both shards is
+   7(k-1) shared accesses. *)
+let chaos_journeys ~seed =
+  Array.init chaos_config.Server.clients (fun _ ->
+      Obs.Journey.create ~seed
+        ~bound:(7 * (chaos_config.Server.k_per_shard - 1))
+        ())
+
 type chaos_outcome = {
   co_seed : int;
   co_fault : chaos_fault;
@@ -953,8 +962,9 @@ let run_chaos_one ?(requests = 1500) seed fault =
     in
     if pinned then Workload.pin ~sources:hot_sources s else s
   in
+  let journeys = chaos_journeys ~seed in
   let rep =
-    Churn.run ~faults ?prepare ~policy:(chaos_policy seed)
+    Churn.run ~faults ?prepare ~policy:(chaos_policy seed) ~journeys
       ~sampler_interval_ns:0 ~config:cfg ~spec ()
   in
   let r = rep.Churn.result in
@@ -975,6 +985,10 @@ let run_chaos_one ?(requests = 1500) seed fault =
         "reclaim exceeded 2 lease TTLs" );
       (availability >= 0.90, "availability below 0.90");
       (healthy, "shard not live at end");
+      ( (match rep.Churn.journeys with
+        | Some j -> Obs.Journey.unexplained_tail j = None
+        | None -> false),
+        "unexplained tail (p100 without a captured journey)" );
     ]
   in
   let failed = List.filter (fun (ok, _) -> not ok) checks in
@@ -1012,8 +1026,8 @@ let chaos_clean ?(requests = 1500) ~seed () =
   let spec id =
     Workload.server_churn ~theta:0.45 ~s:chaos_sources ~requests ~seed ~client:id ()
   in
-  Churn.run ~policy:(chaos_policy seed) ~sampler_interval_ns:0
-    ~config:chaos_config ~spec ()
+  Churn.run ~policy:(chaos_policy seed) ~journeys:(chaos_journeys ~seed)
+    ~sampler_interval_ns:0 ~config:chaos_config ~spec ()
 
 let pp_chaos_outcome ppf o =
   if o.co_ok then

@@ -68,6 +68,35 @@ and kind_acquired = 4
 and kind_released = 5
 and kind_mark = 6
 
+(* The recording fast path: slot arithmetic by compare-and-subtract
+   (no [mod] — [head] and [len] never exceed [capacity], so
+   [head + len] wraps by at most one capacity), unsafe stores into the
+   flat arena (the offsets are in range by construction).  The event
+   is passed pre-packed so the per-event variant allocation and match
+   stay out of the hot path — [probe] packs once per probe, not once
+   per record. *)
+let[@inline] record_raw t ~clock ~pk ~code ~arg =
+  let slot =
+    if t.len < t.capacity then begin
+      let s = t.head + t.len in
+      t.len <- t.len + 1;
+      if s >= t.capacity then s - t.capacity else s
+    end
+    else begin
+      let s = t.head in
+      let h = t.head + 1 in
+      t.head <- (if h = t.capacity then 0 else h);
+      t.dropped <- t.dropped + 1;
+      s
+    end
+  in
+  let o = 4 * slot in
+  let buf = t.buf in
+  Array.unsafe_set buf o clock;
+  Array.unsafe_set buf (o + 1) pk;
+  Array.unsafe_set buf (o + 2) code;
+  Array.unsafe_set buf (o + 3) arg
+
 let record t ~clock ~pid event =
   if pid < 0 then invalid_arg "Flight.record: negative pid";
   let kind, code, arg =
@@ -80,24 +109,7 @@ let record t ~clock ~pid event =
     | Released n -> (kind_released, 0, n)
     | Mark (s, v) -> (kind_mark, intern t s, v)
   in
-  let slot =
-    if t.len < t.capacity then begin
-      let s = (t.head + t.len) mod t.capacity in
-      t.len <- t.len + 1;
-      s
-    end
-    else begin
-      let s = t.head in
-      t.head <- (t.head + 1) mod t.capacity;
-      t.dropped <- t.dropped + 1;
-      s
-    end
-  in
-  let o = 4 * slot in
-  t.buf.(o) <- clock;
-  t.buf.(o + 1) <- (pid lsl 3) lor kind;
-  t.buf.(o + 2) <- code;
-  t.buf.(o + 3) <- arg
+  record_raw t ~clock ~pk:((pid lsl 3) lor kind) ~code ~arg
 
 let decode_at t slot =
   let o = 4 * slot in
@@ -128,15 +140,24 @@ let items t =
   List.rev !acc
 
 let probe t ~pid ~clock : Probe.t =
- fun ev ->
-  let event =
+  if pid < 0 then invalid_arg "Flight.probe: negative pid";
+  (* pid+kind words packed once here; each probe event is then one
+     clock read, one [Loc.encode], and four unsafe stores — no
+     intermediate event value is built *)
+  let pk_enter = (pid lsl 3) lor kind_enter in
+  let pk_exit = (pid lsl 3) lor kind_exit in
+  let pk_check = (pid lsl 3) lor kind_check in
+  let pk_release = (pid lsl 3) lor kind_release in
+  fun ev ->
     match ev with
-    | Probe.Enter l -> Enter l
-    | Probe.Exit (l, d) -> Exit (l, d)
-    | Probe.Check (l, ok) -> Check (l, ok)
-    | Probe.Release l -> Release l
-  in
-  record t ~clock:(clock ()) ~pid event
+    | Probe.Enter l -> record_raw t ~clock:(clock ()) ~pk:pk_enter ~code:(Loc.encode l) ~arg:0
+    | Probe.Exit (l, d) ->
+        record_raw t ~clock:(clock ()) ~pk:pk_exit ~code:(Loc.encode l) ~arg:d
+    | Probe.Check (l, ok) ->
+        record_raw t ~clock:(clock ()) ~pk:pk_check ~code:(Loc.encode l)
+          ~arg:(Bool.to_int ok)
+    | Probe.Release l ->
+        record_raw t ~clock:(clock ()) ~pk:pk_release ~code:(Loc.encode l) ~arg:0
 
 let merge ~into src =
   iter (fun { clock; pid; event } -> record into ~clock ~pid event) src;

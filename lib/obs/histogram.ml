@@ -19,6 +19,11 @@ type snap = {
 
 type t = {
   buckets : int array;
+  (* exemplar links: per bucket, the id of one journey (or other
+     correlation key) that landed there; 0 = none.  [max_ex] tracks an
+     exemplar for the exact maximum so p100 is always explainable. *)
+  exemplars : int array;
+  mutable max_ex : int;
   mutable count : int;
   mutable sum : int;
   mutable vmin : int;
@@ -26,7 +31,15 @@ type t = {
 }
 
 let create () =
-  { buckets = Array.make nbuckets 0; count = 0; sum = 0; vmin = max_int; vmax = 0 }
+  {
+    buckets = Array.make nbuckets 0;
+    exemplars = Array.make nbuckets 0;
+    max_ex = 0;
+    count = 0;
+    sum = 0;
+    vmin = max_int;
+    vmax = 0;
+  }
 
 let floor_log2 v =
   let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
@@ -55,6 +68,27 @@ let observe t v =
   t.sum <- t.sum + v;
   if v < t.vmin then t.vmin <- v;
   if v > t.vmax then t.vmax <- v
+
+let observe_ex t v ~ex =
+  let v = max 0 v in
+  let i = index v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if ex > 0 then begin
+    t.exemplars.(i) <- ex;
+    (* after the update vmax >= v, so equality means v is the (tied)
+       maximum: its exemplar explains p100 *)
+    if v >= t.vmax then t.max_ex <- ex
+  end
+
+let exemplar t v =
+  let ex = t.exemplars.(index (max 0 v)) in
+  if ex = 0 then None else Some ex
+
+let max_exemplar t = if t.max_ex = 0 then None else Some t.max_ex
 
 let count t = t.count
 
@@ -108,6 +142,8 @@ let snap t : snap =
 
 let reset t =
   Array.fill t.buckets 0 nbuckets 0;
+  Array.fill t.exemplars 0 nbuckets 0;
+  t.max_ex <- 0;
   t.count <- 0;
   t.sum <- 0;
   t.vmin <- max_int;
@@ -115,9 +151,18 @@ let reset t =
 
 let merge ~into src =
   for i = 0 to nbuckets - 1 do
-    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i);
+    (* max keeps exemplar resolution symmetric: merging a into b and b
+       into a retain the same link per bucket *)
+    if src.exemplars.(i) > into.exemplars.(i) then
+      into.exemplars.(i) <- src.exemplars.(i)
   done;
   into.count <- into.count + src.count;
   into.sum <- into.sum + src.sum;
   if src.vmin < into.vmin then into.vmin <- src.vmin;
-  if src.vmax > into.vmax then into.vmax <- src.vmax
+  if src.vmax > into.vmax then begin
+    into.vmax <- src.vmax;
+    if src.max_ex <> 0 then into.max_ex <- src.max_ex
+  end
+  else if src.vmax = into.vmax && src.max_ex > into.max_ex then
+    into.max_ex <- src.max_ex

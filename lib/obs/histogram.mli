@@ -31,6 +31,18 @@ val create : unit -> t
 val observe : t -> int -> unit
 (** Negative values are clamped into the zero bucket. *)
 
+val observe_ex : t -> int -> ex:int -> unit
+(** {!observe}, additionally linking the landing bucket to exemplar
+    [ex] (a journey id; [0] means none and leaves links untouched).
+    The latest exemplar per bucket wins; an observation that sets or
+    ties the exact maximum also becomes the p100 exemplar. *)
+
+val exemplar : t -> int -> int option
+(** The exemplar linked to the bucket that value would land in. *)
+
+val max_exemplar : t -> int option
+(** The exemplar explaining [p100] (the exact maximum), if any. *)
+
 val count : t -> int
 val snap : t -> snap
 val percentile : t -> float -> int

@@ -28,7 +28,7 @@ let esc s =
 
 let cat_of = function Loc.Splitter _ -> "splitter" | Loc.Mutex _ -> "mutex"
 
-let to_chrome_json ?(counters = []) (records : Flight.record list) =
+let to_chrome_json ?(counters = []) ?(journeys = []) (records : Flight.record list) =
   let buf = Buffer.create 4096 in
   let first = ref true in
   let event fmt =
@@ -89,6 +89,57 @@ let to_chrome_json ?(counters = []) (records : Flight.record list) =
             (esc name) ts v)
         points)
     counters;
+  (* Sampled journeys render as a dedicated "journeys" process: one
+     lane per journey, the whole request as an "X" slice with its
+     stage dwells laid end-to-end beneath it (dwells are durations,
+     not timestamped, so the waterfall is order-of-stage, not
+     order-of-occurrence), tied together by an s/t/f flow chain keyed
+     by journey id.  Arrivals are wall-clock ns; rebase to the
+     earliest sampled arrival so the lanes start near the origin. *)
+  (match journeys with
+  | [] -> ()
+  | js ->
+      event
+        {|{"ph":"M","name":"process_name","pid":1,"args":{"name":"journeys"}}|};
+      let base =
+        List.fold_left
+          (fun m (v : Journey.view) -> min m v.Journey.arrival_ns)
+          max_int js
+      in
+      List.iteri
+        (fun lane (v : Journey.view) ->
+          let id = v.Journey.id in
+          let ts0 = (v.Journey.arrival_ns - base) / 1000 in
+          let dur = v.Journey.total_ns / 1000 in
+          event
+            {|{"ph":"M","name":"thread_name","pid":1,"tid":%d,"args":{"name":"journey #%d"}}|}
+            lane id;
+          event
+            {|{"ph":"X","cat":"journey","name":"journey #%d","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{"retries":%d,"accesses":%d,"warm":%b,"over_bound":%b}}|}
+            id ts0 dur lane v.Journey.retries v.Journey.accesses
+            v.Journey.warm v.Journey.over_bound;
+          event
+            {|{"ph":"s","cat":"journey","id":%d,"name":"journey","ts":%d,"pid":1,"tid":%d}|}
+            id ts0 lane;
+          let cursor = ref ts0 in
+          Array.iteri
+            (fun i dwell ->
+              if dwell > 0 then begin
+                let sd = dwell / 1000 in
+                event
+                  {|{"ph":"X","cat":"journey.stage","name":"%s","ts":%d,"dur":%d,"pid":1,"tid":%d}|}
+                  (esc (Journey.stage_name Journey.stages.(i)))
+                  !cursor sd lane;
+                event
+                  {|{"ph":"t","cat":"journey","id":%d,"name":"journey","ts":%d,"pid":1,"tid":%d}|}
+                  id !cursor lane;
+                cursor := !cursor + sd
+              end)
+            v.Journey.dwells;
+          event
+            {|{"ph":"f","bp":"e","cat":"journey","id":%d,"name":"journey","ts":%d,"pid":1,"tid":%d}|}
+            id (ts0 + dur) lane)
+        js);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",";
   Buffer.add_string buf
     (Printf.sprintf "\"otherData\":{\"schema\":\"renaming.flight/v1\",\"records\":%d}}"

@@ -13,7 +13,18 @@
     [?counters] adds ["C"]-phase counter tracks alongside the spans:
     one named track per series, fed [(ts, value)] points (ts in the
     trace's time unit, µs for wall-clock exports) — the natural
-    rendering of {!Timeseries} windows and sampler gauges. *)
+    rendering of {!Timeseries} windows and sampler gauges.
+
+    [?journeys] adds a dedicated ["journeys"] process: one lane per
+    sampled {!Journey.view}, the whole request as an ["X"] slice with
+    its stage dwells laid end-to-end beneath it and an
+    ["s"]/["t"]/["f"] flow chain keyed by journey id.  Dwells are
+    durations (not timestamped), so a lane is a stage-order waterfall,
+    not an event-order timeline; arrivals are rebased to the earliest
+    sampled arrival. *)
 
 val to_chrome_json :
-  ?counters:(string * (int * float) list) list -> Flight.record list -> string
+  ?counters:(string * (int * float) list) list ->
+  ?journeys:Journey.view list ->
+  Flight.record list ->
+  string

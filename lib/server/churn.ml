@@ -83,6 +83,7 @@ type report = {
   resilience : Server.resilience_stats;
   health : Health.state array;
   settle_scans : int;
+  journeys : Obs.Journey.t option;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
@@ -182,8 +183,8 @@ let install_chaos c fault agg =
              end))
   | _ -> ()
 
-let client_body server id fault policy (spec : Workload.server_spec) ru counts
-    lat_open lat_closed cold warm =
+let client_body server id nclients jr fault policy (spec : Workload.server_spec) ru
+    counts lat_open lat_closed cold warm =
   let agg = Server.scoreboard server in
   let c = Server.client server id in
   install_chaos c fault agg;
@@ -238,20 +239,36 @@ let client_body server id fault policy (spec : Workload.server_spec) ru counts
            let issue = if closed then sched else now_ns () in
            Obs.Timeseries.observe ru.r_attempts ~now:issue 1;
            counts.o_issued <- counts.o_issued + 1;
+           (* one journey per request slot, id unique across clients;
+              arrival is the scheduled time so the journey's total is
+              exactly the open-loop latency it must explain *)
+           (match jr with
+           | Some j -> Obs.Journey.start j ~id:((r * nclients) + id + 1) ~now:sched
+           | None -> ());
+           let last_fail = ref 0 in
            (* Every refused attempt — Busy or Shed — lands in the
               dedicated attempts_failed series; sheds additionally
               keep their own series for the shed-rate SLO. *)
            let attempt () =
+             (match jr with
+             | Some j when !last_fail <> 0 ->
+                 (* time since the previous refusal is backoff wait *)
+                 Obs.Journey.retry j;
+                 Obs.Journey.dwell j Obs.Journey.Backoff (now_ns () - !last_fail)
+             | _ -> ());
              (* heartbeat per attempt, not just per request: a retry
                 storm must not read as a dead client *)
              Server.tend server c;
              match Server.acquire server c ~src:(spec.source r) with
              | Server.Granted g -> Ok (g.token, g.warm, g.accesses)
              | Server.Busy ->
-                 Obs.Timeseries.observe ru.r_failed ~now:(now_ns ()) 1;
+                 let n = now_ns () in
+                 last_fail := n;
+                 Obs.Timeseries.observe ru.r_failed ~now:n 1;
                  Error `Busy
              | Server.Shed ->
                  let n = now_ns () in
+                 last_fail := n;
                  Obs.Timeseries.observe ru.r_failed ~now:n 1;
                  Obs.Timeseries.observe ru.r_sheds ~now:n 1;
                  Error `Shed
@@ -281,7 +298,10 @@ let client_body server id fault policy (spec : Workload.server_spec) ru counts
                      None)
            in
            (match granted with
-           | None -> ()
+           | None -> (
+               match jr with
+               | Some j -> Obs.Journey.finish j ~now:(now_ns ())
+               | None -> ())
            | Some (token, was_warm, accesses) ->
                counts.o_granted <- counts.o_granted + 1;
                spin spec.think;
@@ -297,6 +317,9 @@ let client_body server id fault policy (spec : Workload.server_spec) ru counts
                Obs.Timeseries.observe ru.r_latency ~now:fin d_open;
                Obs.Timeseries.observe ru.r_grants ~now:fin 1;
                if was_warm then Obs.Timeseries.observe ru.r_warm ~now:fin 1;
+               (match jr with
+               | Some j -> Obs.Journey.finish j ~now:fin
+               | None -> ());
                (match obs with
                | Some o -> Obs.Registry.observe o "server.latency_ns" d_open
                | None -> ());
@@ -307,7 +330,7 @@ let client_body server id fault policy (spec : Workload.server_spec) ru counts
        with Crashed -> ());
       if not park_in_drain then Agg.worker_done agg
 
-let run ?registry ?flight ?backend ?(faults = []) ?policy ?prepare
+let run ?registry ?flight ?journeys ?backend ?(faults = []) ?policy ?prepare
     ?(window_ns = 5_000_000) ?(sampler_interval_ns = 1_000_000)
     ~(config : Server.config) ~(spec : int -> Workload.server_spec) () =
   List.iter
@@ -324,7 +347,7 @@ let run ?registry ?flight ?backend ?(faults = []) ?policy ?prepare
            match f with Park | Park_in_drain _ -> true | _ -> false)
          faults)
   in
-  let server = Server.create ?registry ?flight ?backend ~parked config in
+  let server = Server.create ?registry ?flight ?journeys ?backend ~parked config in
   (match prepare with Some f -> f server | None -> ());
   let specs = Array.init config.clients spec in
   let lat_open = Array.init config.clients (fun _ -> Obs.Histogram.create ()) in
@@ -355,8 +378,10 @@ let run ?registry ?flight ?backend ?(faults = []) ?policy ?prepare
   let domains =
     Array.init config.clients (fun id ->
         Domain.spawn (fun () ->
-            client_body server id (fault_of id) policy specs.(id) rollups.(id)
-              countss.(id) lat_open.(id) lat_closed.(id) cold.(id) warm.(id)))
+            client_body server id config.clients
+              (Option.map (fun a -> a.(id)) journeys)
+              (fault_of id) policy specs.(id) rollups.(id) countss.(id) lat_open.(id)
+              lat_closed.(id) cold.(id) warm.(id)))
   in
   Array.iter Domain.join domains;
   let c0 = Server.client server 0 in
@@ -391,6 +416,40 @@ let run ?registry ?flight ?backend ?(faults = []) ?policy ?prepare
   done;
   Option.iter Obs.Sampler.stop handle;
   Server.merge_flight server;
+  (* journeys merge into recorder 0 (commutative; see Journey.merge) *)
+  let journeys_merged =
+    Option.map
+      (fun a ->
+        Array.iteri (fun i j -> if i > 0 then Obs.Journey.merge ~into:a.(0) j) a;
+        a.(0))
+      journeys
+  in
+  (* Publish the merged blame profile through the registry so the
+     Prometheus exporter carries it like any other metric family.
+     Post-join and single-threaded here, so a fresh shard is cheap and
+     respects the single-writer rule. *)
+  (match (registry, journeys_merged) with
+  | Some r, Some j ->
+      let sh = Obs.Registry.shard r in
+      let s = Obs.Journey.snapshot j in
+      Array.iteri
+        (fun i ns ->
+          Obs.Registry.count sh
+            ("journey.blame." ^ Obs.Journey.stage_name Obs.Journey.stages.(i))
+            ns)
+        s.Obs.Journey.blame;
+      Obs.Registry.count sh "journey.completed" s.Obs.Journey.completed;
+      Obs.Registry.count sh "journey.flagged" s.Obs.Journey.flagged;
+      (match s.Obs.Journey.worst with
+      | Some w ->
+          Obs.Gauge.observe
+            (Obs.Registry.gauge sh "journey.worst_ns")
+            w.Obs.Journey.total_ns;
+          Obs.Gauge.observe
+            (Obs.Registry.gauge sh "journey.worst_id")
+            w.Obs.Journey.id
+      | None -> ())
+  | _ -> ());
   let resilience = Server.resilience_stats server in
   let result =
     Agg.result ~reclaimed:resilience.Server.reclaimed (Server.scoreboard server)
@@ -465,4 +524,5 @@ let run ?registry ?flight ?backend ?(faults = []) ?policy ?prepare
     resilience;
     health = Array.init (Server.shards server) (fun sh -> Server.health server sh);
     settle_scans = !settle;
+    journeys = journeys_merged;
   }

@@ -123,11 +123,17 @@ type report = {
   resilience : Server.resilience_stats;
   health : Health.state array;  (** Final per-shard health. *)
   settle_scans : int;  (** Epilogue scans needed to reach 0 outstanding. *)
+  journeys : Obs.Journey.t option;
+      (** All clients' journey recorders merged (into recorder 0 of
+          the array passed to {!run}): the tail reservoir, per-stage
+          blame profile and exemplar-linked totals histogram for the
+          whole run.  [None] when journeys were not wired. *)
 }
 
 val run :
   ?registry:Obs.Registry.t ->
   ?flight:Obs.Flight.t ->
+  ?journeys:Obs.Journey.t array ->
   ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
   ?faults:(int * fault) list ->
   ?policy:Policy.t ->

@@ -85,6 +85,10 @@ type client = {
   id : int;
   obs : Obs.Registry.shard option;
   ring : Obs.Flight.t option;
+  jr : Obs.Journey.t option;
+      (* per-request journey recorder (single writer: this domain);
+         the workload harness starts/finishes journeys, the server
+         stamps the stage dwells it alone can see *)
   ops : Store.ops array;  (* per shard; [pid] re-bound per request *)
   tally : Store.tally;
       (* one arena serves the per-operation cost (mark/since), the
@@ -235,6 +239,35 @@ let mark c tag v =
         (Obs.Flight.Mark (tag, v))
   | None -> ()
 
+(* ----- journey stamping -----
+
+   [jtrack] opens a timed section (0 = journeys off, making the pair
+   free on unwired servers); [jblame] closes it.  Work done inside a
+   live journey becomes that journey's stage dwell; work done outside
+   one (drains on behalf of others, reclaimer scans, the settle
+   epilogue) is window-level interference blame.
+
+   A clock read costs ~40ns — comparable to the O(1) sections being
+   metered — so back-to-back sections chain: [jblame_t] returns the
+   end stamp, which the next section takes as its start instead of
+   reading the clock again.  A chained stamp of [0] means journeys
+   are off and the whole chain stays free. *)
+
+let jtrack c = match c.jr with Some _ -> now_ns () | None -> 0
+
+let jblame_t c stage t0 =
+  if t0 = 0 then 0
+  else
+    match c.jr with
+    | Some j ->
+        let n = now_ns () in
+        (if Obs.Journey.active j then Obs.Journey.dwell j stage (n - t0)
+         else Obs.Journey.interfere j stage ~now:n (n - t0));
+        n
+    | None -> 0
+
+let jblame c stage t0 = ignore (jblame_t c stage t0 : int)
+
 let bump_max a v =
   let rec go () =
     let m = Atomic.get a in
@@ -337,20 +370,25 @@ let drain_walk ?(hook = true) t (c : client) head =
   Atomic.set cur 0;
   !n
 
-let drain_shard ?(hook = true) t (c : client) sh =
+let drain_shard ?(hook = true) ?(t0 = 0) t (c : client) sh =
   let h = Atomic.exchange (Pad.cells t.pending).(sh) 0 in
   if h <> 0 then begin
+    let t0 = if t0 <> 0 then t0 else jtrack c in
     c.drains <- c.drains + 1;
     obs_inc c "server.drains";
     let n = drain_walk ~hook t c (h - 1) in
     c.drained <- c.drained + n;
     obs_count c "server.drained" n;
-    mark c "drain" n
+    mark c "drain" n;
+    jblame c Obs.Journey.Drain t0
   end
 
-let pending_release t c sh slot =
+let pending_release ?(t0 = 0) t c sh slot =
+  let t0 = if t0 <> 0 then t0 else jtrack c in
   pending_push t sh slot;
-  if Atomic.get (Pad.cells t.pending_n).(sh) >= t.cfg.batch then drain_shard t c sh
+  let te = jblame_t c Obs.Journey.Pending t0 in
+  if Atomic.get (Pad.cells t.pending_n).(sh) >= t.cfg.batch then
+    drain_shard ~t0:te t c sh
 
 (* ----- admission: cap holders+warm+pending at the shard's k ----- *)
 
@@ -388,17 +426,26 @@ let flush_warm_shard t c sh =
   done;
   c.warm_n <- !w
 
-let admit t c sh =
-  let rec attempt tries =
-    if try_admit t sh then true
-    else if tries = 0 then false
+(* [tc] is the chained journey stamp from the claim section (0 when
+   journeys are off); the fast path passes it through untouched, so an
+   uncontended admission costs no clock reads.  Returns the admission
+   verdict and the stamp the next section should start from. *)
+(* Returns the chained journey stamp ([0] when journeys are off), or
+   [-1] when no admission slot could be won — an int rather than a
+   tuple so the uncontended cold path stays allocation-free. *)
+let admit t c sh tc =
+  let rec attempt tries tc =
+    if try_admit t sh then tc
+    else if tries = 0 then -1
     else begin
+      let t0 = if tc <> 0 then tc else jtrack c in
       flush_warm_shard t c sh;
-      drain_shard t c sh;
-      attempt (tries - 1)
+      let te = jblame_t c Obs.Journey.Admission t0 in
+      drain_shard ~t0:te t c sh;
+      attempt (tries - 1) (if te <> 0 then jtrack c else 0)
     end
   in
-  attempt 3
+  attempt 3 tc
 
 let slot_take t c sh =
   (* Admission guarantees at most cap-1 slots are bound or pending, so
@@ -456,13 +503,16 @@ let route_live t src primary =
 
 (* ----- the service ----- *)
 
-let cold_grant t c ~src ~sh =
+let cold_grant ?(t0 = 0) t c ~src ~sh =
   let slot = slot_take t c sh in
   let sd = t.shard_tbl.(sh) in
   Store.tally_mark c.tally;
+  let t0 = if t0 <> 0 then t0 else jtrack c in
   let base : Store.ops = c.ops.(sh) in
   let lease = Any.get_name sd.inst { base with pid = src } in
+  jblame c Obs.Journey.Acquire t0;
   let accesses = Store.tally_since c.tally in
+  (match c.jr with Some j -> Obs.Journey.accesses j accesses | None -> ());
   let name = sd.base + Any.name_of sd.inst lease in
   t.slot_src.(slot) <- src;
   t.slot_shard.(slot) <- sh;
@@ -486,30 +536,38 @@ let acquire_cold t c ~src =
     c.failovers <- c.failovers + 1;
     obs_inc c "server.failover"
   end;
-  if not (Atomic.compare_and_set t.claims.(src) 0 (c.id + 1)) then begin
+  let t0 = jtrack c in
+  let claimed = Atomic.compare_and_set t.claims.(src) 0 (c.id + 1) in
+  let tc = jblame_t c Obs.Journey.Claim t0 in
+  if not claimed then begin
     c.busy <- c.busy + 1;
     obs_inc c "server.busy";
     Busy
   end
-  else if not (admit t c sh) then begin
-    ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
-    ignore (Atomic.fetch_and_add (Pad.cells t.shard_sheds).(sh) 1);
-    c.shed <- c.shed + 1;
-    obs_inc c "server.shed";
-    Shed
-  end
-  else if Pad.get t.epoch c.id <> c.my_epoch then begin
-    (* We may have spent a long time in [admit]'s drains; if the seat
-       declared us dead meanwhile our claim may already be swept —
-       back out rather than run the protocol without it. *)
-    ignore (Atomic.fetch_and_add (Pad.cells t.admitted).(sh) (-1));
-    ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
-    ignore (check_epoch t c : bool);
-    c.busy <- c.busy + 1;
-    obs_inc c "server.busy";
-    Busy
-  end
-  else cold_grant t c ~src ~sh
+  else
+    (* the claim-end stamp chains through admission into the acquire
+       section: an uncontended cold grant costs three clock reads
+       total (claim open, claim close = acquire open, acquire close) *)
+    let tc = admit t c sh tc in
+    if tc < 0 then begin
+      ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
+      ignore (Atomic.fetch_and_add (Pad.cells t.shard_sheds).(sh) 1);
+      c.shed <- c.shed + 1;
+      obs_inc c "server.shed";
+      Shed
+    end
+    else if Pad.get t.epoch c.id <> c.my_epoch then begin
+      (* We may have spent a long time in [admit]'s drains; if the seat
+         declared us dead meanwhile our claim may already be swept —
+         back out rather than run the protocol without it. *)
+      ignore (Atomic.fetch_and_add (Pad.cells t.admitted).(sh) (-1));
+      ignore (Atomic.compare_and_set t.claims.(src) (c.id + 1) 0 : bool);
+      ignore (check_epoch t c : bool);
+      c.busy <- c.busy + 1;
+      obs_inc c "server.busy";
+      Busy
+    end
+    else cold_grant ~t0:tc t c ~src ~sh
 
 let acquire t c ~src =
   if src < 0 || src >= t.cfg.source_space then
@@ -530,6 +588,7 @@ let acquire t c ~src =
       obs_inc c "server.acquired";
       obs_inc c "server.warm_hits";
       obs_observe c "server.acquire.accesses.warm" 0;
+      (match c.jr with Some j -> Obs.Journey.warm j | None -> ());
       mark c "warm" t.slot_name.(slot);
       Granted { name = t.slot_name.(slot); token = slot; warm = true; accesses = 0 }
     end
@@ -546,6 +605,18 @@ let release t c ~token =
   let cap = Array.length t.slot_next in
   if token < 0 || token >= cap then
     invalid_arg "Server.release: not a token this client holds";
+  (* the Release dwell covers the fence transition and warm-cache
+     bookkeeping only; time spent in [pending_release]/[drain_shard]
+     is stamped by those (Pending/Drain), so the stages partition *)
+  let jt0 = jtrack c in
+  let jend = ref 0 in
+  let jdone = ref false in
+  let jrel () =
+    if not !jdone then begin
+      jdone := true;
+      jend := jblame_t c Obs.Journey.Release jt0
+    end
+  in
   if check_epoch t c then begin
     (* Declared dead while holding: if the reclaimer got to the slot
        first it is already retired (the fence CAS below fails); if it
@@ -553,9 +624,12 @@ let release t c ~token =
        caller's token dies silently — it was fenced, not mis-used. *)
     if t.slot_owner.(token) = c.id && t.slot_held.(token) then begin
       t.slot_held.(token) <- false;
-      if Atomic.compare_and_set t.fence.(token) fence_held fence_pending then
-        pending_release t c t.slot_shard.(token) token
-    end
+      if Atomic.compare_and_set t.fence.(token) fence_held fence_pending then begin
+        jrel ();
+        pending_release ~t0:!jend t c t.slot_shard.(token) token
+      end
+    end;
+    jrel ()
   end
   else if t.slot_owner.(token) <> c.id || not t.slot_held.(token) then
     invalid_arg "Server.release: not a token this client holds"
@@ -567,8 +641,10 @@ let release t c ~token =
           let old = c.warm_slot.(0) in
           let osh = t.slot_shard.(old) in
           warm_remove c 0;
-          if Atomic.compare_and_set t.fence.(old) fence_warm fence_pending then
-            pending_release t c osh old
+          if Atomic.compare_and_set t.fence.(old) fence_warm fence_pending then begin
+            jrel ();
+            pending_release ~t0:!jend t c osh old
+          end
           else begin
             c.fenced <- c.fenced + 1;
             obs_inc c "server.fenced"
@@ -578,8 +654,10 @@ let release t c ~token =
         c.warm_slot.(c.warm_n) <- token;
         c.warm_n <- c.warm_n + 1
       end
-      else if Atomic.compare_and_set t.fence.(token) fence_warm fence_pending then
-        pending_release t c t.slot_shard.(token) token
+      else if Atomic.compare_and_set t.fence.(token) fence_warm fence_pending then begin
+        jrel ();
+        pending_release ~t0:!jend t c t.slot_shard.(token) token
+      end
       else begin
         c.fenced <- c.fenced + 1;
         obs_inc c "server.fenced"
@@ -590,7 +668,8 @@ let release t c ~token =
          and re-synced meanwhile) — the lease is already retired *)
       c.fenced <- c.fenced + 1;
       obs_inc c "server.fenced"
-    end
+    end;
+    jrel ()
   end
 
 let flush t c =
@@ -641,7 +720,9 @@ let adopt_cursor t (c : client) j =
     if slot >= 0 && slot < Array.length t.slot_next then begin
       Atomic.incr t.rs_adopted;
       obs_inc c "server.adopted_drains";
-      ignore (drain_walk t c slot : int)
+      let t0 = jtrack c in
+      ignore (drain_walk t c slot : int);
+      jblame c Obs.Journey.Drain t0
     end
   end
 
@@ -719,7 +800,11 @@ let do_scan t (c : client) ~seat =
           t.stale.(j) >= t.cfg.resilience.lease_ttl
           && (not t.dead.(j))
           && Atomic.get t.seat = seat
-        then reclaim_client t c j
+        then begin
+          let t0 = jtrack c in
+          reclaim_client t c j;
+          jblame c Obs.Journey.Reclaim t0
+        end
       end
     end
   done;
@@ -736,7 +821,9 @@ let do_scan t (c : client) ~seat =
         t.pending_seen.(slot) <- 0;
         if Atomic.compare_and_set t.fence.(slot) fence_pending fence_retiring
         then begin
+          let t0 = jtrack c in
           retire_slot t c slot ~was_pending:true ~reset:false;
+          jblame c Obs.Journey.Retire t0;
           Atomic.incr t.rs_drain_heals;
           obs_inc c "server.drain_heals"
         end
@@ -910,8 +997,12 @@ let merge_flight t =
 let default_backend layout ~stage ~k =
   Any.pack (module Renaming.Split) (Renaming.Split.create ~stage layout ~k)
 
-let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
+let create ?registry ?flight ?journeys ?(backend = default_backend) ?(parked = 0) cfg =
   if cfg.shards < 1 then invalid_arg "Server.create: shards < 1";
+  (match journeys with
+  | Some a when Array.length a <> cfg.clients ->
+      invalid_arg "Server.create: one journey recorder per client"
+  | _ -> ());
   if cfg.k_per_shard < 1 then invalid_arg "Server.create: k_per_shard < 1";
   if cfg.source_space < 1 then invalid_arg "Server.create: source_space < 1";
   if cfg.warm_capacity < 0 then invalid_arg "Server.create: warm_capacity < 0";
@@ -979,6 +1070,7 @@ let create ?registry ?flight ?(backend = default_backend) ?(parked = 0) cfg =
           id;
           obs;
           ring;
+          jr = Option.map (fun a -> a.(id)) journeys;
           ops;
           tally;
           warm_src = Array.make (max 1 cfg.warm_capacity) (-1);

@@ -123,6 +123,7 @@ type outcome =
 val create :
   ?registry:Obs.Registry.t ->
   ?flight:Obs.Flight.t ->
+  ?journeys:Obs.Journey.t array ->
   ?backend:(Shared_mem.Layout.t -> stage:int -> k:int -> Renaming.Protocol.Any.t) ->
   ?parked:int ->
   config ->
@@ -131,10 +132,16 @@ val create :
     shard).  Client handles, registry shards and flight rings are all
     created here, before any domain runs.  [parked] (default [0]) is
     the number of clients that will park holding a name — forwarded
-    to the {!Runtime.Agg} scoreboard.
+    to the {!Runtime.Agg} scoreboard.  [journeys] wires one
+    per-request journey recorder per client (same index as client
+    ids): the server stamps stage dwells — claim CAS, admission
+    flushes, drains, the protocol acquire with its access count,
+    release/pending fencing, reclaimer work — into whichever journey
+    the owning domain has in flight, and attributes out-of-journey
+    work as window interference.
     @raise Invalid_argument on a non-positive dimension, a bad
-    resilience knob, or when the slab would exceed the token encoding
-    (≈2M slots). *)
+    resilience knob, a [journeys] array not sized [clients], or when
+    the slab would exceed the token encoding (≈2M slots). *)
 
 val client : t -> int -> client
 (** The preallocated handle of client [id ∈ \[0, clients)].  A handle

@@ -155,6 +155,68 @@ let test_trace_bad_file () =
   in
   Alcotest.(check int) "unparsable document => exit 2" 2 code
 
+(* ----- journeys: observe tail and server --journeys ----- *)
+
+let test_observe_tail () =
+  let code, out =
+    run "observe tail --shards 2 --clients 3 --requests 300 -s 256 --seed 3"
+  in
+  Alcotest.(check int) "explained tail => exit 0" 0 code;
+  check_contains "observe tail" out "journey #";
+  check_contains "observe tail" out "tail verdict";
+  check_contains "observe tail" out "top blame"
+
+let test_observe_tail_json () =
+  let code, out =
+    run "observe tail --shards 2 --clients 3 --requests 300 -s 256 --seed 3 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "observe tail --json" out "renaming.journeys/v1";
+  check_contains "observe tail --json" out "\"top_blame_stage\"";
+  check_contains "observe tail --json" out "\"tail_p999_ns\"";
+  check_contains "observe tail --json" out "\"blame_ns\""
+
+let test_observe_tail_bad_plan () =
+  let code, _ = run "observe tail --plan 'warp@p0:acc1'" in
+  Alcotest.(check int) "unparsable plan => exit 2" 2 code
+
+let test_observe_tail_export_round_trip () =
+  (* the saved journeys document feeds trace export as extra lanes *)
+  let jfile = Filename.temp_file "renaming_journeys" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove jfile)
+    (fun () ->
+      let code, _ =
+        run
+          (Printf.sprintf
+             "observe tail --shards 2 --clients 2 --requests 200 -s 128 -o %s"
+             (Filename.quote jfile))
+      in
+      Alcotest.(check int) "tail -o exit code" 0 code;
+      with_ring_file (fun ring ->
+          let code, out =
+            run
+              (Printf.sprintf "trace export --file %s --journeys %s"
+                 (Filename.quote ring) (Filename.quote jfile))
+          in
+          Alcotest.(check int) "export exit code" 0 code;
+          check_contains "trace export --journeys" out "traceEvents";
+          check_contains "trace export --journeys" out "journeys"))
+
+let test_server_journeys () =
+  let code, out = run "server --journeys --clients 3 --requests 500 -s 256 --seed 5" in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "server --journeys" out "tail blame"
+
+let test_server_journeys_json () =
+  let code, out =
+    run "server --journeys --clients 3 --requests 500 -s 256 --seed 5 --json"
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "server --journeys --json" out "renaming.server/v1";
+  check_contains "server --journeys --json" out "\"tail_blame\"";
+  check_contains "server --journeys --json" out "\"tail_p999_ns\""
+
 let test_trace_default_dump () =
   (* the bare `trace` subcommand keeps its original access-dump behavior *)
   let code, out = run "trace -p ma -k 2 -s 8 --tail 5" in
@@ -195,5 +257,15 @@ let () =
             test_trace_provenance_no_match;
           Alcotest.test_case "bad flight document" `Quick test_trace_bad_file;
           Alcotest.test_case "default dump preserved" `Quick test_trace_default_dump;
+        ] );
+      ( "journeys",
+        [
+          Alcotest.test_case "observe tail waterfalls" `Quick test_observe_tail;
+          Alcotest.test_case "observe tail json schema" `Quick test_observe_tail_json;
+          Alcotest.test_case "observe tail bad plan" `Quick test_observe_tail_bad_plan;
+          Alcotest.test_case "journeys into trace export" `Quick
+            test_observe_tail_export_round_trip;
+          Alcotest.test_case "server --journeys" `Quick test_server_journeys;
+          Alcotest.test_case "server --journeys json" `Quick test_server_journeys_json;
         ] );
     ]

@@ -291,6 +291,43 @@ let test_export_prometheus_collision () =
   in
   Alcotest.(check int) "two distinct series exported" 2 (count_lines "renaming_op_get")
 
+(* The journey blame/tail families publish through the same registry
+   path as every other counter, so their sanitized names and # TYPE
+   lines must come out stable — these are the series dashboards bind. *)
+let test_export_prometheus_journeys () =
+  let r = Obs.Registry.create () in
+  let s = Obs.Registry.shard r in
+  Array.iter
+    (fun st -> Obs.Registry.count s ("journey.blame." ^ Obs.Journey.stage_name st) 100)
+    Obs.Journey.stages;
+  Obs.Registry.count s "journey.completed" 42;
+  Obs.Registry.count s "journey.flagged" 2;
+  Obs.Gauge.observe (Obs.Registry.gauge s "journey.worst_ns") 31_744;
+  Obs.Gauge.observe (Obs.Registry.gauge s "journey.worst_id") 7;
+  let p = Obs.Export.to_prometheus (Obs.Registry.snapshot r) in
+  List.iter
+    (fun sub -> Alcotest.(check bool) ("prometheus has " ^ sub) true (contains sub p))
+    [
+      "# TYPE renaming_journey_blame_acquire counter";
+      "renaming_journey_blame_acquire 100";
+      "# TYPE renaming_journey_blame_reclaim counter";
+      "# TYPE renaming_journey_completed counter";
+      "renaming_journey_completed 42";
+      "renaming_journey_flagged 2";
+      "# TYPE renaming_journey_worst_ns gauge";
+      "renaming_journey_worst_ns_hwm 31744";
+      "renaming_journey_worst_id_hwm 7";
+    ];
+  (* the FNV-collision guard holds for the journey family too: a raw
+     name that sanitizes onto an existing blame series must surface as
+     its own suffixed series, never silently merge into it *)
+  Obs.Registry.inc s "journey.blame_acquire";
+  let p = Obs.Export.to_prometheus (Obs.Registry.snapshot r) in
+  Alcotest.(check bool) "first claimant keeps the bare name" true
+    (contains "renaming_journey_blame_acquire 100" p);
+  Alcotest.(check bool) "collision gets a hash suffix" true
+    (contains "renaming_journey_blame_acquire_x" p)
+
 let test_export_text () =
   let t = Obs.Export.to_text (exporter_snapshot ()) in
   List.iter
@@ -452,6 +489,8 @@ let () =
           Alcotest.test_case "json span truncation is explicit" `Quick
             test_export_json_truncation;
           Alcotest.test_case "prometheus exporter" `Quick test_export_prometheus;
+          Alcotest.test_case "prometheus journey families" `Quick
+            test_export_prometheus_journeys;
           Alcotest.test_case "prometheus name-collision regression" `Quick
             test_export_prometheus_collision;
           Alcotest.test_case "text exporter" `Quick test_export_text;
